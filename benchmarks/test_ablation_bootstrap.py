@@ -1,0 +1,57 @@
+"""Ablation — bootstrap sampler: Latin Hypercube vs uniform random sampling.
+
+The paper (like CherryPick) bootstraps the model with LHS because it covers
+every dimension's marginal evenly.  This ablation runs Lynceus with LHS
+bootstraps and with plain uniform bootstraps on one TensorFlow job and
+compares the resulting CNO distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.core.optimizer import default_bootstrap_size
+from repro.experiments.figures import ExperimentConfig
+from repro.experiments.metrics import summarize
+from repro.experiments.reporting import format_summary_table
+from repro.sampling.lhs import latin_hypercube_sample
+from repro.workloads import load_job
+
+_JOB = "tensorflow-multilayer"
+
+
+def _run(config: ExperimentConfig):
+    job = load_job(_JOB)
+    tmax = job.default_tmax()
+    optimal_cost = job.optimal_cost(tmax)
+    n_boot = default_bootstrap_size(job)
+    cnos: dict[str, list[float]] = {"lhs": [], "uniform": []}
+    for trial in range(config.n_trials):
+        seed = config.base_seed + trial
+        rng = np.random.default_rng(seed)
+        lhs_initial = latin_hypercube_sample(
+            job.space, n_boot, rng, candidates=job.configurations
+        )
+        uniform_idx = rng.choice(len(job.configurations), size=n_boot, replace=False)
+        uniform_initial = [job.configurations[i] for i in uniform_idx]
+        for label, initial in (("lhs", lhs_initial), ("uniform", uniform_initial)):
+            optimizer = config.lynceus(2)
+            result = optimizer.optimize(
+                job, tmax=tmax, initial_configs=initial, seed=seed,
+                budget_multiplier=config.budget_multiplier,
+            )
+            cnos[label].append(result.cno(optimal_cost))
+    return cnos
+
+
+def test_ablation_bootstrap_sampler(benchmark, bench_config):
+    cnos = run_once(benchmark, _run, bench_config)
+    summaries = {label: summarize(values) for label, values in cnos.items()}
+    report(
+        "ablation_bootstrap",
+        f"\nAblation (bootstrap sampler) — {_JOB}\n"
+        + format_summary_table(summaries, metric_name="CNO"),
+    )
+    for summary in summaries.values():
+        assert summary.mean >= 1.0

@@ -1,0 +1,51 @@
+"""Ablation — discount factor γ applied to future rewards in the lookahead.
+
+γ = 0 collapses Lynceus to the greedy cost-aware policy (future rewards are
+ignored); the paper uses γ = 0.9 following Lam et al.  This ablation compares
+γ ∈ {0, 0.5, 0.9, 1.0} on a CherryPick job.
+"""
+
+from __future__ import annotations
+
+from conftest import report, run_once
+from repro.core.lynceus import LynceusOptimizer
+from repro.experiments.figures import ExperimentConfig
+from repro.experiments.reporting import format_summary_table
+from repro.experiments.runner import compare_optimizers
+from repro.workloads import load_job
+
+_JOB = "cherrypick-spark-regression"
+_DISCOUNTS = (0.0, 0.5, 0.9, 1.0)
+
+
+def _run(config: ExperimentConfig):
+    job = load_job(_JOB)
+    optimizers = {
+        f"lynceus-g{discount:.1f}": LynceusOptimizer(
+            lookahead=2,
+            discount=discount,
+            gh_order=config.gh_order,
+            speculation=config.speculation,
+            lookahead_pool_size=config.lookahead_pool_size,
+            model=config.model,
+            n_estimators=config.n_estimators,
+        )
+        for discount in _DISCOUNTS
+    }
+    return compare_optimizers(
+        job, optimizers, n_trials=config.n_trials, base_seed=config.base_seed
+    )
+
+
+def test_ablation_discount_factor(benchmark, bench_config):
+    comparison = run_once(benchmark, _run, bench_config)
+    summaries = {
+        name: comparison.cno_summary(name) for name in comparison.optimizer_names()
+    }
+    report(
+        "ablation_discount",
+        f"\nAblation (discount factor γ) — {_JOB}\n"
+        + format_summary_table(summaries, metric_name="CNO"),
+    )
+    for summary in summaries.values():
+        assert summary.mean < 2.5

@@ -1,0 +1,56 @@
+"""Ablation — Gauss-Hermite order K used to discretise speculated cost distributions.
+
+The branching factor of the lookahead grows as K^LA, so K trades decision
+quality for decision latency.  This ablation compares K = 2, 3 and 5 on a
+Scout job, reporting both the CNO and the decision latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.figures import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import compare_optimizers
+from repro.workloads import load_job
+
+_JOB = "scout-hadoop-terasort"
+_ORDERS = (2, 3, 5)
+
+
+def _run(config: ExperimentConfig):
+    job = load_job(_JOB)
+    optimizers = {
+        f"lynceus-k{k}": replace(config, gh_order=k).lynceus(2) for k in _ORDERS
+    }
+    return compare_optimizers(
+        job, optimizers, n_trials=config.n_trials, base_seed=config.base_seed
+    )
+
+
+def test_ablation_gauss_hermite_order(benchmark, bench_config):
+    comparison = run_once(benchmark, _run, bench_config)
+    rows = []
+    for name in comparison.optimizer_names():
+        summary = comparison.cno_summary(name)
+        seconds = comparison.decision_seconds(name)
+        rows.append(
+            [
+                name,
+                f"{summary.mean:.3f}",
+                f"{summary.p90:.3f}",
+                f"{np.mean(seconds) * 1000:.1f} ms" if seconds.size else "n/a",
+            ]
+        )
+    report(
+        "ablation_gh_order",
+        f"\nAblation (Gauss-Hermite order) — {_JOB}\n"
+        + format_table(["variant", "CNO mean", "CNO p90", "decision time"], rows),
+    )
+    # Decision latency grows with the quadrature order.
+    k2 = np.mean(comparison.decision_seconds("lynceus-k2"))
+    k5 = np.mean(comparison.decision_seconds("lynceus-k5"))
+    assert k5 >= k2 * 0.8

@@ -1,0 +1,49 @@
+"""Ablation — regression backend: bagged trees (paper default) vs Gaussian Process.
+
+The paper notes (Section 3) that Lynceus can use either a bagging ensemble or
+a Gaussian Process as its black-box model.  This ablation compares the two
+backends on one Scout job and one CherryPick job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import report, run_once
+from repro.experiments.figures import ExperimentConfig
+from repro.experiments.reporting import format_summary_table
+from repro.experiments.runner import compare_optimizers
+from repro.workloads import load_job
+
+_JOBS = ("scout-spark-kmeans", "cherrypick-tpch")
+
+
+def _run(config: ExperimentConfig):
+    results = {}
+    for job_name in _JOBS:
+        job = load_job(job_name)
+        optimizers = {
+            "lynceus-bagging": replace(config, model="bagging").lynceus(2),
+            "lynceus-gp": replace(config, model="gp").lynceus(2),
+        }
+        results[job_name] = compare_optimizers(
+            job, optimizers, n_trials=config.n_trials, base_seed=config.base_seed
+        )
+    return results
+
+
+def test_ablation_model_backend(benchmark, bench_config):
+    results = run_once(benchmark, _run, bench_config)
+    for job_name, comparison in results.items():
+        summaries = {
+            name: comparison.cno_summary(name) for name in comparison.optimizer_names()
+        }
+        report(
+            "ablation_model_backend",
+            f"\nAblation (model backend) — {job_name}\n"
+            + format_summary_table(summaries, metric_name="CNO"),
+        )
+        # Both backends find configurations close to the optimum on these
+        # small spaces.
+        for summary in summaries.values():
+            assert summary.mean < 2.0

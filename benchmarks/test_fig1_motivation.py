@@ -1,0 +1,67 @@
+"""Figure 1 — motivation: cost spread and the cost of disjoint optimization.
+
+Regenerates the two motivation plots of Section 2.1:
+
+* Fig. 1a: normalised cost of every configuration of the three TensorFlow
+  jobs, sorted by quality — the paper shows a spread of up to three orders of
+  magnitude and only 1.5-5% of configurations within 2x of the optimum.
+* Fig. 1b: the CDF of the cost obtained by *ideal* disjoint optimization —
+  the paper shows it finds the true optimum less than 50% of the time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.figures import figure1a, figure1b
+from repro.experiments.reporting import format_table
+
+
+def test_figure1a_cost_spread(benchmark):
+    series = run_once(benchmark, figure1a)
+    rows = []
+    for job_name, normalised in series.items():
+        rows.append(
+            [
+                job_name,
+                len(normalised),
+                f"{normalised[-1]:.0f}x",
+                int(np.sum(normalised <= 2.0)),
+                f"{100.0 * np.mean(normalised <= 2.0):.1f}%",
+            ]
+        )
+    report(
+        "figure1a",
+        "\nFigure 1a — normalised cost of every configuration\n"
+        + format_table(["job", "configs", "worst/opt", "within 2x", "share within 2x"], rows),
+    )
+    for job_name, normalised in series.items():
+        assert normalised[0] >= 1.0 - 1e-9
+        # Few close-to-optimal configurations, many highly sub-optimal ones.
+        assert np.mean(normalised <= 2.0) < 0.25
+        assert normalised[-1] > 20.0
+
+
+def test_figure1b_disjoint_optimization(benchmark):
+    series = run_once(benchmark, figure1b)
+    rows = []
+    for job_name, cnos in series.items():
+        rows.append(
+            [
+                job_name,
+                f"{100.0 * np.mean(cnos <= 1.001):.0f}%",
+                f"{np.percentile(cnos, 50):.2f}",
+                f"{np.percentile(cnos, 90):.2f}",
+                f"{cnos.max():.2f}",
+            ]
+        )
+    report(
+        "figure1b",
+        "\nFigure 1b — CNO of ideal disjoint optimization (over all reference clouds)\n"
+        + format_table(["job", "finds optimum", "p50 CNO", "p90 CNO", "max CNO"], rows),
+    )
+    # Disjoint optimization misses the joint optimum for at least one
+    # reference cloud configuration on every job.
+    for cnos in series.values():
+        assert cnos.max() > 1.0 + 1e-6

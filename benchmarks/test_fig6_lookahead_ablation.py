@@ -1,0 +1,30 @@
+"""Figure 6 — lookahead ablation (LA = 0 / 1 / 2) on the TensorFlow jobs.
+
+The paper shows that the cost-aware but myopic LA = 0 variant is worse than
+either lookahead depth, especially in the tail of the CNO distribution, and
+that LA = 2 and LA = 1 are close except at the very tail.
+"""
+
+from __future__ import annotations
+
+from conftest import report, run_once
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import format_summary_table
+
+
+def test_figure6_lookahead_ablation(benchmark, bench_config):
+    results = run_once(benchmark, figure6, bench_config)
+    for job_name, comparison in results.items():
+        summaries = {
+            name: comparison.cno_summary(name) for name in comparison.optimizer_names()
+        }
+        report(
+            "figure6",
+            f"\nFigure 6 — {job_name}: Lynceus lookahead ablation\n"
+            + format_summary_table(summaries, metric_name="CNO"),
+        )
+        # The long-sighted variants should not lose to the myopic LA=0 one by
+        # more than statistical noise at this reduced trial count.
+        la0 = comparison.cno_summary("lynceus-la0")
+        la2 = comparison.cno_summary("lynceus-la2")
+        assert la2.mean <= la0.mean + 0.5

@@ -1,0 +1,41 @@
+"""Figure 7 — p90 of the running-best CNO versus the number of explorations.
+
+The paper uses the CNN job to show that (i) Lynceus keeps improving for many
+more explorations than BO, because its budget-aware choices leave money for
+further profiling, and (ii) the deeper lookahead variants dominate the
+shallower ones along the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import format_table
+
+
+def test_figure7_cno_vs_explorations(benchmark, bench_config):
+    series = run_once(benchmark, figure7, bench_config)
+    # Print the p90 CNO at a few checkpoints along the exploration axis, plus
+    # the average number of explorations each variant managed to perform.
+    checkpoints = (15, 25, 40, 60, 80)
+    rows = []
+    for name, data in series.items():
+        p90 = data["p90_cno"]
+        row = [name]
+        for checkpoint in checkpoints:
+            idx = min(checkpoint - 1, len(p90) - 1)
+            row.append(f"{p90[idx]:.2f}")
+        row.append(f"{data['mean_nex'][0]:.0f}")
+        rows.append(row)
+    headers = ["optimizer"] + [f"p90 CNO @{c}" for c in checkpoints] + ["avg NEX"]
+    report(
+        "figure7",
+        "\nFigure 7 — tensorflow-cnn: p90 CNO vs number of explorations\n"
+        + format_table(headers, rows),
+    )
+    # Lynceus (LA=2) explores at least as much as greedy BO with the same budget.
+    assert series["lynceus-la2"]["mean_nex"][0] >= series["bo"]["mean_nex"][0] - 1
+    # And its final p90 CNO is no worse.
+    assert series["lynceus-la2"]["p90_cno"][-1] <= series["bo"]["p90_cno"][-1] + 0.5

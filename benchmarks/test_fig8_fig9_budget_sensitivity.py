@@ -1,0 +1,68 @@
+"""Figures 8 and 9 — sensitivity to the profiling budget (b = 1, 3, 5).
+
+The paper shows that (Fig. 8) Lynceus beats BO at every budget, with larger
+gains at larger budgets, and that (Fig. 9) Lynceus profiles up to 2.25x more
+configurations than BO with the same budget, because it steers the search
+towards cheaper configurations.  Both figures come from the same sweep, so
+this module runs the sweep once and prints both views.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report, run_once
+from repro.experiments.figures import budget_sensitivity, figure8, figure9
+from repro.experiments.reporting import format_table
+
+#: Restrict the sweep to two jobs so the default benchmark run stays short.
+_JOBS = ("tensorflow-cnn", "tensorflow-multilayer")
+_BUDGETS = (1.0, 3.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_cache():
+    return {}
+
+
+def test_figure8_budget_vs_cno(benchmark, bench_config, sweep_cache):
+    sweep = run_once(benchmark, budget_sensitivity, bench_config, _JOBS, _BUDGETS)
+    sweep_cache["sweep"] = sweep
+    data = figure8(bench_config, _JOBS, _BUDGETS, sweep=sweep)
+    rows = []
+    for job_name, per_budget in data.items():
+        for b, values in per_budget.items():
+            rows.append([job_name, b, f"{values['lynceus']:.2f}", f"{values['bo']:.2f}"])
+    report(
+        "figure8",
+        "\nFigure 8 — p90 CNO vs budget multiplier b\n"
+        + format_table(["job", "b", "lynceus p90 CNO", "bo p90 CNO"], rows),
+    )
+    for per_budget in data.values():
+        for values in per_budget.values():
+            assert values["lynceus"] <= values["bo"] + 1.0
+
+
+def test_figure9_budget_vs_nex(benchmark, bench_config, sweep_cache):
+    sweep = sweep_cache.get("sweep")
+    if sweep is None:
+        sweep = run_once(benchmark, budget_sensitivity, bench_config, _JOBS, _BUDGETS)
+    else:
+        # The sweep already ran in the Figure 8 benchmark; just time the
+        # (cheap) extraction step.
+        sweep = run_once(benchmark, lambda: sweep_cache["sweep"])
+    data = figure9(bench_config, _JOBS, _BUDGETS, sweep=sweep)
+    rows = []
+    for job_name, per_budget in data.items():
+        for b, values in per_budget.items():
+            rows.append([job_name, b, f"{values['lynceus']:.1f}", f"{values['bo']:.1f}"])
+    report(
+        "figure9",
+        "\nFigure 9 — average NEX vs budget multiplier b\n"
+        + format_table(["job", "b", "lynceus avg NEX", "bo avg NEX"], rows),
+    )
+    # With the same budget Lynceus profiles at least as many configurations
+    # as BO at the medium and high budgets.
+    for job_name, per_budget in data.items():
+        assert per_budget[3.0]["lynceus"] >= per_budget[3.0]["bo"] - 2
+        assert per_budget[5.0]["lynceus"] >= per_budget[5.0]["bo"] - 2

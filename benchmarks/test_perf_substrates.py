@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the substrates the optimizer loop is built on.
+
+Unlike the figure benchmarks (which run one full experiment), these use
+pytest-benchmark's normal repeated-measurement mode to track the throughput
+of the hot paths: tree / ensemble / GP fitting and prediction, Latin
+Hypercube sampling and the Gauss-Hermite quadrature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning import BaggingEnsemble, GaussianProcessRegressor, RegressionTree
+from repro.sampling.lhs import latin_hypercube_sample
+from repro.sampling.quadrature import GaussHermiteQuadrature
+from repro.workloads import tensorflow_config_space
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 5))
+    y = X @ np.array([1.0, -2.0, 0.5, 0.0, 1.5]) + 0.1 * rng.normal(size=80)
+    Xq = rng.normal(size=(300, 5))
+    return X, y, Xq
+
+
+def test_bench_tree_fit(benchmark, training_data):
+    X, y, _ = training_data
+    benchmark(lambda: RegressionTree().fit(X, y))
+
+
+def test_bench_ensemble_fit(benchmark, training_data):
+    X, y, _ = training_data
+    benchmark(lambda: BaggingEnsemble(seed=0).fit(X, y))
+
+
+def test_bench_ensemble_predict(benchmark, training_data):
+    X, y, Xq = training_data
+    model = BaggingEnsemble(seed=0).fit(X, y)
+    benchmark(lambda: model.predict_distribution(Xq))
+
+
+def test_bench_gp_fit(benchmark, training_data):
+    X, y, _ = training_data
+    benchmark(lambda: GaussianProcessRegressor().fit(X, y))
+
+
+def test_bench_gp_predict(benchmark, training_data):
+    X, y, Xq = training_data
+    model = GaussianProcessRegressor().fit(X, y)
+    benchmark(lambda: model.predict_distribution(Xq))
+
+
+def test_bench_lhs_sampling(benchmark):
+    space = tensorflow_config_space()
+    rng = np.random.default_rng(0)
+    benchmark(lambda: latin_hypercube_sample(space, 12, rng))
+
+
+def test_bench_gauss_hermite(benchmark):
+    quadrature = GaussHermiteQuadrature(order=5)
+    benchmark(lambda: quadrature.discretise(10.0, 2.5))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The Section 4.4 extensions: extra constraints and setup-cost awareness.
+
+Two refinements of the core algorithm are demonstrated on a TensorFlow job:
+
+1. **Multiple constraints** — besides the runtime constraint, we bound the
+   cluster's energy footprint (approximated as vCPU-hours per run).  Lynceus
+   trains one extra model for the constrained metric and multiplies its
+   satisfaction probability into the acquisition function.
+2. **Setup costs** — switching clusters between profiling runs costs money
+   (booting VMs, re-loading data).  The job is wrapped so every run is
+   charged the switching cost, and Lynceus is given a matching estimator so
+   its exploration paths account for those charges.
+
+Run with::
+
+    python examples/extensions_constraints_and_setup_costs.py
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provisioner import SimulatedProvisioner
+from repro.core import (
+    ConstrainedLynceusOptimizer,
+    LynceusOptimizer,
+    MetricConstraint,
+    SetupCostAwareJob,
+    provisioner_setup_estimator,
+)
+from repro.workloads import load_job
+from repro.workloads.tensorflow_jobs import cluster_of
+
+
+def vcpu_hours(config, outcome) -> float:
+    """Energy proxy: total vCPU-hours consumed by the run."""
+    return int(config["total_vcpus"]) * outcome.runtime_seconds / 3600.0
+
+
+def main() -> None:
+    job = load_job("tensorflow-multilayer")
+    tmax = job.default_tmax()
+
+    # --- extension 1: an extra constraint on the energy proxy -----------------
+    energy_budget = 0.6  # vCPU-hours per training run
+    constrained = ConstrainedLynceusOptimizer(
+        constraints=[MetricConstraint("vcpu_hours", energy_budget, vcpu_hours)],
+        lookahead=1,
+        gh_order=3,
+        lookahead_pool_size=12,
+        seed=3,
+    )
+    result = constrained.optimize(job, tmax=tmax, seed=3)
+    chosen_energy = vcpu_hours(result.best_config, job.run(result.best_config))
+    print("Constrained run (runtime + energy):")
+    print(f"  recommended: {result.best_config.as_dict()}")
+    print(f"  energy proxy {chosen_energy:.2f} vCPU-hours (budget {energy_budget})")
+    print(f"  cost {result.best_cost:.4f} $, runtime {result.best_runtime:.0f} s\n")
+
+    # --- extension 2: setup-cost-aware exploration ------------------------------
+    provisioner = SimulatedProvisioner(boot_seconds_per_vm=45.0, data_load_seconds=60.0)
+    wrapped = SetupCostAwareJob(job=job, cluster_fn=cluster_of, provisioner=provisioner)
+    aware = LynceusOptimizer(
+        lookahead=1,
+        gh_order=3,
+        lookahead_pool_size=12,
+        setup_cost_estimator=provisioner_setup_estimator(provisioner, cluster_of),
+        seed=3,
+    )
+    result = aware.optimize(wrapped, tmax=tmax, seed=3)
+    print("Setup-cost-aware run:")
+    print(f"  recommended: {result.best_config.as_dict()}")
+    print(f"  profiling spend {result.budget_spent:.3f} $ over {result.n_explorations} runs")
+    print(f"  of which setup costs: {provisioner.total_setup_cost:.3f} $ "
+          f"({len(provisioner.events)} deployments)")
+
+
+if __name__ == "__main__":
+    main()

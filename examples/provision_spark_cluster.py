@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Provision a Spark cluster for a recurring analytics job (CherryPick scenario).
+
+The CherryPick dataset's jobs only tune the cloud side — VM family, VM size
+and cluster scale — which is the classic "which cluster should I rent?"
+question.  This example optimises TPC-H-style and TeraSort-style jobs,
+prints the recommended cluster for each, and shows how the recommendation
+changes when the runtime constraint is tightened.
+
+Run with::
+
+    python examples/provision_spark_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LynceusOptimizer
+from repro.cloud.vm import get_vm_type
+from repro.workloads import load_job
+
+
+def describe(config) -> str:
+    vm = get_vm_type(f"{config['vm_family']}.{config['vm_size']}")
+    n_machines = int(config["total_vcpus"]) // vm.vcpus
+    return f"{n_machines} x {vm.name} ({int(config['total_vcpus'])} vCPUs)"
+
+
+def provision(job_name: str, tmax: float | None = None) -> None:
+    job = load_job(job_name)
+    tmax = tmax if tmax is not None else job.default_tmax()
+    optimizer = LynceusOptimizer(lookahead=2, gh_order=3, lookahead_pool_size=16, seed=7)
+    result = optimizer.optimize(job, tmax=tmax, seed=7)
+    optimal_config, optimal_cost = job.optimal(tmax)
+    print(f"\n{job.name}  (Tmax = {tmax:.0f} s)")
+    print(f"  recommended cluster : {describe(result.best_config)}")
+    print(f"  run cost            : {result.best_cost:.2f} $  (runtime {result.best_runtime:.0f} s)")
+    print(f"  true optimum        : {describe(optimal_config)}  at {optimal_cost:.2f} $")
+    print(f"  CNO                 : {result.cno(optimal_cost):.2f}")
+    print(f"  profiling spend     : {result.budget_spent:.2f} $ over {result.n_explorations} runs")
+
+
+def main() -> None:
+    provision("cherrypick-tpch")
+    provision("cherrypick-terasort")
+
+    # Tighter deadlines push the recommendation towards bigger clusters.
+    job = load_job("cherrypick-tpch")
+    runtimes = np.sort(job.runtimes())
+    tight_tmax = float(runtimes[int(0.25 * len(runtimes))])  # only 25% of configs qualify
+    provision("cherrypick-tpch", tmax=tight_tmax)
+
+
+if __name__ == "__main__":
+    main()

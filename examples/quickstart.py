@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: tune and provision one data-analytic job with Lynceus.
+
+This example optimises the cluster composition for one of the Scout jobs
+(a Spark KMeans workload) under a runtime constraint and a profiling budget,
+then compares Lynceus's recommendation with the true optimum of the
+(simulated) profiling table.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import LynceusOptimizer
+from repro.workloads import load_job
+
+
+def main() -> None:
+    # 1. Load a job.  A job exposes its configuration space, the a-priori
+    #    known unit price of each configuration, and run(config) -> outcome.
+    job = load_job("scout-spark-kmeans")
+    print(f"job: {job.name} with {len(job.configurations)} candidate configurations")
+
+    # 2. Pick the runtime constraint Tmax.  Here we use the paper's default
+    #    rule: a constraint satisfied by roughly half of the configurations.
+    tmax = job.default_tmax()
+    print(f"runtime constraint Tmax = {tmax:.0f} s")
+
+    # 3. Run Lynceus.  The budget defaults to B = N * mean_cost * 3 where N
+    #    is the number of bootstrap samples (the paper's medium budget).
+    optimizer = LynceusOptimizer(lookahead=2, gh_order=3, lookahead_pool_size=16, seed=42)
+    result = optimizer.optimize(job, tmax=tmax, seed=42)
+
+    # 4. Inspect the outcome.
+    print(f"\nprofiled {result.n_explorations} configurations "
+          f"({result.n_bootstrap} bootstrap + {result.n_explorations - result.n_bootstrap} guided)")
+    print(f"profiling spend: {result.budget_spent:.2f} of a {result.budget:.2f} budget")
+    print(f"recommended configuration: {result.best_config.as_dict()}")
+    print(f"  cost {result.best_cost:.3f}, runtime {result.best_runtime:.0f} s, "
+          f"meets constraint: {result.feasible_found}")
+
+    optimal_config, optimal_cost = job.optimal(tmax)
+    print(f"\ntrue optimum: {optimal_config.as_dict()}")
+    print(f"  cost {optimal_cost:.3f}  ->  CNO = {result.cno(optimal_cost):.2f} "
+          f"(1.0 means Lynceus found the optimum)")
+
+
+if __name__ == "__main__":
+    main()

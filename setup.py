@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the classic development install.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of Lynceus (ICDCS 2020).
+
+Lynceus is a budget-aware, long-sighted Bayesian-optimization tool that finds
+the cheapest cloud + application configuration for a recurring data-analytic
+job, subject to a runtime constraint and a monetary budget for the search
+itself.
+
+The package is organised as follows:
+
+``repro.core``
+    The paper's primary contribution: the configuration-space abstractions,
+    the optimizer state, the constrained expected-improvement acquisition,
+    the Lynceus lookahead optimizer and the baselines it is compared against
+    (CherryPick-style BO, random search, disjoint optimization).
+
+``repro.learning``
+    From-scratch regression substrates used as the black-box performance
+    model: CART regression trees, a bagging ensemble with a Gaussian
+    posterior, and a Gaussian-Process alternative.
+
+``repro.sampling``
+    Latin Hypercube Sampling for the bootstrap phase and Gauss-Hermite
+    quadrature used to discretise predictive distributions during lookahead.
+
+``repro.cloud``
+    A simulated cloud substrate: VM catalogues, per-second pricing, cluster
+    specifications and a provisioner with boot / setup latencies.
+
+``repro.workloads``
+    Analytic performance models and deterministic lookup-table datasets for
+    the three workload suites of the paper (TensorFlow, Scout, CherryPick).
+
+``repro.experiments``
+    The evaluation harness: multi-seed runners, the CNO / NEX metrics and
+    per-figure experiment drivers that regenerate every table and figure of
+    the paper's evaluation section.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    BayesianOptimizer,
+    Configuration,
+    ConfigSpace,
+    LynceusOptimizer,
+    OptimizationResult,
+    RandomSearchOptimizer,
+)
+from repro.workloads import (
+    cherrypick_suite,
+    load_job,
+    scout_suite,
+    tensorflow_suite,
+)
+
+__all__ = [
+    "__version__",
+    "BayesianOptimizer",
+    "ConfigSpace",
+    "Configuration",
+    "LynceusOptimizer",
+    "OptimizationResult",
+    "RandomSearchOptimizer",
+    "cherrypick_suite",
+    "load_job",
+    "scout_suite",
+    "tensorflow_suite",
+]

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+The CLI exposes the library's day-to-day operations without writing Python:
+
+``python -m repro list-jobs``
+    List every job of the three built-in suites.
+
+``python -m repro describe --job tensorflow-cnn``
+    Print a job's configuration space, cost landscape summary and optimum.
+
+``python -m repro tune --job scout-spark-kmeans --optimizer lynceus``
+    Run one optimizer against a job and print the recommendation, the spend
+    and the CNO.
+
+``python -m repro compare --job tensorflow-multilayer --trials 3``
+    Run the paper's Lynceus / BO / RND comparison on one job and print CNO
+    and NEX summaries (a one-job slice of Figure 4).
+
+All commands print plain text; machine-readable output is available with
+``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.optimizer import BaseOptimizer
+from repro.experiments.reporting import format_summary_table, format_table
+from repro.experiments.runner import compare_optimizers
+from repro.workloads import available_jobs, load_job
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lynceus reproduction: tune and provision data-analytic jobs on a budget.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-jobs", help="list the built-in jobs")
+
+    describe = subparsers.add_parser("describe", help="describe a job's cost landscape")
+    _add_job_argument(describe)
+    describe.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    tune = subparsers.add_parser("tune", help="run one optimizer against a job")
+    _add_job_argument(tune)
+    tune.add_argument(
+        "--optimizer",
+        choices=("lynceus", "bo", "rnd"),
+        default="lynceus",
+        help="optimizer to run (default: lynceus)",
+    )
+    tune.add_argument("--lookahead", type=int, default=2, help="Lynceus lookahead depth")
+    tune.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
+    tune.add_argument("--tmax", type=float, default=None, help="runtime constraint in seconds")
+    tune.add_argument("--seed", type=int, default=0, help="random seed")
+    tune.add_argument("--fast", action="store_true", help="use the fast lookahead settings")
+    tune.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare Lynceus, BO and RND on a job (mini Figure 4)"
+    )
+    _add_job_argument(compare)
+    compare.add_argument("--trials", type=int, default=3, help="trials per optimizer")
+    compare.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
+    compare.add_argument("--seed", type=int, default=0, help="seed of the first trial")
+    compare.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    return parser
+
+
+def _add_job_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--job", required=True, help="fully-qualified job name (see list-jobs)")
+
+
+def _make_optimizer(name: str, lookahead: int, fast: bool) -> BaseOptimizer:
+    if name == "rnd":
+        return RandomSearchOptimizer()
+    if name == "bo":
+        return BayesianOptimizer()
+    if fast:
+        return LynceusOptimizer(
+            lookahead=lookahead, gh_order=3, lookahead_pool_size=12, speculation="believer"
+        )
+    return LynceusOptimizer(lookahead=lookahead)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def _cmd_list_jobs(_args: argparse.Namespace) -> int:
+    for name in available_jobs():
+        print(name)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    job = load_job(args.job)
+    costs = job.costs()
+    tmax = job.default_tmax()
+    optimal_config, optimal_cost = job.optimal(tmax)
+    payload = {
+        "job": job.name,
+        "configurations": len(job.configurations),
+        "dimensions": job.space.dimensions,
+        "default_tmax_seconds": tmax,
+        "mean_cost": job.mean_cost(),
+        "cost_spread": float(costs.max() / costs.min()),
+        "within_2x_of_optimum": int(np.sum(costs / optimal_cost <= 2.0)),
+        "optimal_cost": optimal_cost,
+        "optimal_config": optimal_config.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    rows = [[key, value] for key, value in payload.items() if key != "optimal_config"]
+    print(format_table(["property", "value"], rows))
+    print(f"optimal configuration: {optimal_config.as_dict()}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    job = load_job(args.job)
+    optimizer = _make_optimizer(args.optimizer, args.lookahead, args.fast)
+    tmax = args.tmax if args.tmax is not None else job.default_tmax()
+    result = optimizer.optimize(
+        job,
+        tmax=tmax,
+        budget_multiplier=args.budget_multiplier,
+        seed=args.seed,
+    )
+    optimal_cost = job.optimal_cost(tmax)
+    payload = {
+        "job": job.name,
+        "optimizer": result.optimizer_name,
+        "recommended_config": result.best_config.as_dict(),
+        "recommended_cost": result.best_cost,
+        "recommended_runtime_seconds": result.best_runtime,
+        "meets_constraint": result.feasible_found,
+        "cno": result.cno(optimal_cost),
+        "explorations": result.n_explorations,
+        "budget": result.budget,
+        "budget_spent": result.budget_spent,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    rows = [[key, value] for key, value in payload.items() if key != "recommended_config"]
+    print(format_table(["metric", "value"], rows))
+    print(f"recommended configuration: {result.best_config.as_dict()}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    job = load_job(args.job)
+    optimizers = {
+        "lynceus": LynceusOptimizer(
+            lookahead=2, gh_order=3, lookahead_pool_size=12, speculation="believer"
+        ),
+        "bo": BayesianOptimizer(),
+        "rnd": RandomSearchOptimizer(),
+    }
+    comparison = compare_optimizers(
+        job,
+        optimizers,
+        n_trials=args.trials,
+        budget_multiplier=args.budget_multiplier,
+        base_seed=args.seed,
+    )
+    if args.json:
+        payload = {
+            name: {
+                "cno": comparison.cno_summary(name).as_dict(),
+                "nex": comparison.nex_summary(name).as_dict(),
+            }
+            for name in comparison.optimizer_names()
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{job.name}: {args.trials} trials, b={args.budget_multiplier}")
+    print(
+        format_summary_table(
+            {n: comparison.cno_summary(n) for n in comparison.optimizer_names()}, "CNO"
+        )
+    )
+    print()
+    print(
+        format_summary_table(
+            {n: comparison.nex_summary(n) for n in comparison.optimizer_names()}, "NEX"
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "list-jobs": _cmd_list_jobs,
+    "describe": _cmd_describe,
+    "tune": _cmd_tune,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Simulated cloud substrate.
+
+The paper runs its jobs on AWS EC2; this package models the parts of EC2 the
+optimizer interacts with, so the whole evaluation can run on a laptop:
+
+* :mod:`repro.cloud.vm` — the VM catalogue (t2.*, c4.*, m4.*, r4.*, r3.*,
+  i2.* families with vCPU / RAM figures and hourly list prices).
+* :mod:`repro.cloud.pricing` — per-second billing semantics, giving the unit
+  price ``U(x)`` used in ``C(x) = T(x) * U(x)``.
+* :mod:`repro.cloud.cluster` — cluster specifications (``N`` workers of a VM
+  type plus an optional parameter-server/master node).
+* :mod:`repro.cloud.provisioner` — a simulated provisioner with boot and
+  data-loading latencies, used by the setup-cost extension of Section 4.4.
+"""
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.pricing import BillingModel, PerSecondBilling
+from repro.cloud.provisioner import ProvisionEvent, SimulatedProvisioner
+from repro.cloud.vm import VM_CATALOG, VMType, get_vm_type
+
+__all__ = [
+    "BillingModel",
+    "ClusterSpec",
+    "PerSecondBilling",
+    "ProvisionEvent",
+    "SimulatedProvisioner",
+    "VM_CATALOG",
+    "VMType",
+    "get_vm_type",
+]

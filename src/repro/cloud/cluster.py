@@ -1,0 +1,92 @@
+"""Cluster specifications.
+
+A cluster in the Lynceus setting is ``N`` worker VMs of a single type, plus
+(for parameter-server workloads such as the TensorFlow jobs) one extra VM
+hosting the parameter server.  The specification exposes the aggregate
+resources the workload performance models need (total vCPUs, total memory,
+aggregate network bandwidth) and the total hourly price the billing model
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.vm import VMType, get_vm_type
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An homogeneous cluster of worker VMs with an optional master node.
+
+    Attributes
+    ----------
+    vm_type:
+        The worker VM flavour.
+    n_workers:
+        Number of worker VMs (``N`` in the paper's notation).
+    master_vm_type:
+        VM flavour of the extra master / parameter-server node, or ``None``
+        when the workload has no dedicated master (Hadoop/Spark datasets in
+        the paper count only the workers).
+    """
+
+    vm_type: VMType
+    n_workers: int
+    master_vm_type: VMType | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def of(
+        cls, vm_name: str, n_workers: int, *, master_vm_name: str | None = None
+    ) -> "ClusterSpec":
+        """Build a cluster spec from instance-type names."""
+        master = get_vm_type(master_vm_name) if master_vm_name else None
+        return cls(vm_type=get_vm_type(vm_name), n_workers=n_workers, master_vm_type=master)
+
+    # -- aggregate resources ------------------------------------------------
+    @property
+    def n_vms(self) -> int:
+        """Total number of VMs including the master, if any."""
+        return self.n_workers + (1 if self.master_vm_type is not None else 0)
+
+    @property
+    def total_vcpus(self) -> int:
+        """Total worker vCPUs (the master does not contribute compute)."""
+        return self.vm_type.vcpus * self.n_workers
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Total worker memory in GiB."""
+        return self.vm_type.memory_gb * self.n_workers
+
+    @property
+    def aggregate_network_gbps(self) -> float:
+        """Aggregate worker network bandwidth in Gbit/s."""
+        return self.vm_type.network_gbps * self.n_workers
+
+    @property
+    def total_price_per_hour(self) -> float:
+        """Hourly price of all VMs, master included."""
+        price = self.vm_type.price_per_hour * self.n_workers
+        if self.master_vm_type is not None:
+            price += self.master_vm_type.price_per_hour
+        return price
+
+    @property
+    def price_per_second(self) -> float:
+        """Per-second price of the whole cluster."""
+        return self.total_price_per_hour / 3600.0
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        master = (
+            f" + 1x {self.master_vm_type.name} (master)" if self.master_vm_type else ""
+        )
+        return f"{self.n_workers}x {self.vm_type.name}{master}"

@@ -1,0 +1,69 @@
+"""Billing models.
+
+The paper assumes the pay-by-the-second pricing scheme now standard on the
+major clouds (Section 2), so the cost of running a job is simply
+``C(x) = T(x) * U(x)`` where ``U(x)`` is the cluster's price per unit of
+time.  :class:`PerSecondBilling` implements exactly that;
+:class:`PerHourBilling` (rounding the billed duration up to whole hours) is
+provided for completeness and for sensitivity experiments, since the coarser
+granularity noticeably distorts the cost surface for short jobs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.cluster import ClusterSpec
+
+__all__ = ["BillingModel", "PerSecondBilling", "PerHourBilling"]
+
+
+class BillingModel:
+    """Maps a cluster and a runtime to a monetary cost."""
+
+    def unit_price_per_hour(self, cluster: ClusterSpec) -> float:
+        """Price of keeping ``cluster`` running for one hour."""
+        raise NotImplementedError
+
+    def cost(self, cluster: ClusterSpec, runtime_seconds: float) -> float:
+        """Cost of running ``cluster`` for ``runtime_seconds``."""
+        raise NotImplementedError
+
+
+class PerSecondBilling(BillingModel):
+    """Per-second billing with an optional minimum billed duration.
+
+    Parameters
+    ----------
+    minimum_seconds:
+        Minimum billed duration per VM (AWS bills at least 60 s for Linux
+        instances); defaults to 0 for a pure linear model, which is what the
+        paper's formulation ``C(x) = T(x) * U(x)`` assumes.
+    """
+
+    def __init__(self, minimum_seconds: float = 0.0) -> None:
+        if minimum_seconds < 0:
+            raise ValueError("minimum_seconds must be non-negative")
+        self.minimum_seconds = minimum_seconds
+
+    def unit_price_per_hour(self, cluster: ClusterSpec) -> float:
+        return cluster.total_price_per_hour
+
+    def cost(self, cluster: ClusterSpec, runtime_seconds: float) -> float:
+        if runtime_seconds < 0:
+            raise ValueError("runtime_seconds must be non-negative")
+        billed = max(runtime_seconds, self.minimum_seconds)
+        return cluster.total_price_per_hour * billed / 3600.0
+
+
+class PerHourBilling(BillingModel):
+    """Legacy per-hour billing: durations are rounded up to whole hours."""
+
+    def unit_price_per_hour(self, cluster: ClusterSpec) -> float:
+        return cluster.total_price_per_hour
+
+    def cost(self, cluster: ClusterSpec, runtime_seconds: float) -> float:
+        if runtime_seconds < 0:
+            raise ValueError("runtime_seconds must be non-negative")
+        hours = math.ceil(runtime_seconds / 3600.0) if runtime_seconds > 0 else 0
+        return cluster.total_price_per_hour * hours

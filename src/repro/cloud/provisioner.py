@@ -1,0 +1,123 @@
+"""A simulated cloud provisioner.
+
+The setup-cost extension of Lynceus (Section 4.4) accounts for the money
+spent while new VMs boot, data is re-loaded and the deployed system warms up
+when switching from one configuration to the next.  This module provides a
+deterministic, seedable simulation of that machinery: it tracks which cluster
+is currently deployed, charges boot / data-loading time when the cluster
+changes, and produces an event log that the examples and tests can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.pricing import BillingModel, PerSecondBilling
+
+__all__ = ["ProvisionEvent", "SimulatedProvisioner"]
+
+
+@dataclass(frozen=True)
+class ProvisionEvent:
+    """One provisioning action recorded by the simulator."""
+
+    action: str
+    cluster: ClusterSpec
+    setup_seconds: float
+    setup_cost: float
+
+
+@dataclass
+class SimulatedProvisioner:
+    """Tracks the deployed cluster and charges configuration-switch costs.
+
+    Parameters
+    ----------
+    billing:
+        Billing model used to translate setup time into money.
+    boot_seconds_per_vm:
+        Boot latency charged for every *newly started* VM.
+    data_load_seconds:
+        Time to load the job's input data onto a freshly booted cluster.
+    jitter:
+        Relative standard deviation of multiplicative noise applied to setup
+        latencies (0 disables noise).
+    seed:
+        Seed for the jitter noise.
+    """
+
+    billing: BillingModel = field(default_factory=PerSecondBilling)
+    boot_seconds_per_vm: float = 45.0
+    data_load_seconds: float = 30.0
+    jitter: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.boot_seconds_per_vm < 0 or self.data_load_seconds < 0:
+            raise ValueError("setup latencies must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+        self._current: ClusterSpec | None = None
+        self._events: list[ProvisionEvent] = []
+        self._total_setup_cost = 0.0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def current_cluster(self) -> ClusterSpec | None:
+        """The cluster currently deployed, or ``None`` before the first deploy."""
+        return self._current
+
+    @property
+    def events(self) -> list[ProvisionEvent]:
+        """The provisioning event log."""
+        return list(self._events)
+
+    @property
+    def total_setup_cost(self) -> float:
+        """Total money spent on setup (booting + data loading) so far."""
+        return self._total_setup_cost
+
+    # -- behaviour -----------------------------------------------------------
+    def estimate_switch_seconds(self, target: ClusterSpec) -> float:
+        """Setup seconds required to switch from the current cluster to ``target``.
+
+        Re-using the exact same cluster costs nothing; growing a cluster of
+        the same VM type only boots the additional VMs; changing VM type
+        reboots everything and reloads the data.
+        """
+        current = self._current
+        if current is not None and current == target:
+            return 0.0
+        if current is not None and current.vm_type == target.vm_type:
+            extra = max(0, target.n_workers - current.n_workers)
+            boot = self.boot_seconds_per_vm * extra
+            # Data is already resident on the surviving VMs; only new VMs load.
+            load = self.data_load_seconds * (extra / max(target.n_workers, 1))
+            return boot + load
+        return self.boot_seconds_per_vm * target.n_vms + self.data_load_seconds
+
+    def estimate_switch_cost(self, target: ClusterSpec) -> float:
+        """Monetary cost of the switch, at the target cluster's unit price."""
+        seconds = self.estimate_switch_seconds(target)
+        return self.billing.cost(target, seconds)
+
+    def deploy(self, target: ClusterSpec) -> ProvisionEvent:
+        """Deploy ``target``, recording and charging the setup cost."""
+        seconds = self.estimate_switch_seconds(target)
+        if self.jitter > 0 and seconds > 0:
+            seconds *= float(max(0.0, self._rng.normal(1.0, self.jitter)))
+        cost = self.billing.cost(target, seconds)
+        action = "reuse" if seconds == 0 else ("resize" if self._current and self._current.vm_type == target.vm_type else "boot")
+        event = ProvisionEvent(action=action, cluster=target, setup_seconds=seconds, setup_cost=cost)
+        self._events.append(event)
+        self._total_setup_cost += cost
+        self._current = target
+        return event
+
+    def teardown(self) -> None:
+        """Release the currently deployed cluster."""
+        self._current = None

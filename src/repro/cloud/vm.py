@@ -1,0 +1,132 @@
+"""Virtual-machine catalogue.
+
+The catalogue mirrors the EC2 instance types used in the paper's three
+datasets:
+
+* TensorFlow jobs (Table 2): burstable ``t2`` family — t2.small, t2.medium,
+  t2.xlarge, t2.2xlarge.
+* Scout jobs (Section 5.1.2): compute/memory/general-purpose families
+  ``c4``, ``r4``, ``m4`` in sizes large, xlarge, 2xlarge.
+* CherryPick jobs (Section 5.1.2): ``c4``, ``m4``, ``r3``, ``i2`` in sizes
+  large, xlarge, 2xlarge.
+
+The hourly prices are the 2018 us-east-1 on-demand list prices (rounded).
+Absolute values do not matter for the reproduction — only the relative price
+structure across instance types does — but keeping realistic numbers makes
+the generated cost surfaces realistic too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VMType", "VM_CATALOG", "get_vm_type", "family_of", "size_of"]
+
+
+@dataclass(frozen=True)
+class VMType:
+    """A virtual-machine flavour.
+
+    Attributes
+    ----------
+    name:
+        EC2-style instance name, e.g. ``"c4.xlarge"``.
+    vcpus:
+        Number of virtual CPUs.
+    memory_gb:
+        RAM in GiB.
+    price_per_hour:
+        On-demand hourly list price in USD.
+    network_gbps:
+        Nominal network bandwidth in Gbit/s (used by the performance models
+        to decide when jobs become network-bound).
+    io_mbps:
+        Nominal local-storage throughput in MB/s (relevant for the
+        storage-optimised i2 family and shuffle-heavy jobs).
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    price_per_hour: float
+    network_gbps: float = 1.0
+    io_mbps: float = 100.0
+
+    @property
+    def price_per_second(self) -> float:
+        """Per-second price under per-second billing."""
+        return self.price_per_hour / 3600.0
+
+    @property
+    def family(self) -> str:
+        """The instance family, e.g. ``"c4"`` for ``"c4.xlarge"``."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def size(self) -> str:
+        """The instance size, e.g. ``"xlarge"`` for ``"c4.xlarge"``."""
+        return self.name.split(".", 1)[1]
+
+
+def _vm(name, vcpus, mem, price, net, io) -> VMType:
+    return VMType(
+        name=name,
+        vcpus=vcpus,
+        memory_gb=mem,
+        price_per_hour=price,
+        network_gbps=net,
+        io_mbps=io,
+    )
+
+
+#: The full catalogue keyed by instance name.
+VM_CATALOG: dict[str, VMType] = {
+    vm.name: vm
+    for vm in [
+        # --- burstable (TensorFlow dataset, Table 2) -------------------------
+        _vm("t2.small", 1, 2.0, 0.023, 0.8, 80.0),
+        _vm("t2.medium", 2, 4.0, 0.0464, 0.8, 80.0),
+        _vm("t2.xlarge", 4, 16.0, 0.1856, 1.0, 100.0),
+        _vm("t2.2xlarge", 8, 32.0, 0.3712, 1.0, 100.0),
+        # --- compute optimised ------------------------------------------------
+        _vm("c4.large", 2, 3.75, 0.100, 1.0, 120.0),
+        _vm("c4.xlarge", 4, 7.5, 0.199, 1.5, 120.0),
+        _vm("c4.2xlarge", 8, 15.0, 0.398, 2.0, 150.0),
+        # --- general purpose --------------------------------------------------
+        _vm("m4.large", 2, 8.0, 0.100, 0.9, 110.0),
+        _vm("m4.xlarge", 4, 16.0, 0.200, 1.2, 110.0),
+        _vm("m4.2xlarge", 8, 32.0, 0.400, 1.8, 130.0),
+        # --- memory optimised (current generation) ----------------------------
+        _vm("r4.large", 2, 15.25, 0.133, 1.0, 110.0),
+        _vm("r4.xlarge", 4, 30.5, 0.266, 1.5, 110.0),
+        _vm("r4.2xlarge", 8, 61.0, 0.532, 2.0, 130.0),
+        # --- memory optimised (previous generation, CherryPick) ---------------
+        _vm("r3.large", 2, 15.25, 0.166, 0.8, 200.0),
+        _vm("r3.xlarge", 4, 30.5, 0.333, 1.0, 250.0),
+        _vm("r3.2xlarge", 8, 61.0, 0.665, 1.5, 300.0),
+        # --- storage optimised (CherryPick) ------------------------------------
+        _vm("i2.large", 2, 15.25, 0.213, 0.8, 400.0),
+        _vm("i2.xlarge", 4, 30.5, 0.853 / 2, 1.0, 500.0),
+        _vm("i2.2xlarge", 8, 61.0, 0.853, 1.5, 600.0),
+    ]
+}
+
+
+def get_vm_type(name: str) -> VMType:
+    """Look up a VM type by name, raising ``KeyError`` with guidance if absent."""
+    try:
+        return VM_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown VM type {name!r}; known types: {sorted(VM_CATALOG)}"
+        ) from None
+
+
+def family_of(name: str) -> str:
+    """Return the family component of an instance name."""
+    return get_vm_type(name).family
+
+
+def size_of(name: str) -> str:
+    """Return the size component of an instance name."""
+    return get_vm_type(name).size

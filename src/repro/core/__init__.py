@@ -1,0 +1,68 @@
+"""Core package: configuration spaces, optimizer state, Lynceus and baselines."""
+
+from repro.core.acquisition import (
+    budget_viable_mask,
+    constrained_expected_improvement,
+    estimate_incumbent,
+    expected_improvement,
+    probability_below,
+)
+from repro.core.baselines import (
+    BayesianOptimizer,
+    DisjointOptimizer,
+    DisjointOutcome,
+    RandomSearchOptimizer,
+)
+from repro.core.extensions import (
+    ConstrainedLynceusOptimizer,
+    MetricConstraint,
+    SetupCostAwareJob,
+    provisioner_setup_estimator,
+)
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.model import CostModel
+from repro.core.optimizer import (
+    BaseOptimizer,
+    OptimizationResult,
+    default_bootstrap_size,
+    default_budget,
+)
+from repro.core.space import (
+    CategoricalParameter,
+    ConfigSpace,
+    Configuration,
+    ContinuousParameter,
+    OrdinalParameter,
+    Parameter,
+)
+from repro.core.state import Observation, OptimizerState
+
+__all__ = [
+    "BaseOptimizer",
+    "BayesianOptimizer",
+    "CategoricalParameter",
+    "ConfigSpace",
+    "Configuration",
+    "ConstrainedLynceusOptimizer",
+    "ContinuousParameter",
+    "CostModel",
+    "DisjointOptimizer",
+    "DisjointOutcome",
+    "LynceusOptimizer",
+    "MetricConstraint",
+    "Observation",
+    "OptimizationResult",
+    "OptimizerState",
+    "OrdinalParameter",
+    "Parameter",
+    "RandomSearchOptimizer",
+    "SetupCostAwareJob",
+    "budget_viable_mask",
+    "constrained_expected_improvement",
+    "default_bootstrap_size",
+    "default_budget",
+    "estimate_incumbent",
+    "expected_improvement",
+    "probability_below",
+    "provisioner_setup_estimator",
+]

@@ -1,0 +1,123 @@
+"""Acquisition functions: EI, constrained EI and the budget-viability filter.
+
+Section 3 of the paper defines the acquisition machinery Lynceus shares with
+CherryPick-style BO:
+
+* the expected improvement ``EI(x) = (y* - mu)Φ(z) + σφ(z)`` with
+  ``z = (y* - mu)/σ``, for a minimisation problem with incumbent ``y*``;
+* the constraint-satisfaction probability ``P(T(x) <= Tmax)``, computed from
+  the *cost* model by exploiting ``C(x) = T(x)·U(x)`` with known unit price
+  ``U(x)``, i.e. ``P(C(x) <= Tmax·U(x))``;
+* the constrained EI, their product;
+* the incumbent rule: the cheapest feasible cost observed so far, or — when
+  no feasible configuration has been observed yet — the most expensive
+  observed cost plus three times the largest predictive standard deviation
+  over the untested configurations;
+* the budget-viability filter of Algorithm 1/2:
+  ``Γ = {x : P(c(x) <= β) >= 0.99}``.
+
+All functions are vectorised over candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.state import OptimizerState
+
+__all__ = [
+    "expected_improvement",
+    "probability_below",
+    "constrained_expected_improvement",
+    "estimate_incumbent",
+    "budget_viable_mask",
+    "VIABILITY_CONFIDENCE",
+]
+
+#: Confidence level of the budget-viability filter (Algorithm 1, line 23).
+VIABILITY_CONFIDENCE = 0.99
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, incumbent: float
+) -> np.ndarray:
+    """Expected improvement of each candidate over ``incumbent`` (minimisation).
+
+    Candidates with zero predictive uncertainty get the deterministic
+    improvement ``max(incumbent - mean, 0)``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = incumbent - mean
+    ei = np.maximum(improvement, 0.0)
+    positive = std > 0
+    if np.any(positive):
+        z = improvement[positive] / std[positive]
+        ei_pos = improvement[positive] * norm.cdf(z) + std[positive] * norm.pdf(z)
+        ei = ei.copy()
+        ei[positive] = np.maximum(ei_pos, 0.0)
+    return ei
+
+
+def probability_below(
+    mean: np.ndarray, std: np.ndarray, threshold: np.ndarray | float
+) -> np.ndarray:
+    """``P(Y <= threshold)`` for ``Y ~ N(mean, std^2)``, element-wise.
+
+    ``threshold`` may be a scalar or an array broadcastable against ``mean``.
+    Candidates with zero uncertainty get a hard 0/1 indicator.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    threshold = np.broadcast_to(np.asarray(threshold, dtype=float), mean.shape)
+    prob = np.where(mean <= threshold, 1.0, 0.0)
+    positive = std > 0
+    if np.any(positive):
+        z = (threshold[positive] - mean[positive]) / std[positive]
+        prob = prob.copy()
+        prob[positive] = norm.cdf(z)
+    return prob
+
+
+def constrained_expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    incumbent: float,
+    constraint_probability: np.ndarray,
+) -> np.ndarray:
+    """``EIc(x) = EI(x) * P(constraints satisfied at x)``."""
+    ei = expected_improvement(mean, std, incumbent)
+    return ei * np.asarray(constraint_probability, dtype=float)
+
+
+def estimate_incumbent(
+    state: OptimizerState,
+    tmax: float,
+    untested_std: np.ndarray | None = None,
+) -> float:
+    """The incumbent ``y*`` used by EI (Section 3 of the paper).
+
+    Returns the cost of the cheapest feasible observation; when none exists,
+    falls back to the most expensive observed cost plus three times the
+    largest predictive standard deviation over the untested configurations
+    (so that every candidate retains a positive expected improvement).
+    """
+    best = state.best_feasible(tmax)
+    if best is not None:
+        return float(best.cost)
+    fallback = state.max_observed_cost()
+    if untested_std is not None and untested_std.size > 0:
+        fallback += 3.0 * float(np.max(untested_std))
+    return float(fallback)
+
+
+def budget_viable_mask(
+    mean: np.ndarray,
+    std: np.ndarray,
+    budget_remaining: float,
+    confidence: float = VIABILITY_CONFIDENCE,
+) -> np.ndarray:
+    """Boolean mask of candidates with ``P(c(x) <= budget) >= confidence``."""
+    prob = probability_below(mean, std, budget_remaining)
+    return prob >= confidence

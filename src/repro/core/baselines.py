@@ -1,0 +1,185 @@
+"""Baseline optimizers: CherryPick-style BO, random search, disjoint optimization.
+
+These are the comparison points of the paper's evaluation:
+
+* :class:`BayesianOptimizer` — the traditional, greedy, cost-unaware BO used
+  by CherryPick and Arrow: at every step it profiles the untested
+  configuration that maximises the constrained expected improvement,
+  regardless of how expensive that configuration is to profile (the budget
+  only determines when the loop stops).
+* :class:`RandomSearchOptimizer` — profiles configurations uniformly at
+  random until the budget runs out; the sanity baseline (RND).
+* :class:`DisjointOptimizer` — the *idealised* disjoint optimization of
+  Section 2.1 / Fig. 1b: first pick the best application parameters on a
+  reference cloud configuration, then pick the best cloud configuration for
+  those parameters, both steps solved by an oracle.  It is not a sequential
+  optimizer (it does not spend a budget); it exists to quantify how much is
+  lost by not optimizing cloud and application parameters jointly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.acquisition import (
+    constrained_expected_improvement,
+    estimate_incumbent,
+    probability_below,
+)
+from repro.core.model import CostModel
+from repro.core.optimizer import BaseOptimizer
+from repro.core.space import Configuration
+from repro.core.state import OptimizerState
+from repro.workloads.base import Job
+
+__all__ = ["BayesianOptimizer", "RandomSearchOptimizer", "DisjointOptimizer", "DisjointOutcome"]
+
+
+class BayesianOptimizer(BaseOptimizer):
+    """CherryPick-style greedy BO with the constrained-EI acquisition.
+
+    At every iteration the optimizer fits the cost model on the observations
+    gathered so far and profiles the untested configuration with the largest
+    ``EIc``.  It is *cost-unaware*: the profiling cost of the chosen
+    configuration plays no role in the choice, and the loop simply stops when
+    the budget is exhausted.
+    """
+
+    name = "bo"
+
+    def _next_config(
+        self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
+    ) -> Configuration | None:
+        if not state.untested:
+            return None
+        model = CostModel(
+            job.space,
+            self.model_name,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            n_estimators=self.n_estimators,
+        )
+        configs, costs = state.explored_configs, [o.cost for o in state.observations]
+        model.fit(configs, np.asarray(costs))
+        prediction = model.predict(state.untested)
+        incumbent = estimate_incumbent(state, tmax, prediction.std)
+        unit_prices = np.array(
+            [job.unit_price_per_hour(c) for c in state.untested], dtype=float
+        )
+        constraint_prob = probability_below(
+            prediction.mean, prediction.std, tmax * unit_prices / 3600.0
+        )
+        eic = constrained_expected_improvement(
+            prediction.mean, prediction.std, incumbent, constraint_prob
+        )
+        return state.untested[int(np.argmax(eic))]
+
+
+class RandomSearchOptimizer(BaseOptimizer):
+    """Uniform random exploration (RND in the paper's evaluation)."""
+
+    name = "rnd"
+
+    def _next_config(
+        self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
+    ) -> Configuration | None:
+        if not state.untested:
+            return None
+        return state.untested[int(rng.integers(0, len(state.untested)))]
+
+
+@dataclass(frozen=True)
+class DisjointOutcome:
+    """Result of disjoint optimization for one reference cloud configuration."""
+
+    reference_cloud: Configuration
+    tuned_parameters: Configuration
+    final_config: Configuration
+    final_cost: float
+    final_runtime: float
+    feasible: bool
+
+
+class DisjointOptimizer:
+    """Idealised disjoint optimization (Section 2.1, Fig. 1b).
+
+    Parameters
+    ----------
+    cloud_parameters:
+        Names of the parameters describing the cloud infrastructure (e.g.
+        ``["vm_type", "total_vcpus"]``).
+    application_parameters:
+        Names of the job-level tuning parameters.  Together the two lists
+        must cover the whole configuration space.
+    """
+
+    name = "disjoint"
+
+    def __init__(self, cloud_parameters: list[str], application_parameters: list[str]) -> None:
+        if not cloud_parameters or not application_parameters:
+            raise ValueError("both parameter groups must be non-empty")
+        overlap = set(cloud_parameters) & set(application_parameters)
+        if overlap:
+            raise ValueError(f"parameters listed in both groups: {sorted(overlap)}")
+        self.cloud_parameters = list(cloud_parameters)
+        self.application_parameters = list(application_parameters)
+
+    # -- helpers -----------------------------------------------------------
+    def _project(self, config: Configuration, names: list[str]) -> Configuration:
+        return Configuration.from_dict({name: config[name] for name in names})
+
+    def _best(self, job: Job, configs: list[Configuration], tmax: float):
+        """Cheapest feasible configuration in ``configs`` (else cheapest overall)."""
+        outcomes = [(c, job.run(c)) for c in configs]
+        feasible = [
+            (c, o) for c, o in outcomes if not o.timed_out and o.runtime_seconds <= tmax
+        ]
+        pool = feasible if feasible else outcomes
+        config, outcome = min(pool, key=lambda pair: pair[1].cost)
+        return config, outcome, bool(feasible)
+
+    # -- main entry points ------------------------------------------------------
+    def optimize_from(self, job: Job, reference_cloud: Configuration, tmax: float) -> DisjointOutcome:
+        """Run disjoint optimization starting from one reference cloud config."""
+        reference = self._project(reference_cloud, self.cloud_parameters)
+        # Step 1: oracle-tune the application parameters on the reference cloud.
+        on_reference = [
+            c
+            for c in job.configurations
+            if self._project(c, self.cloud_parameters) == reference
+        ]
+        if not on_reference:
+            raise ValueError("reference cloud configuration not present in the job's grid")
+        tuned_config, _, _ = self._best(job, on_reference, tmax)
+        tuned_params = self._project(tuned_config, self.application_parameters)
+        # Step 2: oracle-tune the cloud for those application parameters.
+        with_params = [
+            c
+            for c in job.configurations
+            if self._project(c, self.application_parameters) == tuned_params
+        ]
+        final_config, final_outcome, feasible = self._best(job, with_params, tmax)
+        return DisjointOutcome(
+            reference_cloud=reference,
+            tuned_parameters=tuned_params,
+            final_config=final_config,
+            final_cost=final_outcome.cost,
+            final_runtime=final_outcome.runtime_seconds,
+            feasible=feasible,
+        )
+
+    def optimize_all_references(self, job: Job, tmax: float) -> list[DisjointOutcome]:
+        """Run disjoint optimization from every possible reference cloud config.
+
+        This is exactly the experiment behind Fig. 1b: the CDF of the final
+        cost over all choices of the reference configuration c†.
+        """
+        references: list[Configuration] = []
+        seen: set[Configuration] = set()
+        for config in job.configurations:
+            cloud = self._project(config, self.cloud_parameters)
+            if cloud not in seen:
+                seen.add(cloud)
+                references.append(cloud)
+        return [self.optimize_from(job, ref, tmax) for ref in references]

@@ -1,0 +1,225 @@
+"""Extensions of Section 4.4: multiple constraints and setup costs.
+
+Two optional refinements of the core algorithm are described in the paper:
+
+* **Multiple constraints.**  Beyond the runtime constraint, the user may
+  bound other metrics (e.g. the energy consumed by the job).  Lynceus then
+  trains one regression model per constrained metric and multiplies the
+  satisfaction probabilities of all constraints into EIc.
+  :class:`MetricConstraint` describes one such constraint and
+  :class:`ConstrainedLynceusOptimizer` plugs the extra models into the
+  acquisition (the speculation of extra constraint values during lookahead —
+  the Cartesian Gauss-Hermite product of Section 4.4 — is intentionally not
+  simulated: the extra models only affect the one-step EIc terms of a path;
+  see DESIGN.md).
+
+* **Setup costs.**  Switching between cloud configurations costs money:
+  new VMs must boot, data must be re-loaded, the system warms up.
+  :class:`SetupCostAwareJob` wraps a job and a
+  :class:`~repro.cloud.provisioner.SimulatedProvisioner` so that every run is
+  charged the switching cost from the previously deployed cluster, and
+  :func:`provisioner_setup_estimator` builds the estimator that Lynceus adds
+  to the predicted cost of each exploration step (Algorithm 2, lines 3/19).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.provisioner import SimulatedProvisioner
+from repro.core.acquisition import probability_below
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.model import CostModel
+from repro.core.space import ConfigSpace, Configuration
+from repro.core.state import Observation, OptimizerState
+from repro.workloads.base import Job, JobOutcome
+
+__all__ = [
+    "MetricConstraint",
+    "ConstrainedLynceusOptimizer",
+    "SetupCostAwareJob",
+    "provisioner_setup_estimator",
+]
+
+
+@dataclass(frozen=True)
+class MetricConstraint:
+    """An additional constraint of the form ``metric(x) <= threshold``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable metric name (e.g. ``"energy_kj"``).
+    threshold:
+        Upper bound the metric must satisfy.
+    metric:
+        Callable ``(config, outcome) -> float`` that extracts the metric's
+        value from a profiling run.
+    """
+
+    name: str
+    threshold: float
+    metric: Callable[[Configuration, JobOutcome], float]
+
+
+class ConstrainedLynceusOptimizer(LynceusOptimizer):
+    """Lynceus with additional metric constraints (Section 4.4).
+
+    One regression model per extra constraint is trained on the metric values
+    observed so far, and the joint satisfaction probability (assuming
+    independent constraints, as the paper does) multiplies EIc.
+    """
+
+    def __init__(self, *, constraints: list[MetricConstraint], **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not constraints:
+            raise ValueError("ConstrainedLynceusOptimizer needs at least one constraint")
+        self.constraints = list(constraints)
+        self.name = f"{self.name}-constrained"
+        self._metric_values: dict[str, dict[Configuration, float]] = {}
+        # Constraint models are refit when new metric observations arrive and
+        # reused across the (many) acquisition evaluations of one iteration.
+        self._constraint_models: dict[str, CostModel] = {}
+        self._constraint_models_size = -1
+
+    # -- data collection -----------------------------------------------------
+    def _prepare(self, job: Job, state: OptimizerState, tmax: float, rng) -> None:
+        super()._prepare(job, state, tmax, rng)
+        self._metric_values = {constraint.name: {} for constraint in self.constraints}
+        self._constraint_models = {}
+        self._constraint_models_size = -1
+
+    def _profile(self, job: Job, state: OptimizerState, config: Configuration, *, bootstrap: bool) -> Observation:
+        observation = super()._profile(job, state, config, bootstrap=bootstrap)
+        outcome = JobOutcome(
+            runtime_seconds=observation.runtime_seconds,
+            cost=observation.cost,
+            timed_out=observation.timed_out,
+        )
+        for constraint in self.constraints:
+            self._metric_values[constraint.name][config] = float(
+                constraint.metric(config, outcome)
+            )
+        return observation
+
+    # -- acquisition hook -------------------------------------------------------
+    def _refresh_constraint_models(self) -> None:
+        """(Re)fit one model per constrained metric on the observations so far.
+
+        The models are cached by the number of profiled configurations, so the
+        many acquisition evaluations performed within one iteration (one per
+        candidate and per speculated lookahead state) reuse the same fits.
+        """
+        n_profiled = max(len(v) for v in self._metric_values.values())
+        if n_profiled == self._constraint_models_size:
+            return
+        self._constraint_models = {}
+        for constraint in self.constraints:
+            observed = self._metric_values.get(constraint.name, {})
+            if len(observed) < 2:
+                continue
+            train_configs = list(observed.keys())
+            values = np.array([observed[c] for c in train_configs], dtype=float)
+            model = CostModel(
+                self._space_for_constraints, self.model_name, seed=0,
+                n_estimators=self.n_estimators,
+            )
+            model.fit(train_configs, values)
+            self._constraint_models[constraint.name] = model
+        self._constraint_models_size = n_profiled
+
+    def _extra_constraint_probability(
+        self, state: OptimizerState, configs: list[Configuration]
+    ) -> np.ndarray:
+        self._space_for_constraints = state.space
+        self._refresh_constraint_models()
+        joint = np.ones(len(configs), dtype=float)
+        for constraint in self.constraints:
+            model = self._constraint_models.get(constraint.name)
+            if model is None:
+                continue
+            prediction = model.predict(configs)
+            joint *= probability_below(prediction.mean, prediction.std, constraint.threshold)
+        return joint
+
+
+@dataclass
+class SetupCostAwareJob(Job):
+    """A job wrapper that charges cluster-switching costs on every run.
+
+    Parameters
+    ----------
+    job:
+        The underlying job (typically a
+        :class:`~repro.workloads.base.TabulatedJob`).
+    cluster_fn:
+        Maps a configuration to the :class:`~repro.cloud.cluster.ClusterSpec`
+        it deploys.
+    provisioner:
+        The simulated provisioner that tracks the currently deployed cluster
+        and prices each switch.
+    """
+
+    job: Job
+    cluster_fn: Callable[[Configuration], ClusterSpec]
+    provisioner: SimulatedProvisioner = field(default_factory=SimulatedProvisioner)
+
+    def __post_init__(self) -> None:
+        self.name = f"{self.job.name}+setup"
+
+    @property
+    def space(self) -> ConfigSpace:
+        return self.job.space
+
+    @property
+    def configurations(self) -> list[Configuration]:
+        return self.job.configurations
+
+    def unit_price_per_hour(self, config: Configuration) -> float:
+        return self.job.unit_price_per_hour(config)
+
+    def run(self, config: Configuration) -> JobOutcome:
+        event = self.provisioner.deploy(self.cluster_fn(config))
+        outcome = self.job.run(config)
+        return JobOutcome(
+            runtime_seconds=outcome.runtime_seconds,
+            cost=outcome.cost + event.setup_cost,
+            timed_out=outcome.timed_out,
+        )
+
+
+def provisioner_setup_estimator(
+    provisioner: SimulatedProvisioner,
+    cluster_fn: Callable[[Configuration], ClusterSpec],
+) -> Callable[[Configuration | None, Configuration], float]:
+    """Build the setup-cost estimator Lynceus adds to predicted step costs.
+
+    The estimator prices the switch from the *currently deployed* cluster
+    (``current`` configuration, possibly ``None``) to the candidate's
+    cluster, using the same provisioner model that
+    :class:`SetupCostAwareJob` charges, so predictions and charges agree.
+    """
+
+    def estimate(current: Configuration | None, candidate: Configuration) -> float:
+        target = cluster_fn(candidate)
+        if current is None:
+            return provisioner.billing.cost(
+                target,
+                provisioner.boot_seconds_per_vm * target.n_vms + provisioner.data_load_seconds,
+            )
+        current_cluster = cluster_fn(current)
+        if current_cluster == target:
+            return 0.0
+        if current_cluster.vm_type == target.vm_type:
+            extra = max(0, target.n_workers - current_cluster.n_workers)
+            seconds = provisioner.boot_seconds_per_vm * extra
+            seconds += provisioner.data_load_seconds * (extra / max(target.n_workers, 1))
+            return provisioner.billing.cost(target, seconds)
+        seconds = provisioner.boot_seconds_per_vm * target.n_vms + provisioner.data_load_seconds
+        return provisioner.billing.cost(target, seconds)
+
+    return estimate

@@ -1,0 +1,167 @@
+"""The cost model: a regression backend wrapped with configuration encoding.
+
+The optimizers never deal with raw feature matrices; they ask the
+:class:`CostModel` for the Gaussian predictive cost distribution of a list of
+configurations.  The class also implements the two flavours of *speculative
+conditioning* used by the lookahead simulation:
+
+* ``"refit"`` — retrain the backend from scratch on the training set augmented
+  with the speculated ⟨x, cᵢ⟩ pair.  Exact for every backend (and cheap for
+  the GP, whose hyper-parameters are frozen during conditioning), this is the
+  faithful implementation of Algorithm 2.
+* ``"believer"`` — keep the fitted backend and only override the prediction
+  at the speculated configuration(s) with a (near-)certain value.  This is
+  the classic *Kriging believer* approximation from batch Bayesian
+  optimization; it is dramatically cheaper for tree ensembles and captures
+  the two first-order effects of the speculation (the incumbent y* and the
+  remaining budget change) while ignoring the update of the model's
+  uncertainty away from x.  The experiment harness uses it to keep the large
+  multi-seed sweeps tractable in pure Python; DESIGN.md discusses the
+  trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.space import ConfigSpace, Configuration
+from repro.learning import GaussianPrediction, Regressor, make_model
+
+__all__ = ["CostModel", "SPECULATION_MODES"]
+
+SPECULATION_MODES = ("refit", "believer")
+
+
+@dataclass
+class _Override:
+    """A speculated observation layered on top of a fitted backend."""
+
+    features: np.ndarray
+    value: float
+
+
+class CostModel:
+    """Regression model over configurations, with speculative conditioning.
+
+    Parameters
+    ----------
+    space:
+        Configuration space used to encode configurations into features.
+    backend:
+        Name of the regression backend (``"bagging"``, ``"gp"``, ``"gp-rbf"``)
+        or an already-constructed :class:`~repro.learning.base.Regressor`.
+    seed:
+        Seed forwarded to stochastic backends.
+    n_estimators:
+        Ensemble size for the bagging backend.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        backend: str | Regressor = "bagging",
+        *,
+        seed: int | None = None,
+        n_estimators: int = 10,
+    ) -> None:
+        self.space = space
+        self.backend_name = backend if isinstance(backend, str) else type(backend).__name__
+        self._seed = seed
+        self._n_estimators = n_estimators
+        if isinstance(backend, str):
+            self._model = make_model(backend, seed=seed, n_estimators=n_estimators)
+        else:
+            self._model = backend
+        self._train_configs: list[Configuration] = []
+        self._train_targets: np.ndarray = np.empty(0)
+        self._overrides: list[_Override] = []
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, configs: list[Configuration], targets: np.ndarray | list[float]) -> "CostModel":
+        """Fit the backend on observed configurations and their costs."""
+        targets = np.asarray(targets, dtype=float)
+        if len(configs) != targets.shape[0]:
+            raise ValueError("configs and targets must have the same length")
+        if len(configs) == 0:
+            raise ValueError("cannot fit the cost model on zero observations")
+        X = self.space.encode_many(configs)
+        self._model.fit(X, targets)
+        self._train_configs = list(configs)
+        self._train_targets = targets.copy()
+        self._overrides = []
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._model.is_fitted
+
+    @property
+    def n_training_points(self) -> int:
+        """Size of the (possibly speculatively augmented) training set."""
+        return len(self._train_configs)
+
+    # -- prediction ----------------------------------------------------------
+    def predict(self, configs: list[Configuration]) -> GaussianPrediction:
+        """Gaussian predictive cost distribution for each configuration."""
+        if not configs:
+            return GaussianPrediction(mean=np.empty(0), std=np.empty(0))
+        X = self.space.encode_many(configs)
+        prediction = self._model.predict_distribution(X)
+        if not self._overrides:
+            return prediction
+        mean = prediction.mean.copy()
+        std = prediction.std.copy()
+        for override in self._overrides:
+            matches = np.all(np.isclose(X, override.features), axis=1)
+            mean[matches] = override.value
+            std[matches] = 1e-9
+        return GaussianPrediction(mean=mean, std=std)
+
+    def predict_one(self, config: Configuration) -> tuple[float, float]:
+        """Predicted (mean, std) cost of a single configuration."""
+        prediction = self.predict([config])
+        return float(prediction.mean[0]), float(prediction.std[0])
+
+    # -- speculative conditioning ------------------------------------------------
+    def condition_on(
+        self, config: Configuration, cost: float, *, mode: str = "refit"
+    ) -> "CostModel":
+        """Return a new model conditioned on a speculated ⟨config, cost⟩ pair.
+
+        The original model is left untouched, so sibling sub-paths of the
+        lookahead tree can each condition the same parent model on their own
+        speculated cost.
+        """
+        if mode not in SPECULATION_MODES:
+            raise ValueError(f"unknown speculation mode {mode!r}; expected one of {SPECULATION_MODES}")
+        if not self.is_fitted:
+            raise RuntimeError("cannot condition an unfitted model")
+        if mode == "refit":
+            clone = CostModel(
+                self.space,
+                self.backend_name if isinstance(self.backend_name, str) else "bagging",
+                seed=self._seed,
+                n_estimators=self._n_estimators,
+            )
+            configs = self._train_configs + [config]
+            targets = np.append(self._train_targets, cost)
+            clone.fit(configs, targets)
+            # Propagate any existing overrides (nested believer + refit mixes).
+            clone._overrides = list(self._overrides)
+            return clone
+        # believer: share the fitted backend, add an override.
+        clone = CostModel.__new__(CostModel)
+        clone.space = self.space
+        clone.backend_name = self.backend_name
+        clone._seed = self._seed
+        clone._n_estimators = self._n_estimators
+        clone._model = self._model  # shared, never re-fitted through the clone
+        clone._train_configs = self._train_configs + [config]
+        clone._train_targets = np.append(self._train_targets, cost)
+        clone._overrides = self._overrides + [
+            _Override(features=self.space.encode(config), value=float(cost))
+        ]
+        return clone

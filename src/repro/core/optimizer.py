@@ -1,0 +1,261 @@
+"""Base machinery shared by every optimizer: the loop of Algorithm 1.
+
+All optimizers in this library (Lynceus, CherryPick-style BO, random search)
+share the same outer loop:
+
+1. draw ``N`` bootstrap configurations with Latin Hypercube Sampling and
+   profile the job on them;
+2. repeatedly ask the concrete optimizer for the next configuration to
+   profile (:meth:`BaseOptimizer._next_config`), run the job on it and update
+   the state Σ, until the budget is depleted or the optimizer returns
+   ``None``;
+3. recommend the cheapest configuration, among those profiled, whose runtime
+   satisfied the constraint.
+
+:class:`OptimizationResult` records everything the experiment harness needs:
+the recommendation, the full exploration trace, per-decision latencies (for
+Table 3) and budget accounting.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.space import ConfigSpace, Configuration
+from repro.core.state import Observation, OptimizerState
+from repro.sampling.lhs import latin_hypercube_sample
+from repro.workloads.base import Job
+
+__all__ = ["OptimizationResult", "BaseOptimizer", "default_bootstrap_size", "default_budget"]
+
+
+def default_bootstrap_size(job: Job) -> int:
+    """The paper's default initial sample count.
+
+    ``N = max(3% of the configuration-space cardinality, number of
+    dimensions)`` (Section 5.2).
+    """
+    return max(math.ceil(0.03 * len(job.configurations)), job.space.dimensions)
+
+
+def default_budget(job: Job, n_bootstrap: int, budget_multiplier: float) -> float:
+    """The paper's budget rule ``B = N * m̃ * b`` (Section 5.2).
+
+    ``m̃`` is the mean cost of running the job on a configuration and ``b``
+    the budget multiplier (1 = low, 3 = medium, 5 = high).
+    """
+    return n_bootstrap * job.mean_cost() * budget_multiplier
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization run.
+
+    Attributes
+    ----------
+    job_name / optimizer_name:
+        Identification of the run.
+    best_config / best_cost / best_runtime:
+        The recommended configuration and its measured cost / runtime.  When
+        no profiled configuration satisfied the constraint the recommendation
+        falls back to the cheapest profiled configuration and
+        ``feasible_found`` is false.
+    tmax / budget / budget_spent:
+        The constraint and budget accounting of the run.
+    n_bootstrap:
+        Number of initial LHS samples.
+    observations:
+        The full exploration trace, bootstrap first, in profiling order.
+    next_config_seconds:
+        Wall-clock seconds spent deciding each post-bootstrap configuration
+        (the quantity reported in Table 3 of the paper).
+    """
+
+    job_name: str
+    optimizer_name: str
+    best_config: Configuration | None
+    best_cost: float
+    best_runtime: float
+    feasible_found: bool
+    tmax: float
+    budget: float
+    budget_spent: float
+    n_bootstrap: int
+    observations: list[Observation] = field(default_factory=list)
+    next_config_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def n_explorations(self) -> int:
+        """Total number of profiling runs performed (NEX), bootstrap included."""
+        return len(self.observations)
+
+    def cno(self, optimal_cost: float) -> float:
+        """Cost of the recommendation normalised by the optimal cost (CNO)."""
+        if optimal_cost <= 0:
+            raise ValueError("optimal_cost must be positive")
+        return self.best_cost / optimal_cost
+
+    def best_cost_trace(self) -> list[float]:
+        """Best feasible cost found after each exploration (inf until one exists)."""
+        trace: list[float] = []
+        best = math.inf
+        for obs in self.observations:
+            if obs.is_feasible(self.tmax) and obs.cost < best:
+                best = obs.cost
+            trace.append(best)
+        return trace
+
+    def mean_decision_seconds(self) -> float:
+        """Average wall-clock time per post-bootstrap next-configuration decision."""
+        if not self.next_config_seconds:
+            return 0.0
+        return float(np.mean(self.next_config_seconds))
+
+
+class BaseOptimizer:
+    """Common optimization loop; concrete strategies override :meth:`_next_config`.
+
+    Parameters
+    ----------
+    model:
+        Regression backend name (``"bagging"``, ``"gp"``, ``"gp-rbf"``) used
+        by model-based subclasses.
+    n_estimators:
+        Ensemble size for the bagging backend.
+    seed:
+        Default seed for the run's random generator (can be overridden per
+        :meth:`optimize` call).
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        *,
+        model: str = "bagging",
+        n_estimators: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        self.model_name = model
+        self.n_estimators = n_estimators
+        self.seed = seed
+
+    # -- main entry point -----------------------------------------------------
+    def optimize(
+        self,
+        job: Job,
+        *,
+        tmax: float | None = None,
+        budget: float | None = None,
+        budget_multiplier: float = 3.0,
+        n_bootstrap: int | None = None,
+        initial_configs: list[Configuration] | None = None,
+        seed: int | None = None,
+    ) -> OptimizationResult:
+        """Run the full optimization loop against ``job``.
+
+        ``initial_configs`` lets the experiment harness hand every compared
+        optimizer the same bootstrap set, as the paper's methodology requires.
+        """
+        rng = np.random.default_rng(seed if seed is not None else self.seed)
+        tmax = float(tmax) if tmax is not None else job.default_tmax()
+        n_boot = n_bootstrap if n_bootstrap is not None else default_bootstrap_size(job)
+        if initial_configs is not None:
+            initial = list(initial_configs)
+            n_boot = len(initial)
+        else:
+            initial = latin_hypercube_sample(
+                job.space, n_boot, rng, candidates=job.configurations
+            )
+        total_budget = (
+            float(budget)
+            if budget is not None
+            else default_budget(job, n_boot, budget_multiplier)
+        )
+
+        state = OptimizerState(
+            space=job.space,
+            untested=list(job.configurations),
+            budget_remaining=total_budget,
+        )
+        self._prepare(job, state, tmax, rng)
+
+        for config in initial:
+            self._profile(job, state, config, bootstrap=True)
+
+        decision_seconds: list[float] = []
+        while state.budget_remaining > 0 and state.untested:
+            started = time.perf_counter()
+            config = self._next_config(job, state, tmax, rng)
+            decision_seconds.append(time.perf_counter() - started)
+            if config is None:
+                break
+            self._profile(job, state, config, bootstrap=False)
+
+        return self._build_result(
+            job, state, tmax, total_budget, n_boot, decision_seconds
+        )
+
+    # -- hooks ------------------------------------------------------------------
+    def _prepare(
+        self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
+    ) -> None:
+        """Optional subclass hook called before the bootstrap phase."""
+
+    def _next_config(
+        self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
+    ) -> Configuration | None:
+        """Return the next configuration to profile, or ``None`` to stop."""
+        raise NotImplementedError
+
+    def _charge_extra(self, job: Job, state: OptimizerState, config: Configuration) -> float:
+        """Extra cost charged on top of the run itself (e.g. setup costs)."""
+        return 0.0
+
+    # -- internals ----------------------------------------------------------------
+    def _profile(
+        self, job: Job, state: OptimizerState, config: Configuration, *, bootstrap: bool
+    ) -> Observation:
+        extra = self._charge_extra(job, state, config)
+        outcome = job.run(config)
+        observation = Observation(
+            config=config,
+            cost=outcome.cost + extra,
+            runtime_seconds=outcome.runtime_seconds,
+            timed_out=outcome.timed_out,
+            bootstrap=bootstrap,
+        )
+        state.add_observation(observation)
+        return observation
+
+    def _build_result(
+        self,
+        job: Job,
+        state: OptimizerState,
+        tmax: float,
+        budget: float,
+        n_bootstrap: int,
+        decision_seconds: list[float],
+    ) -> OptimizationResult:
+        best = state.best_feasible(tmax)
+        feasible_found = best is not None
+        if best is None:
+            best = state.best_observation()
+        return OptimizationResult(
+            job_name=job.name,
+            optimizer_name=self.name,
+            best_config=best.config,
+            best_cost=best.cost,
+            best_runtime=best.runtime_seconds,
+            feasible_found=feasible_found,
+            tmax=tmax,
+            budget=budget,
+            budget_spent=state.budget_spent(budget),
+            n_bootstrap=n_bootstrap,
+            observations=list(state.observations),
+            next_config_seconds=decision_seconds,
+        )

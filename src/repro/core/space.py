@@ -1,0 +1,358 @@
+"""Configuration-space abstractions.
+
+A *configuration* in the Lynceus problem formulation (Section 2 of the paper)
+is a tuple ``<N, H, P>`` where ``N`` is the number of virtual machines, ``H``
+encodes the hardware characteristics of the VM type and ``P`` the job-level
+tuning parameters (e.g. the hyper-parameters of a learning algorithm).
+
+This module provides a small, generic representation of such spaces:
+
+* :class:`Parameter` and its concrete subclasses describe one dimension.
+* :class:`ConfigSpace` is an ordered collection of parameters; for the finite
+  grids used throughout the paper it can enumerate the full Cartesian product.
+* :class:`Configuration` is an immutable assignment of one value per
+  parameter, hashable so it can be used in sets of explored / unexplored
+  configurations, and encodable into a numeric feature vector for the
+  regression models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "CategoricalParameter",
+    "OrdinalParameter",
+    "ContinuousParameter",
+    "Configuration",
+    "ConfigSpace",
+]
+
+
+class Parameter:
+    """A single dimension of a configuration space.
+
+    Subclasses must implement :meth:`encode`, mapping a raw value to a float
+    usable as a model feature, and expose ``values`` when the dimension is
+    finite (every dimension used in the paper is finite).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("parameter name must be a non-empty string")
+        self.name = name
+
+    # -- interface -------------------------------------------------------
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The finite set of admissible values, in canonical order."""
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> float:
+        """Map ``value`` to a numeric feature."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> None:
+        """Raise ``ValueError`` if ``value`` is not admissible."""
+        if value not in self.values:
+            raise ValueError(
+                f"value {value!r} is not admissible for parameter {self.name!r}; "
+                f"admissible values: {self.values}"
+            )
+
+    # -- conveniences ------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """Number of admissible values."""
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r}, values={self.values!r})"
+
+
+class CategoricalParameter(Parameter):
+    """An unordered, finite parameter (e.g. VM family, sync/async mode).
+
+    Values are encoded by their index in the declared order.  Tree-based
+    models (the default in Lynceus) are insensitive to the arbitrariness of
+    this encoding; the GP backend one-hot encodes categoricals instead (see
+    :mod:`repro.learning.gp`).
+    """
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        super().__init__(name)
+        if len(values) == 0:
+            raise ValueError(f"categorical parameter {name!r} needs at least one value")
+        if len(set(values)) != len(values):
+            raise ValueError(f"categorical parameter {name!r} has duplicate values")
+        self._values = tuple(values)
+        self._index = {v: i for i, v in enumerate(self._values)}
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    @property
+    def is_categorical(self) -> bool:
+        return True
+
+    def encode(self, value: Any) -> float:
+        try:
+            return float(self._index[value])
+        except KeyError:
+            raise ValueError(
+                f"value {value!r} is not admissible for parameter {self.name!r}"
+            ) from None
+
+
+class OrdinalParameter(Parameter):
+    """A finite parameter whose values have a natural numeric order.
+
+    Examples: number of VMs, batch size, learning rate.  Values are encoded
+    by their numeric value, which lets the regression model exploit
+    monotonic trends along the dimension.
+    """
+
+    def __init__(self, name: str, values: Sequence[float]) -> None:
+        super().__init__(name)
+        if len(values) == 0:
+            raise ValueError(f"ordinal parameter {name!r} needs at least one value")
+        numeric = [float(v) for v in values]
+        if sorted(numeric) != numeric:
+            raise ValueError(f"ordinal parameter {name!r} values must be sorted ascending")
+        if len(set(numeric)) != len(numeric):
+            raise ValueError(f"ordinal parameter {name!r} has duplicate values")
+        self._values = tuple(numeric)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return self._values
+
+    @property
+    def is_categorical(self) -> bool:
+        return False
+
+    def encode(self, value: Any) -> float:
+        value = float(value)
+        if value not in self._values:
+            raise ValueError(
+                f"value {value!r} is not admissible for parameter {self.name!r}"
+            )
+        return value
+
+    def validate(self, value: Any) -> None:
+        if float(value) not in self._values:
+            raise ValueError(
+                f"value {value!r} is not admissible for parameter {self.name!r}; "
+                f"admissible values: {self._values}"
+            )
+
+
+class ContinuousParameter(Parameter):
+    """A bounded continuous parameter.
+
+    Not used by the paper's finite grids, but provided so the library can
+    also drive continuous search spaces (the LHS sampler and the models
+    support it).  ``grid_points`` controls how the parameter is discretised
+    when a finite enumeration is requested.
+    """
+
+    def __init__(
+        self, name: str, low: float, high: float, *, grid_points: int = 10, log: bool = False
+    ) -> None:
+        super().__init__(name)
+        if not np.isfinite(low) or not np.isfinite(high) or low >= high:
+            raise ValueError(f"continuous parameter {name!r} needs finite low < high")
+        if grid_points < 2:
+            raise ValueError("grid_points must be at least 2")
+        if log and low <= 0:
+            raise ValueError("log-scaled parameters require a positive lower bound")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = bool(log)
+        self._grid_points = int(grid_points)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        if self.log:
+            pts = np.logspace(np.log10(self.low), np.log10(self.high), self._grid_points)
+        else:
+            pts = np.linspace(self.low, self.high, self._grid_points)
+        return tuple(float(p) for p in pts)
+
+    @property
+    def is_categorical(self) -> bool:
+        return False
+
+    def encode(self, value: Any) -> float:
+        value = float(value)
+        self.validate(value)
+        return value
+
+    def validate(self, value: Any) -> None:
+        value = float(value)
+        if not (self.low <= value <= self.high):
+            raise ValueError(
+                f"value {value!r} outside bounds [{self.low}, {self.high}] "
+                f"for parameter {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable assignment of values to every parameter of a space.
+
+    Instances are hashable and compare by value, so they can be stored in the
+    sets of explored / unexplored configurations maintained by the optimizer
+    state (Σ.S and Σ.T in the paper's notation).
+    """
+
+    values: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "Configuration":
+        """Build a configuration from a ``{parameter name: value}`` mapping."""
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return the configuration as a plain dictionary."""
+        return dict(self.values)
+
+    def __getitem__(self, name: str) -> Any:
+        for key, value in self.values:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self.values)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Dictionary-style ``get``."""
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def replace(self, **updates: Any) -> "Configuration":
+        """Return a copy with some parameter values replaced."""
+        merged = self.as_dict()
+        merged.update(updates)
+        return Configuration.from_dict(merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.values)
+        return f"Configuration({inner})"
+
+
+@dataclass
+class ConfigSpace:
+    """An ordered collection of parameters defining the search space.
+
+    The paper only deals with finite grids (384 points for the TensorFlow
+    jobs, 47–72 for CherryPick, 69 for Scout), so the space can enumerate the
+    full Cartesian product with :meth:`enumerate`, and encode configurations
+    into dense feature vectors for the regression models with :meth:`encode`.
+    """
+
+    parameters: list[Parameter] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in config space: {names}")
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Parameter names, in declaration order."""
+        return [p.name for p in self.parameters]
+
+    @property
+    def dimensions(self) -> int:
+        """Number of parameters."""
+        return len(self.parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        """Look up a parameter by name."""
+        for param in self.parameters:
+            if param.name == name:
+                return param
+        raise KeyError(f"no parameter named {name!r} in this space")
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the full Cartesian grid."""
+        total = 1
+        for param in self.parameters:
+            total *= param.cardinality
+        return total
+
+    # -- configurations ------------------------------------------------------
+    def validate(self, config: Configuration) -> None:
+        """Raise ``ValueError`` if ``config`` does not belong to this space."""
+        config_names = {k for k, _ in config.values}
+        expected = set(self.names)
+        if config_names != expected:
+            raise ValueError(
+                f"configuration parameters {sorted(config_names)} do not match "
+                f"space parameters {sorted(expected)}"
+            )
+        for param in self.parameters:
+            param.validate(config[param.name])
+
+    def make(self, **values: Any) -> Configuration:
+        """Create and validate a configuration from keyword arguments."""
+        config = Configuration.from_dict(values)
+        self.validate(config)
+        return config
+
+    def enumerate(self) -> list[Configuration]:
+        """Enumerate the full Cartesian grid, in deterministic order."""
+        grids = [param.values for param in self.parameters]
+        configs = []
+        for combo in itertools.product(*grids):
+            mapping = dict(zip(self.names, combo))
+            configs.append(Configuration.from_dict(mapping))
+        return configs
+
+    def __iter__(self) -> Iterator[Configuration]:
+        return iter(self.enumerate())
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- encoding ------------------------------------------------------------
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Encode a configuration into a dense numeric feature vector."""
+        return np.array(
+            [param.encode(config[param.name]) for param in self.parameters],
+            dtype=float,
+        )
+
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encode a sequence of configurations into a 2-D feature matrix."""
+        if len(configs) == 0:
+            return np.empty((0, self.dimensions), dtype=float)
+        return np.vstack([self.encode(c) for c in configs])
+
+    def index_of(self, config: Configuration) -> int:
+        """Position of ``config`` in the canonical :meth:`enumerate` order."""
+        index = 0
+        for param in self.parameters:
+            values = param.values
+            try:
+                pos = values.index(config[param.name])
+            except ValueError:
+                raise ValueError(
+                    f"configuration value {config[param.name]!r} not in grid of "
+                    f"parameter {param.name!r}"
+                ) from None
+            index = index * len(values) + pos
+        return index

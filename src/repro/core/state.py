@@ -1,0 +1,146 @@
+"""Optimizer state: observations, unexplored configurations and budget.
+
+The paper's Algorithm 1 maintains a state Σ = ⟨S, T, β, χ⟩: the training set
+of profiled configurations, the set of untested configurations, the remaining
+budget and the currently deployed configuration.  :class:`OptimizerState`
+is exactly that, plus the bookkeeping the rest of the library needs (feature
+matrices for the model, the best feasible incumbent, copies for speculative
+lookahead states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.space import ConfigSpace, Configuration
+
+__all__ = ["Observation", "OptimizerState"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One profiled configuration: the pair ⟨x, C(x)⟩ plus its runtime.
+
+    Attributes
+    ----------
+    config:
+        The profiled configuration.
+    cost:
+        Money charged for the run.
+    runtime_seconds:
+        Wall-clock duration of the run.
+    timed_out:
+        Whether the run hit the job's timeout (it then necessarily violates
+        any runtime constraint).
+    bootstrap:
+        Whether the observation belongs to the initial LHS bootstrap phase.
+    """
+
+    config: Configuration
+    cost: float
+    runtime_seconds: float
+    timed_out: bool = False
+    bootstrap: bool = False
+
+    def is_feasible(self, tmax: float) -> bool:
+        """Whether the run satisfied the runtime constraint ``T(x) <= tmax``."""
+        return not self.timed_out and self.runtime_seconds <= tmax
+
+
+@dataclass
+class OptimizerState:
+    """The state Σ = ⟨S, T, β, χ⟩ of Algorithm 1.
+
+    The class is deliberately lightweight: it knows nothing about models or
+    acquisition functions, only about which configurations were observed at
+    what cost, which remain untested and how much budget is left.
+    """
+
+    space: ConfigSpace
+    untested: list[Configuration]
+    budget_remaining: float
+    observations: list[Observation] = field(default_factory=list)
+    current_config: Configuration | None = None
+
+    # -- updates -------------------------------------------------------------
+    def add_observation(self, observation: Observation) -> None:
+        """Record a (real or speculated) profiling run and update Σ."""
+        self.observations.append(observation)
+        self.untested = [c for c in self.untested if c != observation.config]
+        self.budget_remaining -= observation.cost
+        self.current_config = observation.config
+
+    def speculate(
+        self, config: Configuration, cost: float, *, runtime_seconds: float | None = None
+    ) -> "OptimizerState":
+        """Return a copy of the state updated with a *speculated* cost for ``config``.
+
+        Used by the lookahead simulation (Algorithm 2): the copy's training
+        set contains the pair ⟨x, cᵢ⟩, ``config`` is removed from the untested
+        set and the budget is decreased by the speculated cost.  The original
+        state is left untouched.  ``runtime_seconds`` may carry the runtime
+        implied by the speculated cost (``T = C / U``); it defaults to zero.
+        """
+        clone = OptimizerState(
+            space=self.space,
+            untested=list(self.untested),
+            budget_remaining=self.budget_remaining,
+            observations=list(self.observations),
+            current_config=self.current_config,
+        )
+        clone.add_observation(
+            Observation(
+                config=config,
+                cost=cost,
+                runtime_seconds=runtime_seconds if runtime_seconds is not None else 0.0,
+                timed_out=False,
+            )
+        )
+        return clone
+
+    # -- views --------------------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        """Number of profiling runs performed so far (bootstrap included)."""
+        return len(self.observations)
+
+    @property
+    def n_untested(self) -> int:
+        """Number of configurations not yet profiled."""
+        return len(self.untested)
+
+    @property
+    def explored_configs(self) -> list[Configuration]:
+        """Configurations profiled so far, in exploration order."""
+        return [obs.config for obs in self.observations]
+
+    def training_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Encoded features and observed costs, ready to fit the model."""
+        X = self.space.encode_many(self.explored_configs)
+        y = np.array([obs.cost for obs in self.observations], dtype=float)
+        return X, y
+
+    def best_feasible(self, tmax: float) -> Observation | None:
+        """Cheapest observation whose runtime satisfied the constraint, if any."""
+        feasible = [obs for obs in self.observations if obs.is_feasible(tmax)]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda obs: obs.cost)
+
+    def best_observation(self) -> Observation:
+        """Cheapest observation regardless of feasibility."""
+        if not self.observations:
+            raise ValueError("no observations recorded yet")
+        return min(self.observations, key=lambda obs: obs.cost)
+
+    def max_observed_cost(self) -> float:
+        """Largest cost observed so far (used by the y* fallback rule)."""
+        if not self.observations:
+            raise ValueError("no observations recorded yet")
+        return max(obs.cost for obs in self.observations)
+
+    def budget_spent(self, initial_budget: float) -> float:
+        """Money spent so far, given the initial budget."""
+        return initial_budget - self.budget_remaining

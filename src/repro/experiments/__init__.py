@@ -1,0 +1,42 @@
+"""Experiment harness: metrics, multi-seed runners and per-figure drivers.
+
+This package reproduces the evaluation methodology of Section 5.2:
+
+* every optimizer is run many times against a job, each run bootstrapped with
+  a different LHS sample — and, for fairness, all compared optimizers share
+  the same bootstrap sample in the i-th run;
+* the quality of a run is measured by the **CNO** (cost of the recommended
+  configuration normalised by the optimal cost) and the exploration
+  behaviour by **NEX** (number of configurations profiled);
+* aggregate results are reported as CDFs, averages and percentiles.
+
+:mod:`repro.experiments.figures` exposes one driver per table/figure of the
+paper; the benchmark suite under ``benchmarks/`` calls these drivers and the
+ASCII renderers in :mod:`repro.experiments.reporting` regenerate the numbers
+the paper plots.
+"""
+
+from repro.experiments.metrics import (
+    MetricSummary,
+    empirical_cdf,
+    fraction_at_optimum,
+    summarize,
+)
+from repro.experiments.persistence import load_comparison, save_comparison
+from repro.experiments.runner import ComparisonResult, TrialOutcome, compare_optimizers
+from repro.experiments.reporting import format_cdf, format_summary_table, format_table
+
+__all__ = [
+    "ComparisonResult",
+    "MetricSummary",
+    "TrialOutcome",
+    "compare_optimizers",
+    "empirical_cdf",
+    "format_cdf",
+    "format_summary_table",
+    "format_table",
+    "fraction_at_optimum",
+    "load_comparison",
+    "save_comparison",
+    "summarize",
+]

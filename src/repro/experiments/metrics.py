@@ -1,0 +1,77 @@
+"""Evaluation metrics: CNO, NEX, CDFs and percentile summaries.
+
+The paper reports two metrics (Section 5.2):
+
+* **CNO** — the cost of the configuration recommended by an optimizer,
+  normalised by the cost of the optimal configuration.  1.0 is perfect.
+* **NEX** — the number of explorations (profiling runs) an optimizer managed
+  to perform within the budget; more explorations generally mean better
+  coverage of the space at equal spend.
+
+This module provides the aggregation helpers used to turn per-run values of
+those metrics into the CDFs, averages and percentiles shown in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MetricSummary", "empirical_cdf", "summarize", "fraction_at_optimum"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate statistics of one metric across runs."""
+
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p95: float
+    n: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (handy for tabular reporting)."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "n": float(self.n),
+        }
+
+
+def empirical_cdf(values: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``: returns sorted values and cumulative probabilities."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute the CDF of an empty sample")
+    xs = np.sort(values)
+    ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, ps
+
+
+def summarize(values: np.ndarray | list[float]) -> MetricSummary:
+    """Mean, standard deviation and key percentiles of a sample."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return MetricSummary(
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        p50=float(np.percentile(values, 50)),
+        p90=float(np.percentile(values, 90)),
+        p95=float(np.percentile(values, 95)),
+        n=int(values.size),
+    )
+
+
+def fraction_at_optimum(cno_values: np.ndarray | list[float], tolerance: float = 1e-3) -> float:
+    """Fraction of runs whose CNO is (numerically) 1, i.e. that found the optimum."""
+    values = np.asarray(cno_values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute a fraction over an empty sample")
+    return float(np.mean(values <= 1.0 + tolerance))

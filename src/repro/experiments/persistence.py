@@ -1,0 +1,144 @@
+"""Persistence of experiment results.
+
+Long sweeps are expensive, so the harness can serialise a
+:class:`~repro.experiments.runner.ComparisonResult` to JSON and reload it
+later for further analysis (different percentiles, plots, cross-run
+comparisons) without re-running any optimizer.  The format is plain JSON —
+configurations become dictionaries, observations become lists of records —
+so it is stable across library versions and easy to consume from outside
+Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.optimizer import OptimizationResult
+from repro.core.space import Configuration
+from repro.core.state import Observation
+from repro.experiments.runner import ComparisonResult, TrialOutcome
+
+__all__ = ["comparison_to_dict", "comparison_from_dict", "save_comparison", "load_comparison"]
+
+
+def _observation_to_dict(obs: Observation) -> dict:
+    return {
+        "config": obs.config.as_dict(),
+        "cost": obs.cost,
+        "runtime_seconds": obs.runtime_seconds,
+        "timed_out": obs.timed_out,
+        "bootstrap": obs.bootstrap,
+    }
+
+
+def _observation_from_dict(data: dict) -> Observation:
+    return Observation(
+        config=Configuration.from_dict(data["config"]),
+        cost=data["cost"],
+        runtime_seconds=data["runtime_seconds"],
+        timed_out=data["timed_out"],
+        bootstrap=data["bootstrap"],
+    )
+
+
+def _result_to_dict(result: OptimizationResult) -> dict:
+    return {
+        "job_name": result.job_name,
+        "optimizer_name": result.optimizer_name,
+        "best_config": result.best_config.as_dict() if result.best_config else None,
+        "best_cost": result.best_cost,
+        "best_runtime": result.best_runtime,
+        "feasible_found": result.feasible_found,
+        "tmax": result.tmax,
+        "budget": result.budget,
+        "budget_spent": result.budget_spent,
+        "n_bootstrap": result.n_bootstrap,
+        "observations": [_observation_to_dict(o) for o in result.observations],
+        "next_config_seconds": list(result.next_config_seconds),
+    }
+
+
+def _result_from_dict(data: dict) -> OptimizationResult:
+    return OptimizationResult(
+        job_name=data["job_name"],
+        optimizer_name=data["optimizer_name"],
+        best_config=(
+            Configuration.from_dict(data["best_config"]) if data["best_config"] else None
+        ),
+        best_cost=data["best_cost"],
+        best_runtime=data["best_runtime"],
+        feasible_found=data["feasible_found"],
+        tmax=data["tmax"],
+        budget=data["budget"],
+        budget_spent=data["budget_spent"],
+        n_bootstrap=data["n_bootstrap"],
+        observations=[_observation_from_dict(o) for o in data["observations"]],
+        next_config_seconds=list(data["next_config_seconds"]),
+    )
+
+
+def comparison_to_dict(comparison: ComparisonResult) -> dict:
+    """Serialise a comparison (all optimizers, all trials) to a JSON-safe dict."""
+    return {
+        "job_name": comparison.job_name,
+        "tmax": comparison.tmax,
+        "budget_multiplier": comparison.budget_multiplier,
+        "optimal_cost": comparison.optimal_cost,
+        "n_trials": comparison.n_trials,
+        "outcomes": {
+            name: [
+                {
+                    "trial": outcome.trial,
+                    "cno": outcome.cno,
+                    "n_explorations": outcome.n_explorations,
+                    "budget_spent": outcome.budget_spent,
+                    "feasible_found": outcome.feasible_found,
+                    "result": _result_to_dict(outcome.result),
+                }
+                for outcome in outcomes
+            ]
+            for name, outcomes in comparison.outcomes.items()
+        },
+    }
+
+
+def comparison_from_dict(data: dict) -> ComparisonResult:
+    """Rebuild a :class:`ComparisonResult` from :func:`comparison_to_dict` output."""
+    comparison = ComparisonResult(
+        job_name=data["job_name"],
+        tmax=data["tmax"],
+        budget_multiplier=data["budget_multiplier"],
+        optimal_cost=data["optimal_cost"],
+        n_trials=data["n_trials"],
+        outcomes={},
+    )
+    for name, outcomes in data["outcomes"].items():
+        comparison.outcomes[name] = [
+            TrialOutcome(
+                trial=o["trial"],
+                optimizer_name=name,
+                cno=o["cno"],
+                n_explorations=o["n_explorations"],
+                budget_spent=o["budget_spent"],
+                feasible_found=o["feasible_found"],
+                result=_result_from_dict(o["result"]),
+            )
+            for o in outcomes
+        ]
+    return comparison
+
+
+def save_comparison(comparison: ComparisonResult, path: str | Path) -> Path:
+    """Write a comparison to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(comparison_to_dict(comparison), handle, indent=2, default=float)
+    return path
+
+
+def load_comparison(path: str | Path) -> ComparisonResult:
+    """Load a comparison previously written by :func:`save_comparison`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return comparison_from_dict(json.load(handle))

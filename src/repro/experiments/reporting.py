@@ -1,0 +1,74 @@
+"""ASCII reporting helpers.
+
+The benchmark harness prints the same rows / series the paper plots; these
+small formatters keep that output consistent (fixed-width tables, CDF
+sparklines) without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.metrics import MetricSummary, empirical_cdf
+
+__all__ = ["format_table", "format_summary_table", "format_cdf"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have as many cells as there are headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_summary_table(summaries: Mapping[str, MetricSummary], metric_name: str = "CNO") -> str:
+    """Render per-optimizer metric summaries as a table."""
+    headers = ["optimizer", f"{metric_name} mean", "std", "p50", "p90", "p95", "runs"]
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [
+                name,
+                f"{summary.mean:.3f}",
+                f"{summary.std:.3f}",
+                f"{summary.p50:.3f}",
+                f"{summary.p90:.3f}",
+                f"{summary.p95:.3f}",
+                summary.n,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def format_cdf(values: Sequence[float], *, n_points: int = 10, label: str = "") -> str:
+    """Render an empirical CDF as ``value -> probability`` pairs.
+
+    ``n_points`` evenly spaced quantiles are printed, which matches the level
+    of detail one can read off the paper's CDF plots.
+    """
+    xs, ps = empirical_cdf(np.asarray(values, dtype=float))
+    idx = np.unique(np.linspace(0, xs.size - 1, n_points).astype(int))
+    pairs = ", ".join(f"{xs[i]:.2f}@{ps[i]:.2f}" for i in idx)
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}{pairs}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,143 @@
+"""Multi-seed experiment runner.
+
+The paper's methodology (Section 5.2) runs each optimizer at least 100 times
+against a job, each run bootstrapped with a different set of initial
+configurations, and — crucially for fairness — all compared optimizers share
+the same initial configurations in their i-th run.  :func:`compare_optimizers`
+implements exactly that protocol and returns a :class:`ComparisonResult` with
+per-run CNO, NEX and exploration traces, ready for the metric aggregators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.optimizer import BaseOptimizer, OptimizationResult, default_bootstrap_size
+from repro.experiments.metrics import MetricSummary, summarize
+from repro.sampling.lhs import latin_hypercube_sample
+from repro.workloads.base import Job
+
+__all__ = ["TrialOutcome", "ComparisonResult", "compare_optimizers"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One optimizer run and its headline metrics."""
+
+    trial: int
+    optimizer_name: str
+    cno: float
+    n_explorations: int
+    budget_spent: float
+    feasible_found: bool
+    result: OptimizationResult
+
+
+@dataclass
+class ComparisonResult:
+    """All trials of all optimizers against one job."""
+
+    job_name: str
+    tmax: float
+    budget_multiplier: float
+    optimal_cost: float
+    n_trials: int
+    outcomes: dict[str, list[TrialOutcome]] = field(default_factory=dict)
+
+    # -- per-optimizer views -----------------------------------------------
+    def optimizer_names(self) -> list[str]:
+        """Names of the compared optimizers, in insertion order."""
+        return list(self.outcomes)
+
+    def cno_values(self, optimizer_name: str) -> np.ndarray:
+        """CNO of every trial of one optimizer."""
+        return np.array([o.cno for o in self.outcomes[optimizer_name]], dtype=float)
+
+    def nex_values(self, optimizer_name: str) -> np.ndarray:
+        """NEX (number of explorations) of every trial of one optimizer."""
+        return np.array(
+            [o.n_explorations for o in self.outcomes[optimizer_name]], dtype=float
+        )
+
+    def cno_summary(self, optimizer_name: str) -> MetricSummary:
+        """Aggregate CNO statistics of one optimizer."""
+        return summarize(self.cno_values(optimizer_name))
+
+    def nex_summary(self, optimizer_name: str) -> MetricSummary:
+        """Aggregate NEX statistics of one optimizer."""
+        return summarize(self.nex_values(optimizer_name))
+
+    def decision_seconds(self, optimizer_name: str) -> np.ndarray:
+        """Per-decision wall-clock seconds pooled over every trial of one optimizer."""
+        seconds: list[float] = []
+        for outcome in self.outcomes[optimizer_name]:
+            seconds.extend(outcome.result.next_config_seconds)
+        return np.array(seconds, dtype=float)
+
+    def best_cost_traces(self, optimizer_name: str) -> list[list[float]]:
+        """Running best-feasible-cost trace of every trial of one optimizer."""
+        return [o.result.best_cost_trace() for o in self.outcomes[optimizer_name]]
+
+
+def compare_optimizers(
+    job: Job,
+    optimizers: dict[str, BaseOptimizer],
+    *,
+    n_trials: int = 20,
+    budget_multiplier: float = 3.0,
+    tmax: float | None = None,
+    n_bootstrap: int | None = None,
+    base_seed: int = 0,
+) -> ComparisonResult:
+    """Run every optimizer ``n_trials`` times against ``job``.
+
+    Each trial draws a fresh LHS bootstrap sample; within a trial every
+    optimizer receives the same bootstrap sample and the same seed, exactly
+    as the paper's methodology prescribes.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    if not optimizers:
+        raise ValueError("at least one optimizer is required")
+
+    tmax = float(tmax) if tmax is not None else job.default_tmax()
+    n_boot = n_bootstrap if n_bootstrap is not None else default_bootstrap_size(job)
+    optimal_cost = job.optimal_cost(tmax)
+
+    comparison = ComparisonResult(
+        job_name=job.name,
+        tmax=tmax,
+        budget_multiplier=budget_multiplier,
+        optimal_cost=optimal_cost,
+        n_trials=n_trials,
+        outcomes={name: [] for name in optimizers},
+    )
+
+    for trial in range(n_trials):
+        seed = base_seed + trial
+        rng = np.random.default_rng(seed)
+        initial = latin_hypercube_sample(
+            job.space, n_boot, rng, candidates=job.configurations
+        )
+        for name, optimizer in optimizers.items():
+            result = optimizer.optimize(
+                job,
+                tmax=tmax,
+                budget_multiplier=budget_multiplier,
+                initial_configs=initial,
+                seed=seed,
+            )
+            comparison.outcomes[name].append(
+                TrialOutcome(
+                    trial=trial,
+                    optimizer_name=name,
+                    cno=result.cno(optimal_cost),
+                    n_explorations=result.n_explorations,
+                    budget_spent=result.budget_spent,
+                    feasible_found=result.feasible_found,
+                    result=result,
+                )
+            )
+    return comparison

@@ -1,0 +1,37 @@
+"""Regression substrates used as black-box performance models.
+
+Lynceus needs a regressor that, for any candidate configuration ``x``,
+returns a Gaussian predictive distribution ``N(mu(x), sigma(x)^2)`` over the
+cost of running the job on ``x`` (Section 3 of the paper).  The paper uses a
+bagging ensemble of ten decision trees, following SMAC / Auto-WEKA practice,
+and notes that a Gaussian Process would work equally well.  Both backends are
+implemented here from scratch on top of numpy:
+
+* :class:`~repro.learning.tree.RegressionTree` — a CART regression tree with
+  variance-reduction splits.
+* :class:`~repro.learning.bagging.BaggingEnsemble` — bootstrap aggregation of
+  base learners, exposing the empirical mean / standard deviation across
+  learners as a Gaussian posterior.
+* :class:`~repro.learning.gp.GaussianProcessRegressor` — an exact GP with
+  RBF / Matérn kernels and a small hyper-parameter grid search.
+
+:func:`make_model` is the factory used by the optimizers to instantiate the
+backend selected by name.
+"""
+
+from repro.learning.bagging import BaggingEnsemble
+from repro.learning.base import GaussianPrediction, Regressor
+from repro.learning.factory import make_model
+from repro.learning.gp import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+from repro.learning.tree import RegressionTree
+
+__all__ = [
+    "BaggingEnsemble",
+    "GaussianPrediction",
+    "GaussianProcessRegressor",
+    "Matern52Kernel",
+    "RBFKernel",
+    "Regressor",
+    "RegressionTree",
+    "make_model",
+]

@@ -1,0 +1,95 @@
+"""Common interface for the regression backends.
+
+All backends consume a feature matrix ``X`` of shape ``(n_samples,
+n_features)`` and a target vector ``y`` of shape ``(n_samples,)`` and expose
+:meth:`Regressor.predict_distribution`, which returns the mean and standard
+deviation of a Gaussian predictive distribution for each query row.  This is
+the only contract the Lynceus acquisition machinery relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GaussianPrediction", "Regressor", "check_training_data"]
+
+
+@dataclass(frozen=True)
+class GaussianPrediction:
+    """Per-query Gaussian predictive distribution.
+
+    Attributes
+    ----------
+    mean:
+        Predicted means, shape ``(n_queries,)``.
+    std:
+        Predicted standard deviations, shape ``(n_queries,)``.  Always
+        non-negative; exactly zero when the model is certain (e.g. a tree
+        ensemble whose members all agree).
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        mean = np.asarray(self.mean, dtype=float)
+        std = np.asarray(self.std, dtype=float)
+        if mean.shape != std.shape:
+            raise ValueError(
+                f"mean and std must have the same shape, got {mean.shape} and {std.shape}"
+            )
+        if np.any(std < 0):
+            raise ValueError("predictive standard deviations must be non-negative")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "std", std)
+
+    def __len__(self) -> int:
+        return int(self.mean.shape[0])
+
+
+class Regressor:
+    """Abstract regression backend with a Gaussian predictive distribution."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit the model on training data and return ``self``."""
+        raise NotImplementedError
+
+    def predict_distribution(self, X: np.ndarray) -> GaussianPrediction:
+        """Return the Gaussian predictive distribution for each query row."""
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Return only the predictive means (convenience wrapper)."""
+        return self.predict_distribution(X).mean
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        raise NotImplementedError
+
+
+def check_training_data(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalise a training set.
+
+    Returns float arrays ``(X, y)`` with ``X`` two-dimensional and ``y``
+    one-dimensional, raising ``ValueError`` on empty or inconsistent input.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit a model on an empty training set")
+    if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+        raise ValueError("training data contains NaN or infinite values")
+    return X, y

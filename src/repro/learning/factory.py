@@ -1,0 +1,38 @@
+"""Factory for regression backends selected by name.
+
+The optimizers accept a ``model`` string so experiments (and the ablation
+benchmarks) can switch between the paper's default bagging-tree ensemble and
+the Gaussian-Process alternative without touching optimizer code.
+"""
+
+from __future__ import annotations
+
+from repro.learning.bagging import BaggingEnsemble
+from repro.learning.base import Regressor
+from repro.learning.gp import GaussianProcessRegressor
+
+__all__ = ["make_model", "MODEL_NAMES"]
+
+MODEL_NAMES = ("bagging", "gp", "gp-rbf")
+
+
+def make_model(name: str = "bagging", *, seed: int | None = None, n_estimators: int = 10) -> Regressor:
+    """Instantiate a regression backend by name.
+
+    Parameters
+    ----------
+    name:
+        ``"bagging"`` (the paper's default: 10 bagged regression trees),
+        ``"gp"`` (Matérn-5/2 Gaussian Process) or ``"gp-rbf"``.
+    seed:
+        Seed for stochastic backends (ignored by the GP).
+    n_estimators:
+        Ensemble size for the bagging backend.
+    """
+    if name == "bagging":
+        return BaggingEnsemble(n_estimators=n_estimators, seed=seed)
+    if name == "gp":
+        return GaussianProcessRegressor(kernel="matern52")
+    if name == "gp-rbf":
+        return GaussianProcessRegressor(kernel="rbf")
+    raise ValueError(f"unknown model name {name!r}; expected one of {MODEL_NAMES}")

@@ -1,0 +1,284 @@
+"""A from-scratch CART regression tree.
+
+The tree greedily chooses, at every node, the axis-aligned split that
+maximises the reduction in the sum of squared errors of the target (the
+classic CART criterion for regression).  Leaves predict the mean of the
+training targets that reach them.
+
+Training sets in the Lynceus setting contain at most a few hundred points,
+but the tree is (re)fit thousands of times per optimization run — once per
+ensemble member per iteration, and once per speculated lookahead state when
+the ``refit`` speculation mode is active — so both the split search and the
+prediction path are fully vectorised with numpy:
+
+* the split search evaluates every threshold of a feature in one pass using
+  prefix sums of the sorted targets;
+* prediction routes all query rows through the tree level by level using
+  boolean masks instead of walking the tree once per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.base import GaussianPrediction, Regressor, check_training_data
+
+__all__ = ["RegressionTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A node of the regression tree.
+
+    Internal nodes carry a ``feature`` / ``threshold`` split (rows with
+    ``x[feature] <= threshold`` go left); leaves carry a ``value`` (the mean
+    target) and ``spread`` (the standard deviation of targets at the leaf).
+    """
+
+    value: float
+    spread: float
+    n_samples: int
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (leaves have depth 0)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_leaves(self) -> int:
+        """Number of leaves in the subtree rooted at this node."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.count_leaves() + self.right.count_leaves()
+
+
+class RegressionTree(Regressor):
+    """CART regression tree with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` means grow until leaves are pure or
+        smaller than ``min_samples_split``.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples that must end up on each side of a split.
+    max_features:
+        If set, the number of candidate features examined at each split,
+        drawn uniformly at random — this is the "random tree" flavour used by
+        the bagging ensemble to decorrelate its members.
+    rng:
+        Random generator used when ``max_features`` is set.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ValueError("max_depth must be non-negative or None")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        if max_features is not None and max_features < 1:
+            raise ValueError("max_features must be positive or None")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._root: TreeNode | None = None
+        self._n_features: int | None = None
+        # Flattened representation used by the vectorised predictor:
+        # one row per node with [feature, threshold, left, right, value, spread].
+        self._flat: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X, y = check_training_data(X, y)
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        self._flat = self._flatten(self._root)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(
+            value=float(np.mean(y)),
+            spread=float(np.std(y)),
+            n_samples=int(y.shape[0]),
+        )
+        if self._should_stop(y, depth):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            # Extreme feature values can make the midpoint threshold round
+            # onto one of the two neighbouring values, leaving one side
+            # empty; treat the node as a leaf rather than recursing forever.
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _should_stop(self, y: np.ndarray, depth: int) -> bool:
+        if y.shape[0] < self.min_samples_split:
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        if np.allclose(y, y[0]):
+            return True
+        return False
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        """Return the (feature, threshold) pair minimising the weighted SSE.
+
+        The search is vectorised over both the candidate split positions and
+        the candidate features: every feature column is sorted once, prefix
+        sums of the sorted targets give the left/right sums of squares of
+        every split position in one pass, and a single argmax over the
+        resulting (positions x features) gain matrix picks the winner.
+        """
+        n_samples = X.shape[0]
+        candidates = self._candidate_features(X.shape[1])
+        Xc = X[:, candidates]
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        min_leaf = self.min_samples_leaf
+
+        order = np.argsort(Xc, axis=0, kind="stable")
+        xs = np.take_along_axis(Xc, order, axis=0)
+        ys = y[order]
+        csum = np.cumsum(ys, axis=0)
+        csum_sq = np.cumsum(ys**2, axis=0)
+        total_sum = csum[-1, :]
+        total_sq = csum_sq[-1, :]
+
+        sizes = np.arange(1, n_samples, dtype=float)[:, None]
+        size_ok = (sizes >= min_leaf) & (n_samples - sizes >= min_leaf)
+        valid = size_ok & (xs[:-1, :] != xs[1:, :])
+        if not np.any(valid):
+            return None
+
+        left_sum = csum[:-1, :]
+        left_sq = csum_sq[:-1, :]
+        right_sum = total_sum[None, :] - left_sum
+        right_sq = total_sq[None, :] - left_sq
+        right_n = n_samples - sizes
+        with np.errstate(invalid="ignore", divide="ignore"):
+            left_sse = left_sq - left_sum**2 / sizes
+            right_sse = right_sq - right_sum**2 / right_n
+            gains = parent_sse - (left_sse + right_sse)
+        gains = np.where(valid, gains, -np.inf)
+
+        flat = int(np.argmax(gains))
+        pos, col = np.unravel_index(flat, gains.shape)
+        if gains[pos, col] <= 1e-12:
+            return None
+        split_at = pos + 1
+        threshold = float((xs[split_at - 1, col] + xs[split_at, col]) / 2.0)
+        return int(candidates[col]), threshold
+
+    # -- flattening for vectorised prediction -------------------------------------
+    @staticmethod
+    def _flatten(root: TreeNode) -> np.ndarray:
+        """Breadth-first flattening: [feature, threshold, left, right, value, spread]."""
+        rows: list[list[float]] = []
+        stack = [root]
+        indices = {id(root): 0}
+        rows.append([-1.0, 0.0, -1.0, -1.0, root.value, root.spread])
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            idx = indices[id(node)]
+            if node.is_leaf:
+                continue
+            assert node.left is not None and node.right is not None
+            for child in (node.left, node.right):
+                indices[id(child)] = len(rows)
+                rows.append([-1.0, 0.0, -1.0, -1.0, child.value, child.spread])
+                queue.append(child)
+            rows[idx][0] = float(node.feature)  # type: ignore[arg-type]
+            rows[idx][1] = float(node.threshold)  # type: ignore[arg-type]
+            rows[idx][2] = float(indices[id(node.left)])
+            rows[idx][3] = float(indices[id(node.right)])
+        del stack
+        return np.asarray(rows, dtype=float)
+
+    # -- prediction ----------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._root is not None
+
+    @property
+    def root(self) -> TreeNode:
+        """The root node of the fitted tree."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return self._root
+
+    def predict_distribution(self, X: np.ndarray) -> GaussianPrediction:
+        if not self.is_fitted:
+            raise RuntimeError("tree is not fitted")
+        assert self._flat is not None
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"query has {X.shape[1]} features but tree was fit on {self._n_features}"
+            )
+        n = X.shape[0]
+        node_of_row = np.zeros(n, dtype=int)
+        features = self._flat[:, 0].astype(int)
+        thresholds = self._flat[:, 1]
+        lefts = self._flat[:, 2].astype(int)
+        rights = self._flat[:, 3].astype(int)
+        # Route all rows level by level until every row sits at a leaf.
+        active = features[node_of_row] >= 0
+        while np.any(active):
+            rows = np.flatnonzero(active)
+            nodes = node_of_row[rows]
+            go_left = X[rows, features[nodes]] <= thresholds[nodes]
+            node_of_row[rows] = np.where(go_left, lefts[nodes], rights[nodes])
+            active = features[node_of_row] >= 0
+        return GaussianPrediction(
+            mean=self._flat[node_of_row, 4].copy(), std=self._flat[node_of_row, 5].copy()
+        )
+
+    # -- introspection ---------------------------------------------------------
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        return self.root.depth()
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        return self.root.count_leaves()

@@ -1,0 +1,18 @@
+"""Sampling substrates: Latin Hypercube bootstrap and Gauss-Hermite quadrature.
+
+Lynceus bootstraps its model by profiling ``N`` configurations chosen with
+Latin Hypercube Sampling (Algorithm 1, line 7) and discretises the Gaussian
+cost distributions predicted during lookahead with Gauss-Hermite quadrature
+(Section 4.2, approximation 3).  Both building blocks live here so they can
+be tested and benchmarked independently of the optimizer.
+"""
+
+from repro.sampling.lhs import latin_hypercube_indices, latin_hypercube_sample
+from repro.sampling.quadrature import GaussHermiteQuadrature, QuadratureNode
+
+__all__ = [
+    "GaussHermiteQuadrature",
+    "QuadratureNode",
+    "latin_hypercube_indices",
+    "latin_hypercube_sample",
+]

@@ -1,0 +1,118 @@
+"""Latin Hypercube Sampling over mixed discrete/continuous configuration spaces.
+
+Latin Hypercube Sampling (McKay et al., 1979) stratifies each dimension into
+``n`` equal-probability bins and draws exactly one sample per bin per
+dimension, then shuffles the bins independently across dimensions.  Compared
+with uniform random sampling it guarantees good marginal coverage of every
+dimension, which is why Lynceus (like CherryPick and ProteusTM) uses it to
+pick the initial configurations that bootstrap the performance model.
+
+Because the paper's spaces are finite grids — and, for the Scout and
+CherryPick datasets, *restricted* grids where not every combination of the
+full Cartesian product is admissible — the main entry point
+:func:`latin_hypercube_sample` stratifies the index range of each parameter,
+builds the ideal stratified point and then snaps it to the nearest admissible
+candidate configuration (Euclidean distance in the normalised encoding),
+de-duplicating the result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.space import ConfigSpace, Configuration
+
+__all__ = ["latin_hypercube_indices", "latin_hypercube_sample"]
+
+
+def latin_hypercube_indices(
+    n_samples: int, n_dims: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Return an ``(n_samples, n_dims)`` array of stratified samples in [0, 1).
+
+    Each column is a random permutation of the ``n_samples`` strata, with a
+    uniform jitter inside each stratum.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be positive")
+    if n_dims < 1:
+        raise ValueError("n_dims must be positive")
+    result = np.empty((n_samples, n_dims), dtype=float)
+    for dim in range(n_dims):
+        perm = rng.permutation(n_samples)
+        jitter = rng.random(n_samples)
+        result[:, dim] = (perm + jitter) / n_samples
+    return result
+
+
+def _normalised_encoding(space: ConfigSpace, configs: Sequence[Configuration]) -> np.ndarray:
+    """Encode configurations and scale every dimension to [0, 1]."""
+    X = space.encode_many(list(configs))
+    lo = X.min(axis=0)
+    span = X.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    return (X - lo) / span
+
+
+def latin_hypercube_sample(
+    space: ConfigSpace,
+    n_samples: int,
+    rng: np.random.Generator,
+    *,
+    candidates: Sequence[Configuration] | None = None,
+    exclude: set[Configuration] | None = None,
+) -> list[Configuration]:
+    """Draw ``n_samples`` distinct configurations via LHS.
+
+    Parameters
+    ----------
+    space:
+        The configuration space (used for stratification and encoding).
+    n_samples:
+        Number of distinct configurations to return.
+    rng:
+        Random generator.
+    candidates:
+        The admissible configurations to draw from; defaults to the full
+        Cartesian grid of ``space``.
+    exclude:
+        Configurations that must not be returned (e.g. already profiled).
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be positive")
+    exclude = exclude or set()
+    pool = list(candidates) if candidates is not None else space.enumerate()
+    available = [c for c in pool if c not in exclude]
+    if n_samples > len(available):
+        raise ValueError(
+            f"cannot draw {n_samples} distinct configurations from a space with "
+            f"{len(available)} available points"
+        )
+
+    # Normalised encodings of the admissible candidates, for nearest-neighbour
+    # snapping of the ideal stratified points.
+    encoded = _normalised_encoding(space, available)
+
+    unit = latin_hypercube_indices(n_samples, space.dimensions, rng)
+    # Express the ideal stratified points in the same normalised encoding: the
+    # stratum index along each dimension maps linearly onto the value range.
+    ideal = np.empty_like(unit)
+    for dim, param in enumerate(space.parameters):
+        values = np.array([param.encode(v) for v in param.values], dtype=float)
+        lo, hi = values.min(), values.max()
+        span = hi - lo if hi > lo else 1.0
+        idx = np.minimum((unit[:, dim] * len(values)).astype(int), len(values) - 1)
+        ideal[:, dim] = (values[idx] - lo) / span
+    # Re-normalise the ideal points with the candidate pool's ranges so both
+    # live in the same [0, 1] box even for restricted candidate lists.
+    chosen: list[Configuration] = []
+    taken = np.zeros(len(available), dtype=bool)
+    for row in ideal:
+        distances = np.linalg.norm(encoded - row, axis=1)
+        distances[taken] = np.inf
+        pick = int(np.argmin(distances))
+        taken[pick] = True
+        chosen.append(available[pick])
+    return chosen

@@ -1,0 +1,98 @@
+"""Workload suites: the three datasets of the paper plus synthetic generators.
+
+The top-level helpers mirror the evaluation setup of Section 5:
+
+* :func:`tensorflow_suite` — the three TensorFlow jobs (CNN, RNN, Multilayer)
+  over the 384-point, 5-dimensional grid of Tables 1–2;
+* :func:`scout_suite` — the 18 Hadoop/Spark jobs of the Scout dataset over a
+  3-dimensional cluster grid;
+* :func:`cherrypick_suite` — the 5 jobs of the CherryPick dataset;
+* :func:`load_job` — load any single job by its fully-qualified name, e.g.
+  ``"tensorflow-cnn"`` or ``"scout-spark-kmeans"``.
+
+All datasets are generated deterministically by analytic performance models
+(see DESIGN.md for the substitution rationale), so every call returns
+identical tables.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Job, JobOutcome, ProfiledRun, TabulatedJob
+from repro.workloads.generators import make_quadratic_job, make_synthetic_job, synthetic_space
+from repro.workloads.hadoop_spark import (
+    CHERRYPICK_JOB_NAMES,
+    SCOUT_JOB_NAMES,
+    cherrypick_config_space,
+    make_cherrypick_job,
+    make_scout_job,
+    scout_config_space,
+)
+from repro.workloads.tensorflow_jobs import (
+    TENSORFLOW_JOB_NAMES,
+    make_tensorflow_job,
+    tensorflow_config_space,
+)
+
+__all__ = [
+    "Job",
+    "JobOutcome",
+    "ProfiledRun",
+    "TabulatedJob",
+    "TENSORFLOW_JOB_NAMES",
+    "SCOUT_JOB_NAMES",
+    "CHERRYPICK_JOB_NAMES",
+    "tensorflow_suite",
+    "scout_suite",
+    "cherrypick_suite",
+    "load_job",
+    "available_jobs",
+    "make_tensorflow_job",
+    "make_scout_job",
+    "make_cherrypick_job",
+    "make_synthetic_job",
+    "make_quadratic_job",
+    "synthetic_space",
+    "tensorflow_config_space",
+    "scout_config_space",
+    "cherrypick_config_space",
+]
+
+
+def tensorflow_suite() -> list[TabulatedJob]:
+    """The three TensorFlow jobs of Section 5.1.1 (CNN, RNN, Multilayer)."""
+    return [make_tensorflow_job(name) for name in TENSORFLOW_JOB_NAMES]
+
+
+def scout_suite() -> list[TabulatedJob]:
+    """The 18 Hadoop/Spark jobs of the Scout dataset."""
+    return [make_scout_job(name) for name in SCOUT_JOB_NAMES]
+
+
+def cherrypick_suite() -> list[TabulatedJob]:
+    """The 5 jobs of the CherryPick dataset."""
+    return [make_cherrypick_job(name) for name in CHERRYPICK_JOB_NAMES]
+
+
+def available_jobs() -> list[str]:
+    """Fully-qualified names accepted by :func:`load_job`."""
+    names = [f"tensorflow-{n}" for n in TENSORFLOW_JOB_NAMES]
+    names += [f"scout-{n}" for n in SCOUT_JOB_NAMES]
+    names += [f"cherrypick-{n}" for n in CHERRYPICK_JOB_NAMES]
+    return names
+
+
+def load_job(qualified_name: str) -> TabulatedJob:
+    """Load a single job by fully-qualified name.
+
+    Examples: ``"tensorflow-cnn"``, ``"scout-hadoop-terasort"``,
+    ``"cherrypick-tpch"``.
+    """
+    if qualified_name.startswith("tensorflow-"):
+        return make_tensorflow_job(qualified_name.removeprefix("tensorflow-"))
+    if qualified_name.startswith("scout-"):
+        return make_scout_job(qualified_name.removeprefix("scout-"))
+    if qualified_name.startswith("cherrypick-"):
+        return make_cherrypick_job(qualified_name.removeprefix("cherrypick-"))
+    raise ValueError(
+        f"unknown job {qualified_name!r}; available jobs: {available_jobs()}"
+    )

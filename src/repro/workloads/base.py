@@ -1,0 +1,225 @@
+"""Job abstractions.
+
+From the optimizer's point of view a *job* is a black box: given a
+configuration it returns the time the job took and the money it cost, nothing
+else.  The evaluation in the paper is trace-driven — each job was profiled
+once on every configuration of its grid and the optimizers replay that table
+— so the central concrete class here is :class:`TabulatedJob`, a job backed
+by a complete ``configuration -> (runtime, unit price)`` lookup table.
+
+The module also provides the derived quantities the experiment harness needs:
+the optimal (cheapest feasible) configuration, the mean per-run cost ``m̃``
+used to size the budget ``B = N * m̃ * b``, and the default time constraint
+``Tmax`` chosen so that roughly half of the configurations satisfy it
+(Section 5.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.space import ConfigSpace, Configuration
+
+__all__ = ["JobOutcome", "Job", "TabulatedJob", "ProfiledRun"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The observable result of running a job once on some configuration.
+
+    Attributes
+    ----------
+    runtime_seconds:
+        Wall-clock duration of the run.  If the run hit the job's timeout the
+        duration equals the timeout.
+    cost:
+        Money charged for the run (timeout runs are still charged).
+    timed_out:
+        Whether the run was forcefully terminated at the timeout.
+    """
+
+    runtime_seconds: float
+    cost: float
+    timed_out: bool = False
+
+    def __post_init__(self) -> None:
+        if self.runtime_seconds < 0:
+            raise ValueError("runtime_seconds must be non-negative")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProfiledRun:
+    """One row of a profiling table: a configuration and its measured outcome."""
+
+    config: Configuration
+    runtime_seconds: float
+    unit_price_per_hour: float
+
+    @property
+    def cost(self) -> float:
+        """Cost of the run under per-second billing."""
+        return self.runtime_seconds * self.unit_price_per_hour / 3600.0
+
+
+class Job:
+    """Abstract job interface used by all optimizers.
+
+    Concrete jobs must expose the configuration space (for feature
+    encoding), the list of admissible configurations (the ground set ``T`` of
+    unexplored configurations), the *a-priori known* unit price of every
+    configuration, and :meth:`run`.
+    """
+
+    #: Concrete jobs must set a human-readable name.
+    name: str
+
+    @property
+    def space(self) -> ConfigSpace:
+        """The configuration space used to encode features."""
+        raise NotImplementedError
+
+    @property
+    def configurations(self) -> list[Configuration]:
+        """All admissible configurations (may be a subset of the full grid)."""
+        raise NotImplementedError
+
+    def unit_price_per_hour(self, config: Configuration) -> float:
+        """Hourly price of the cloud resources behind ``config`` (known a priori)."""
+        raise NotImplementedError
+
+    def run(self, config: Configuration) -> JobOutcome:
+        """Run the job on ``config`` and return the measured outcome."""
+        raise NotImplementedError
+
+    # -- derived helpers, shared by all implementations ------------------------
+    def outcome_table(self) -> dict[Configuration, JobOutcome]:
+        """Outcomes for every admissible configuration (runs them all)."""
+        return {config: self.run(config) for config in self.configurations}
+
+    def costs(self) -> np.ndarray:
+        """Per-configuration costs, in :attr:`configurations` order."""
+        return np.array([self.run(c).cost for c in self.configurations])
+
+    def runtimes(self) -> np.ndarray:
+        """Per-configuration runtimes, in :attr:`configurations` order."""
+        return np.array([self.run(c).runtime_seconds for c in self.configurations])
+
+    def mean_cost(self) -> float:
+        """Average cost of a single profiling run (``m̃`` in the paper)."""
+        return float(np.mean(self.costs()))
+
+    def default_tmax(self) -> float:
+        """Time constraint satisfied by roughly half of the configurations."""
+        return float(np.median(self.runtimes()))
+
+    def feasible_configurations(self, tmax: float) -> list[Configuration]:
+        """Configurations whose run finishes within ``tmax`` (and did not time out)."""
+        feasible = []
+        for config in self.configurations:
+            outcome = self.run(config)
+            if not outcome.timed_out and outcome.runtime_seconds <= tmax:
+                feasible.append(config)
+        return feasible
+
+    def optimal(self, tmax: float) -> tuple[Configuration, float]:
+        """The cheapest feasible configuration and its cost.
+
+        Raises ``ValueError`` if no configuration meets the constraint.
+        """
+        best_config: Configuration | None = None
+        best_cost = np.inf
+        for config in self.configurations:
+            outcome = self.run(config)
+            if outcome.timed_out or outcome.runtime_seconds > tmax:
+                continue
+            if outcome.cost < best_cost:
+                best_cost = outcome.cost
+                best_config = config
+        if best_config is None:
+            raise ValueError(
+                f"no configuration of job {self.name!r} satisfies Tmax={tmax}"
+            )
+        return best_config, float(best_cost)
+
+    def optimal_cost(self, tmax: float) -> float:
+        """Cost of the optimal feasible configuration."""
+        return self.optimal(tmax)[1]
+
+
+@dataclass
+class TabulatedJob(Job):
+    """A job backed by a complete profiling table.
+
+    This mirrors the paper's trace-driven methodology: every configuration of
+    the grid was profiled once, and optimizer runs replay the table.  The
+    table also gives the simulated cloud measurements produced by the
+    workload models in :mod:`repro.workloads.tensorflow_jobs` and
+    :mod:`repro.workloads.hadoop_spark`.
+    """
+
+    name: str
+    _space: ConfigSpace
+    runs: list[ProfiledRun]
+    timeout_seconds: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError(f"job {self.name!r} has an empty profiling table")
+        self._table: dict[Configuration, ProfiledRun] = {}
+        for run in self.runs:
+            if run.config in self._table:
+                raise ValueError(f"duplicate configuration in table of job {self.name!r}")
+            self._space.validate(run.config)
+            self._table[run.config] = run
+
+    # -- Job interface ------------------------------------------------------
+    @property
+    def space(self) -> ConfigSpace:
+        return self._space
+
+    @property
+    def configurations(self) -> list[Configuration]:
+        return [run.config for run in self.runs]
+
+    def unit_price_per_hour(self, config: Configuration) -> float:
+        return self._lookup(config).unit_price_per_hour
+
+    def run(self, config: Configuration) -> JobOutcome:
+        profiled = self._lookup(config)
+        runtime = profiled.runtime_seconds
+        timed_out = False
+        if self.timeout_seconds is not None and runtime >= self.timeout_seconds:
+            runtime = self.timeout_seconds
+            timed_out = True
+        cost = runtime * profiled.unit_price_per_hour / 3600.0
+        return JobOutcome(runtime_seconds=runtime, cost=cost, timed_out=timed_out)
+
+    # -- helpers ----------------------------------------------------------------
+    def _lookup(self, config: Configuration) -> ProfiledRun:
+        try:
+            return self._table[config]
+        except KeyError:
+            raise KeyError(
+                f"configuration {config!r} is not part of job {self.name!r}'s table"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def subset(self, configs: Iterable[Configuration]) -> "TabulatedJob":
+        """A new job restricted to the given configurations."""
+        wanted = set(configs)
+        runs = [run for run in self.runs if run.config in wanted]
+        return TabulatedJob(
+            name=self.name,
+            _space=self._space,
+            runs=runs,
+            timeout_seconds=self.timeout_seconds,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,131 @@
+"""Synthetic job generators for testing and for users' own experiments.
+
+The property-based tests and several examples need cheap, arbitrary cost
+surfaces over small configuration spaces.  :func:`make_synthetic_job` builds
+a :class:`~repro.workloads.base.TabulatedJob` from a seeded random surface
+with controllable ruggedness, and :func:`make_quadratic_job` builds a smooth
+bowl-shaped surface with a known optimum — handy when a test needs to check
+that an optimizer converges to a specific configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.space import CategoricalParameter, ConfigSpace, OrdinalParameter
+from repro.workloads.base import ProfiledRun, TabulatedJob
+
+__all__ = ["make_synthetic_job", "make_quadratic_job", "synthetic_space"]
+
+
+def synthetic_space(
+    n_numeric: int = 2, numeric_levels: int = 4, n_categorical: int = 1, categories: int = 3
+) -> ConfigSpace:
+    """A small mixed discrete space for tests.
+
+    Parameters default to a 4x4x3 = 48-point space, big enough to be
+    interesting and small enough for fast property-based testing.
+    """
+    params = []
+    for i in range(n_numeric):
+        params.append(OrdinalParameter(f"x{i}", [float(v) for v in range(1, numeric_levels + 1)]))
+    for j in range(n_categorical):
+        params.append(CategoricalParameter(f"c{j}", [f"option{k}" for k in range(categories)]))
+    return ConfigSpace(parameters=params)
+
+
+def make_synthetic_job(
+    seed: int = 0,
+    *,
+    space: ConfigSpace | None = None,
+    runtime_range: tuple[float, float] = (30.0, 3000.0),
+    unit_price_range: tuple[float, float] = (0.1, 2.0),
+    ruggedness: float = 0.5,
+    timeout_seconds: float | None = None,
+    name: str | None = None,
+) -> TabulatedJob:
+    """Build a random but reproducible lookup-table job.
+
+    The runtime surface is a mixture of a smooth component (a random linear /
+    interaction function of the encoded features) and log-uniform noise whose
+    share is controlled by ``ruggedness`` in ``[0, 1]``.
+    """
+    if not 0.0 <= ruggedness <= 1.0:
+        raise ValueError("ruggedness must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    space = space if space is not None else synthetic_space()
+    configs = space.enumerate()
+    X = space.encode_many(configs)
+    # Standardise features so random weights affect each dimension equally.
+    mean = X.mean(axis=0)
+    scale = np.where(X.std(axis=0) > 0, X.std(axis=0), 1.0)
+    Z = (X - mean) / scale
+
+    weights = rng.normal(size=Z.shape[1])
+    pair = rng.normal(size=(Z.shape[1], Z.shape[1]))
+    smooth = Z @ weights + 0.4 * np.einsum("ij,jk,ik->i", Z, pair, Z)
+    smooth = (smooth - smooth.min()) / (np.ptp(smooth) + 1e-12)
+
+    noise = rng.random(len(configs))
+    mix = (1.0 - ruggedness) * smooth + ruggedness * noise
+
+    lo_t, hi_t = runtime_range
+    runtimes = np.exp(np.log(lo_t) + mix * (np.log(hi_t) - np.log(lo_t)))
+    prices = rng.uniform(unit_price_range[0], unit_price_range[1], size=len(configs))
+
+    runs = [
+        ProfiledRun(config=c, runtime_seconds=float(t), unit_price_per_hour=float(p))
+        for c, t, p in zip(configs, runtimes, prices)
+    ]
+    return TabulatedJob(
+        name=name or f"synthetic-{seed}",
+        _space=space,
+        runs=runs,
+        timeout_seconds=timeout_seconds,
+        metadata={"suite": "synthetic", "seed": seed},
+    )
+
+
+def make_quadratic_job(
+    *,
+    space: ConfigSpace | None = None,
+    optimum: dict | None = None,
+    base_runtime: float = 60.0,
+    curvature: float = 40.0,
+    unit_price_per_hour: float = 1.0,
+    name: str = "quadratic",
+) -> TabulatedJob:
+    """A smooth bowl-shaped job whose cheapest configuration is known.
+
+    The runtime of a configuration grows quadratically with its (encoded)
+    distance from ``optimum``; all configurations share the same unit price,
+    so the cheapest configuration is exactly the one closest to ``optimum``.
+    """
+    space = space if space is not None else synthetic_space()
+    configs = space.enumerate()
+    if optimum is None:
+        optimum_config = configs[len(configs) // 2]
+    else:
+        optimum_config = space.make(**optimum)
+    target = space.encode(optimum_config)
+    scale = np.where(space.encode_many(configs).std(axis=0) > 0,
+                     space.encode_many(configs).std(axis=0), 1.0)
+
+    runs = []
+    for config in configs:
+        delta = (space.encode(config) - target) / scale
+        runtime = base_runtime + curvature * float(delta @ delta)
+        runs.append(
+            ProfiledRun(
+                config=config,
+                runtime_seconds=runtime,
+                unit_price_per_hour=unit_price_per_hour,
+            )
+        )
+    return TabulatedJob(
+        name=name,
+        _space=space,
+        runs=runs,
+        timeout_seconds=None,
+        metadata={"suite": "synthetic", "optimum": optimum_config.as_dict()},
+    )

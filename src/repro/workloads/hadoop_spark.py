@@ -1,0 +1,334 @@
+"""Simulated Hadoop / Spark jobs (the Scout and CherryPick datasets).
+
+The paper's second and third datasets come from prior work: 18 HiBench /
+spark-perf jobs profiled by Scout and 5 analytics jobs (TPC-H, TPC-DS,
+TeraSort, Spark KMeans, Spark Regression) profiled by CherryPick, both on EC2
+clusters whose configuration space has three dimensions — VM family, VM size
+and cluster size.
+
+As with the TensorFlow dataset we substitute an analytic performance model
+for the original EC2 traces.  Each job is described by a resource profile
+(compute work, shuffle volume, input size, memory working set, serial
+fraction) and its runtime on a cluster combines:
+
+* Amdahl-style compute scaling over the cluster's total cores, with
+  per-family core speeds (c4 > r4/m4 > r3/i2);
+* an all-to-all shuffle phase bounded by the cluster's aggregate network
+  bandwidth, with a coordination overhead that grows with cluster size;
+* an input-scan phase bounded by aggregate local-storage throughput (which
+  is where the storage-optimised i2 family shines);
+* a memory-pressure penalty when the job's working set does not fit in the
+  cluster's aggregate memory, multiplying the shuffle and I/O phases —
+  which is where the memory-optimised r3/r4 families shine.
+
+Different jobs therefore favour different VM families and cluster sizes,
+reproducing the heterogeneity that makes the Scout / CherryPick comparison
+interesting, while the smaller 3-dimensional space keeps the optimization
+problem easier than the TensorFlow one (as the paper observes in Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.vm import VMType, get_vm_type
+from repro.core.space import (
+    CategoricalParameter,
+    ConfigSpace,
+    Configuration,
+    OrdinalParameter,
+)
+from repro.workloads.base import ProfiledRun, TabulatedJob
+
+__all__ = [
+    "AnalyticJobProfile",
+    "SCOUT_JOB_NAMES",
+    "CHERRYPICK_JOB_NAMES",
+    "scout_config_space",
+    "cherrypick_config_space",
+    "make_scout_job",
+    "make_cherrypick_job",
+]
+
+#: Scout grid (Section 5.1.2): three families, three sizes, machine counts up
+#: to 48 (capped at 24 for xlarge and 12 for 2xlarge instances).
+SCOUT_VM_FAMILIES = ("c4", "m4", "r4")
+SCOUT_VM_SIZES = ("large", "xlarge", "2xlarge")
+SCOUT_MACHINE_COUNTS = (4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48)
+_SCOUT_MAX_COUNT_PER_SIZE = {"large": 48, "xlarge": 24, "2xlarge": 12}
+
+#: CherryPick grid (Section 5.1.2): four families, three sizes; cluster scale
+#: expressed as total worker vCPUs as in the TensorFlow dataset.
+CHERRYPICK_VM_FAMILIES = ("c4", "m4", "r3", "i2")
+CHERRYPICK_VM_SIZES = ("large", "xlarge", "2xlarge")
+CHERRYPICK_TOTAL_VCPUS = (32, 48, 64, 80, 96, 112)
+
+_VCPUS_PER_SIZE = {"large": 2, "xlarge": 4, "2xlarge": 8}
+
+#: Relative single-core speed of each family.
+_FAMILY_CORE_SPEED = {"c4": 1.30, "m4": 1.00, "r4": 1.05, "r3": 0.92, "i2": 0.92}
+
+
+@dataclass(frozen=True)
+class AnalyticJobProfile:
+    """Resource profile of one Hadoop/Spark job.
+
+    Attributes
+    ----------
+    name:
+        Job name.
+    engine:
+        ``"hadoop"`` or ``"spark"`` (Spark jobs pay a larger memory-pressure
+        penalty because they lose cached RDDs, Hadoop jobs a smaller one).
+    input_gb:
+        Input data scanned from storage.
+    cpu_core_hours:
+        Total compute work, in core-hours on a reference (m4) core.
+    shuffle_gb:
+        Data exchanged all-to-all between the map and reduce stages.
+    memory_working_set_gb:
+        Aggregate memory needed to keep intermediate data resident.
+    serial_fraction:
+        Fraction of the compute work that does not parallelise.
+    """
+
+    name: str
+    engine: str
+    input_gb: float
+    cpu_core_hours: float
+    shuffle_gb: float
+    memory_working_set_gb: float
+    serial_fraction: float
+
+
+def _p(name, engine, input_gb, cpu, shuffle, mem, serial) -> AnalyticJobProfile:
+    return AnalyticJobProfile(
+        name=name,
+        engine=engine,
+        input_gb=input_gb,
+        cpu_core_hours=cpu,
+        shuffle_gb=shuffle,
+        memory_working_set_gb=mem,
+        serial_fraction=serial,
+    )
+
+
+#: The 18 Scout jobs (HiBench Hadoop workloads + spark-perf workloads).
+SCOUT_PROFILES: dict[str, AnalyticJobProfile] = {
+    p.name: p
+    for p in [
+        _p("hadoop-wordcount", "hadoop", 300.0, 9.0, 15.0, 60.0, 0.03),
+        _p("hadoop-sort", "hadoop", 200.0, 5.0, 200.0, 180.0, 0.02),
+        _p("hadoop-terasort", "hadoop", 300.0, 8.0, 300.0, 260.0, 0.02),
+        _p("hadoop-kmeans", "hadoop", 100.0, 14.0, 25.0, 120.0, 0.05),
+        _p("hadoop-bayes", "hadoop", 120.0, 10.0, 40.0, 110.0, 0.04),
+        _p("hadoop-pagerank", "hadoop", 80.0, 12.0, 90.0, 160.0, 0.06),
+        _p("hadoop-nutchindexing", "hadoop", 150.0, 7.0, 60.0, 90.0, 0.05),
+        _p("hadoop-join", "hadoop", 180.0, 6.0, 120.0, 150.0, 0.03),
+        _p("hadoop-scan", "hadoop", 250.0, 3.0, 10.0, 40.0, 0.02),
+        _p("hadoop-aggregation", "hadoop", 220.0, 5.0, 30.0, 70.0, 0.03),
+        _p("spark-als", "spark", 60.0, 16.0, 35.0, 200.0, 0.08),
+        _p("spark-kmeans", "spark", 90.0, 13.0, 20.0, 170.0, 0.06),
+        _p("spark-lr", "spark", 110.0, 11.0, 15.0, 150.0, 0.05),
+        _p("spark-pagerank", "spark", 70.0, 12.0, 110.0, 220.0, 0.07),
+        _p("spark-terasort", "spark", 280.0, 7.0, 280.0, 300.0, 0.02),
+        _p("spark-sort", "spark", 180.0, 4.5, 180.0, 210.0, 0.02),
+        _p("spark-wordcount", "spark", 280.0, 8.0, 12.0, 55.0, 0.03),
+        _p("spark-naive-bayes", "spark", 130.0, 9.0, 30.0, 140.0, 0.05),
+    ]
+}
+
+#: The 5 CherryPick jobs.
+CHERRYPICK_PROFILES: dict[str, AnalyticJobProfile] = {
+    p.name: p
+    for p in [
+        _p("tpch", "spark", 350.0, 22.0, 160.0, 420.0, 0.05),
+        _p("tpcds", "spark", 420.0, 28.0, 220.0, 520.0, 0.06),
+        _p("terasort", "hadoop", 500.0, 14.0, 500.0, 600.0, 0.02),
+        _p("spark-kmeans", "spark", 160.0, 26.0, 40.0, 380.0, 0.07),
+        _p("spark-regression", "spark", 200.0, 20.0, 30.0, 320.0, 0.06),
+    ]
+}
+
+SCOUT_JOB_NAMES = tuple(SCOUT_PROFILES)
+CHERRYPICK_JOB_NAMES = tuple(CHERRYPICK_PROFILES)
+
+#: Per-job exclusions shrinking the CherryPick spaces to 47-72 points, as in
+#: the paper ("the configuration space is not the same for all jobs").
+_CHERRYPICK_EXCLUSIONS: dict[str, set[tuple[str, str]]] = {
+    "tpch": set(),
+    "tpcds": {("i2", "large")},
+    "terasort": {("m4", "large"), ("m4", "xlarge")},
+    "spark-kmeans": {("i2", "large"), ("i2", "xlarge"), ("i2", "2xlarge")},
+    "spark-regression": {
+        ("i2", "large"),
+        ("i2", "xlarge"),
+        ("i2", "2xlarge"),
+        ("r3", "large"),
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# configuration spaces
+# ---------------------------------------------------------------------------
+
+def scout_config_space() -> ConfigSpace:
+    """The 3-dimensional Scout configuration space (full product grid)."""
+    return ConfigSpace(
+        parameters=[
+            CategoricalParameter("vm_family", SCOUT_VM_FAMILIES),
+            CategoricalParameter("vm_size", SCOUT_VM_SIZES),
+            OrdinalParameter("n_machines", SCOUT_MACHINE_COUNTS),
+        ]
+    )
+
+
+def cherrypick_config_space() -> ConfigSpace:
+    """The 3-dimensional CherryPick configuration space (full product grid)."""
+    return ConfigSpace(
+        parameters=[
+            CategoricalParameter("vm_family", CHERRYPICK_VM_FAMILIES),
+            CategoricalParameter("vm_size", CHERRYPICK_VM_SIZES),
+            OrdinalParameter("total_vcpus", CHERRYPICK_TOTAL_VCPUS),
+        ]
+    )
+
+
+def _scout_valid_configs(space: ConfigSpace) -> list[Configuration]:
+    configs = []
+    for config in space.enumerate():
+        if config["n_machines"] <= _SCOUT_MAX_COUNT_PER_SIZE[config["vm_size"]]:
+            configs.append(config)
+    return configs
+
+
+def _cherrypick_valid_configs(space: ConfigSpace, job_name: str) -> list[Configuration]:
+    excluded = _CHERRYPICK_EXCLUSIONS.get(job_name, set())
+    configs = []
+    for config in space.enumerate():
+        if (config["vm_family"], config["vm_size"]) in excluded:
+            continue
+        configs.append(config)
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# analytic runtime model
+# ---------------------------------------------------------------------------
+
+def _vm_of(family: str, size: str) -> VMType:
+    return get_vm_type(f"{family}.{size}")
+
+
+def _cluster_shape(config: Configuration) -> tuple[VMType, int]:
+    """Resolve a Scout/CherryPick configuration to (vm type, machine count)."""
+    vm = _vm_of(config["vm_family"], config["vm_size"])
+    if "n_machines" in config:
+        n = int(config["n_machines"])
+    else:
+        total_vcpus = int(config["total_vcpus"])
+        n = max(1, total_vcpus // vm.vcpus)
+    return vm, n
+
+
+def _stable_noise(job_name: str, config: Configuration, scale: float) -> float:
+    key = f"{job_name}|{sorted(config.values)!r}".encode()
+    rng = np.random.default_rng(zlib.crc32(key))
+    return float(np.clip(rng.normal(1.0, scale), 1.0 - 3.0 * scale, 1.0 + 3.0 * scale))
+
+
+def simulate_analytics_runtime(profile: AnalyticJobProfile, config: Configuration) -> float:
+    """Runtime in seconds of a Hadoop/Spark job on a cluster configuration."""
+    vm, n_machines = _cluster_shape(config)
+    total_cores = vm.vcpus * n_machines
+    total_memory_gb = vm.memory_gb * n_machines
+    core_speed = _FAMILY_CORE_SPEED[vm.family]
+
+    # -- compute: Amdahl over the cluster's cores --------------------------
+    work_core_seconds = profile.cpu_core_hours * 3600.0
+    serial_s = profile.serial_fraction * work_core_seconds / core_speed
+    parallel_s = (
+        (1.0 - profile.serial_fraction) * work_core_seconds / (total_cores * core_speed)
+    )
+
+    # -- memory pressure -----------------------------------------------------
+    # When the working set exceeds ~80% of aggregate memory the job spills to
+    # disk: Spark jobs lose cached RDDs and pay more than Hadoop jobs.
+    usable_memory = 0.8 * total_memory_gb
+    pressure = profile.memory_working_set_gb / max(usable_memory, 1e-9)
+    if pressure > 1.0:
+        spill_strength = 2.2 if profile.engine == "spark" else 1.2
+        spill_factor = 1.0 + spill_strength * (pressure - 1.0)
+    else:
+        spill_factor = 1.0
+
+    # -- shuffle: all-to-all over the aggregate network ------------------------
+    aggregate_net_gbps = vm.network_gbps * n_machines
+    shuffle_efficiency = 1.0 / (1.0 + 0.015 * n_machines)
+    shuffle_s = (
+        profile.shuffle_gb * 8.0 / (aggregate_net_gbps * shuffle_efficiency)
+    ) * spill_factor
+
+    # -- input scan over aggregate local storage -------------------------------
+    aggregate_io_gbps = vm.io_mbps * n_machines / 1000.0
+    scan_s = (profile.input_gb / aggregate_io_gbps) * (spill_factor if pressure > 1.0 else 1.0)
+
+    # -- framework overhead ------------------------------------------------------
+    startup_s = 18.0 + 0.6 * n_machines
+
+    runtime = startup_s + serial_s + parallel_s + shuffle_s + scan_s
+    return runtime * _stable_noise(profile.name, config, scale=0.04)
+
+
+# ---------------------------------------------------------------------------
+# job factories
+# ---------------------------------------------------------------------------
+
+def _make_job(
+    suite: str,
+    profile: AnalyticJobProfile,
+    space: ConfigSpace,
+    configs: list[Configuration],
+) -> TabulatedJob:
+    runs = []
+    for config in configs:
+        vm, n_machines = _cluster_shape(config)
+        runtime = simulate_analytics_runtime(profile, config)
+        runs.append(
+            ProfiledRun(
+                config=config,
+                runtime_seconds=runtime,
+                unit_price_per_hour=vm.price_per_hour * n_machines,
+            )
+        )
+    return TabulatedJob(
+        name=f"{suite}-{profile.name}",
+        _space=space,
+        runs=runs,
+        timeout_seconds=None,
+        metadata={"suite": suite, "engine": profile.engine},
+    )
+
+
+def make_scout_job(name: str) -> TabulatedJob:
+    """Generate the profiling table for one of the 18 Scout jobs."""
+    if name not in SCOUT_PROFILES:
+        raise ValueError(f"unknown Scout job {name!r}; expected one of {SCOUT_JOB_NAMES}")
+    space = scout_config_space()
+    configs = _scout_valid_configs(space)
+    return _make_job("scout", SCOUT_PROFILES[name], space, configs)
+
+
+def make_cherrypick_job(name: str) -> TabulatedJob:
+    """Generate the profiling table for one of the 5 CherryPick jobs."""
+    if name not in CHERRYPICK_PROFILES:
+        raise ValueError(
+            f"unknown CherryPick job {name!r}; expected one of {CHERRYPICK_JOB_NAMES}"
+        )
+    space = cherrypick_config_space()
+    configs = _cherrypick_valid_configs(space, name)
+    return _make_job("cherrypick", CHERRYPICK_PROFILES[name], space, configs)

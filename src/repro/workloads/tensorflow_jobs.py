@@ -1,0 +1,330 @@
+"""Simulated TensorFlow training jobs (the paper's primary dataset).
+
+The paper's most challenging dataset profiles three neural-network training
+jobs (Multilayer, CNN, RNN) on MNIST with TensorFlow's parameter-server
+architecture on EC2.  The configuration space has five dimensions —
+Table 1 (learning rate x batch size x sync/async) crossed with Table 2
+(4 VM types x 8 cluster scales) — for 384 configurations per job.  A job
+trains until it reaches 0.85 accuracy or a 10-minute timeout fires.
+
+We do not have the original EC2 measurements, so this module substitutes an
+analytic *parameter-server performance model* that reproduces the properties
+the paper demonstrates and that the optimizers are sensitive to:
+
+* the runtime of a configuration is the number of gradient updates needed to
+  reach the target accuracy times the duration of one update;
+* the number of updates depends on the learning rate, on the (effective)
+  batch size and, for asynchronous training, on gradient staleness, which
+  grows with the number of workers — this couples the hyper-parameters to the
+  cluster shape and makes disjoint optimization sub-optimal (Fig. 1b);
+* the duration of one update combines per-worker compute, worker <-> parameter
+  server communication and, for synchronous training, stragglers plus the
+  parameter-server aggregation bottleneck;
+* configurations that do not converge within the 10-minute timeout are
+  forcefully terminated and still charged, producing the three-orders-of-
+  magnitude cost spread and the tiny set of near-optimal configurations of
+  Fig. 1a.
+
+A small deterministic, per-configuration noise term models measurement
+variability while keeping dataset generation perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.vm import get_vm_type
+from repro.core.space import (
+    CategoricalParameter,
+    ConfigSpace,
+    Configuration,
+    OrdinalParameter,
+)
+from repro.workloads.base import ProfiledRun, TabulatedJob
+
+__all__ = [
+    "TENSORFLOW_JOB_NAMES",
+    "TENSORFLOW_TIMEOUT_SECONDS",
+    "NeuralNetworkProfile",
+    "TENSORFLOW_PROFILES",
+    "tensorflow_config_space",
+    "make_tensorflow_job",
+]
+
+#: The three neural-network models trained in the paper.
+TENSORFLOW_JOB_NAMES = ("cnn", "rnn", "multilayer")
+
+#: Jobs are forcefully terminated after 10 minutes (Section 5.1.1).
+TENSORFLOW_TIMEOUT_SECONDS = 600.0
+
+#: Table 2 — VM types available to the TensorFlow jobs.
+TENSORFLOW_VM_TYPES = ("t2.small", "t2.medium", "t2.xlarge", "t2.2xlarge")
+
+#: Table 2 — each row keeps the total worker vCPU count in this set, so the
+#: cloud dimension is (VM type, total vCPUs) and the grid is a clean product.
+TENSORFLOW_TOTAL_VCPUS = (8, 16, 32, 48, 64, 80, 96, 112)
+
+#: Table 1 — hyper-parameter grid.
+TENSORFLOW_LEARNING_RATES = (1e-5, 1e-4, 1e-3)
+TENSORFLOW_BATCH_SIZES = (16, 256)
+TENSORFLOW_TRAINING_MODES = ("async", "sync")
+
+#: MNIST training-set size, used to express convergence effort in examples.
+_MNIST_TRAIN_EXAMPLES = 55_000
+
+
+@dataclass(frozen=True)
+class NeuralNetworkProfile:
+    """Per-model coefficients of the parameter-server performance model.
+
+    Attributes
+    ----------
+    name:
+        Job name.
+    compute_ms_per_example:
+        CPU milliseconds needed to process one training example on one vCPU
+        of the reference (t2.small) machine.
+    model_mb:
+        Size of the model parameters in MB; exchanged with the parameter
+        server twice per update (gradient push + parameter pull).
+    examples_to_converge:
+        Training examples that must be processed to reach 0.85 accuracy with
+        the best learning rate and no staleness.
+    min_updates:
+        Floor on the number of gradient updates (large batches cannot push
+        the update count below this).
+    staleness_penalty:
+        Strength of the asynchronous-staleness effect per extra worker.
+    sync_inefficiency:
+        Extra fraction of examples needed per doubling of the effective
+        (synchronous) batch beyond the critical batch size.
+    """
+
+    name: str
+    compute_ms_per_example: float
+    model_mb: float
+    examples_to_converge: float
+    min_updates: float
+    staleness_penalty: float
+    sync_inefficiency: float
+
+
+#: Coefficients for the three models.  CNN: compute heavy, medium model.
+#: RNN: sequential, expensive per example, communication-light but poorly
+#: parallelisable.  Multilayer: small and cheap, converges quickly.
+TENSORFLOW_PROFILES: dict[str, NeuralNetworkProfile] = {
+    "cnn": NeuralNetworkProfile(
+        name="cnn",
+        compute_ms_per_example=4.0,
+        model_mb=3.0,
+        examples_to_converge=1.2 * _MNIST_TRAIN_EXAMPLES,
+        min_updates=400.0,
+        staleness_penalty=0.05,
+        sync_inefficiency=0.18,
+    ),
+    "rnn": NeuralNetworkProfile(
+        name="rnn",
+        compute_ms_per_example=7.0,
+        model_mb=1.5,
+        examples_to_converge=0.9 * _MNIST_TRAIN_EXAMPLES,
+        min_updates=600.0,
+        staleness_penalty=0.08,
+        sync_inefficiency=0.25,
+    ),
+    "multilayer": NeuralNetworkProfile(
+        name="multilayer",
+        compute_ms_per_example=1.0,
+        model_mb=0.8,
+        examples_to_converge=0.5 * _MNIST_TRAIN_EXAMPLES,
+        min_updates=250.0,
+        staleness_penalty=0.06,
+        sync_inefficiency=0.12,
+    ),
+}
+
+#: Relative single-thread speed of each VM type (larger instances get newer
+#: silicon and suffer less CPU-steal).
+_VM_SPEED = {
+    "t2.small": 1.0,
+    "t2.medium": 1.02,
+    "t2.xlarge": 1.12,
+    "t2.2xlarge": 1.18,
+}
+
+#: Per-update learning-rate efficiency: how many times more examples are
+#: needed, relative to the best rate (1e-3), to reach the target accuracy.
+_LR_EXAMPLE_FACTOR = {1e-3: 1.0, 1e-4: 3.0, 1e-5: 16.0}
+
+#: Critical effective batch size beyond which larger batches stop reducing
+#: the number of updates one-for-one.
+_CRITICAL_BATCH = 512.0
+
+#: Asynchronous training diverges (never reaches the target accuracy) when the
+#: aggregate gradient staleness exceeds this threshold; the run then hits the
+#: 10-minute timeout.  This captures the well-known instability of fully
+#: asynchronous SGD with many workers and large step sizes, and is the main
+#: source of interaction between the hyper-parameters and the cluster shape.
+_ASYNC_DIVERGENCE_THRESHOLD = 1.2
+
+#: Runtime assigned to runs that never converge (far beyond the timeout).
+_DIVERGED_RUNTIME_SECONDS = 50_000.0
+
+
+def tensorflow_config_space() -> ConfigSpace:
+    """The 5-dimensional, 384-point configuration space of Tables 1 and 2."""
+    return ConfigSpace(
+        parameters=[
+            CategoricalParameter("vm_type", TENSORFLOW_VM_TYPES),
+            OrdinalParameter("total_vcpus", TENSORFLOW_TOTAL_VCPUS),
+            OrdinalParameter("learning_rate", TENSORFLOW_LEARNING_RATES),
+            OrdinalParameter("batch_size", TENSORFLOW_BATCH_SIZES),
+            CategoricalParameter("training_mode", TENSORFLOW_TRAINING_MODES),
+        ]
+    )
+
+
+def n_workers_of(config: Configuration) -> int:
+    """Number of worker VMs implied by a TensorFlow configuration."""
+    vm = get_vm_type(config["vm_type"])
+    total_vcpus = int(config["total_vcpus"])
+    if total_vcpus % vm.vcpus != 0:
+        raise ValueError(
+            f"total_vcpus={total_vcpus} is not a multiple of {vm.name}'s {vm.vcpus} vCPUs"
+        )
+    return total_vcpus // vm.vcpus
+
+
+def cluster_of(config: Configuration) -> ClusterSpec:
+    """Cluster spec of a TensorFlow configuration (workers + one PS node)."""
+    vm_name = config["vm_type"]
+    return ClusterSpec.of(vm_name, n_workers_of(config), master_vm_name=vm_name)
+
+
+def _stable_noise(job_name: str, config: Configuration, scale: float) -> float:
+    """Deterministic multiplicative noise in ``[1 - 3*scale, 1 + 3*scale]``.
+
+    The noise is a pure function of the job name and configuration so the
+    generated dataset is identical across processes and platforms.
+    """
+    key = f"{job_name}|{sorted(config.values)!r}".encode()
+    seed = zlib.crc32(key)
+    rng = np.random.default_rng(seed)
+    return float(np.clip(rng.normal(1.0, scale), 1.0 - 3.0 * scale, 1.0 + 3.0 * scale))
+
+
+def _updates_needed(profile: NeuralNetworkProfile, config: Configuration) -> float:
+    """Gradient updates required to reach the target accuracy."""
+    lr = float(config["learning_rate"])
+    batch = float(config["batch_size"])
+    mode = config["training_mode"]
+    n_workers = n_workers_of(config)
+
+    examples = profile.examples_to_converge * _LR_EXAMPLE_FACTOR[lr]
+
+    if mode == "sync":
+        # Synchronous training aggregates one gradient per worker per update,
+        # so the effective batch is batch * N.  Beyond the critical batch the
+        # extra examples are increasingly wasted.
+        effective_batch = batch * n_workers
+        if effective_batch > _CRITICAL_BATCH:
+            waste = 1.0 + profile.sync_inefficiency * np.log2(effective_batch / _CRITICAL_BATCH)
+            examples *= waste
+        updates = examples / effective_batch
+    else:
+        # Asynchronous training applies each worker's gradient independently;
+        # stale gradients hurt more with more workers and with larger steps,
+        # and beyond a threshold the run never reaches the target accuracy.
+        staleness_coefficient = (
+            profile.staleness_penalty * (n_workers - 1) * np.sqrt(lr / 1e-3)
+        )
+        if staleness_coefficient > _ASYNC_DIVERGENCE_THRESHOLD:
+            return np.inf
+        examples *= 1.0 + staleness_coefficient
+        updates = examples / batch
+
+    return max(updates, profile.min_updates)
+
+
+def _update_seconds(profile: NeuralNetworkProfile, config: Configuration) -> float:
+    """Wall-clock seconds consumed per gradient update (cluster-wide)."""
+    vm = get_vm_type(config["vm_type"])
+    batch = float(config["batch_size"])
+    mode = config["training_mode"]
+    n_workers = n_workers_of(config)
+
+    speed = _VM_SPEED[vm.name]
+    # Per-worker compute for one mini-batch: data-parallel across the VM's
+    # vCPUs with a mild intra-VM parallelisation penalty.
+    intra_vm_eff = 1.0 / (1.0 + 0.06 * (vm.vcpus - 1))
+    compute_s = (
+        profile.compute_ms_per_example * batch / 1000.0 / (vm.vcpus * speed * intra_vm_eff)
+    )
+    # Worker <-> parameter-server traffic: gradients up, parameters down.
+    worker_net_mbps = vm.network_gbps * 1000.0 / 8.0
+    comm_s = 2.0 * profile.model_mb / worker_net_mbps
+    # The parameter server is one VM of the same type; its NIC must serve all
+    # workers.
+    ps_net_mbps = vm.network_gbps * 1000.0 / 8.0
+    ps_service_s = 2.0 * profile.model_mb / ps_net_mbps
+
+    if mode == "sync":
+        # One update = every worker computes + communicates, the slowest
+        # worker (straggler) gates the barrier, and the PS aggregates the N
+        # contributions hierarchically (tree reduction).
+        straggler = 1.0 + 0.07 * np.log2(max(n_workers, 1))
+        aggregation_s = ps_service_s * np.log2(n_workers + 1)
+        return (compute_s + comm_s) * straggler + aggregation_s
+    # Asynchronous: updates stream from all workers concurrently; throughput
+    # is bounded by the workers and by the PS service rate.
+    worker_rate = n_workers / (compute_s + comm_s)
+    ps_rate = 1.0 / ps_service_s
+    return 1.0 / min(worker_rate, ps_rate)
+
+
+def simulate_runtime_seconds(job_name: str, config: Configuration) -> float:
+    """Uncapped runtime of ``job_name`` on ``config`` under the analytic model."""
+    profile = TENSORFLOW_PROFILES[job_name]
+    updates = _updates_needed(profile, config)
+    if not np.isfinite(updates):
+        return _DIVERGED_RUNTIME_SECONDS
+    seconds_per_update = _update_seconds(profile, config)
+    startup_s = 8.0 + 0.15 * n_workers_of(config)  # graph build + session setup
+    runtime = startup_s + updates * seconds_per_update
+    return runtime * _stable_noise(job_name, config, scale=0.03)
+
+
+def make_tensorflow_job(name: str) -> TabulatedJob:
+    """Generate the full 384-point profiling table for one TensorFlow job.
+
+    Parameters
+    ----------
+    name:
+        One of ``"cnn"``, ``"rnn"`` or ``"multilayer"``.
+    """
+    if name not in TENSORFLOW_PROFILES:
+        raise ValueError(
+            f"unknown TensorFlow job {name!r}; expected one of {TENSORFLOW_JOB_NAMES}"
+        )
+    space = tensorflow_config_space()
+    runs = []
+    for config in space.enumerate():
+        cluster = cluster_of(config)
+        runtime = simulate_runtime_seconds(name, config)
+        runs.append(
+            ProfiledRun(
+                config=config,
+                runtime_seconds=runtime,
+                unit_price_per_hour=cluster.total_price_per_hour,
+            )
+        )
+    return TabulatedJob(
+        name=f"tensorflow-{name}",
+        _space=space,
+        runs=runs,
+        timeout_seconds=TENSORFLOW_TIMEOUT_SECONDS,
+        metadata={"suite": "tensorflow", "model": name},
+    )

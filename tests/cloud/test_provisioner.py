@@ -1,0 +1,92 @@
+"""Tests for the simulated provisioner (setup-cost substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.provisioner import SimulatedProvisioner
+
+
+@pytest.fixture
+def provisioner():
+    return SimulatedProvisioner(boot_seconds_per_vm=60.0, data_load_seconds=120.0)
+
+
+class TestSwitchEstimates:
+    def test_first_deployment_boots_everything(self, provisioner):
+        cluster = ClusterSpec.of("m4.large", 4)
+        assert provisioner.estimate_switch_seconds(cluster) == pytest.approx(
+            60.0 * 4 + 120.0
+        )
+
+    def test_redeploying_same_cluster_is_free(self, provisioner):
+        cluster = ClusterSpec.of("m4.large", 4)
+        provisioner.deploy(cluster)
+        assert provisioner.estimate_switch_seconds(cluster) == 0.0
+        event = provisioner.deploy(cluster)
+        assert event.action == "reuse"
+        assert event.setup_cost == 0.0
+
+    def test_growing_same_vm_type_boots_only_new_vms(self, provisioner):
+        provisioner.deploy(ClusterSpec.of("m4.large", 2))
+        bigger = ClusterSpec.of("m4.large", 6)
+        seconds = provisioner.estimate_switch_seconds(bigger)
+        assert seconds < provisioner.boot_seconds_per_vm * 6 + provisioner.data_load_seconds
+        assert seconds == pytest.approx(60.0 * 4 + 120.0 * (4 / 6))
+
+    def test_shrinking_same_vm_type_costs_nothing_to_boot(self, provisioner):
+        provisioner.deploy(ClusterSpec.of("m4.large", 6))
+        smaller = ClusterSpec.of("m4.large", 2)
+        assert provisioner.estimate_switch_seconds(smaller) == pytest.approx(0.0)
+
+    def test_changing_vm_type_reboots_everything(self, provisioner):
+        provisioner.deploy(ClusterSpec.of("m4.large", 4))
+        other = ClusterSpec.of("c4.xlarge", 4)
+        assert provisioner.estimate_switch_seconds(other) == pytest.approx(
+            60.0 * 4 + 120.0
+        )
+
+    def test_estimate_matches_billing_model(self, provisioner):
+        cluster = ClusterSpec.of("m4.large", 4)
+        expected = provisioner.billing.cost(
+            cluster, provisioner.estimate_switch_seconds(cluster)
+        )
+        assert provisioner.estimate_switch_cost(cluster) == pytest.approx(expected)
+
+
+class TestDeployment:
+    def test_event_log_and_total_cost_accumulate(self, provisioner):
+        provisioner.deploy(ClusterSpec.of("m4.large", 2))
+        provisioner.deploy(ClusterSpec.of("c4.large", 2))
+        assert len(provisioner.events) == 2
+        assert provisioner.total_setup_cost == pytest.approx(
+            sum(e.setup_cost for e in provisioner.events)
+        )
+
+    def test_actions_are_labelled(self, provisioner):
+        first = provisioner.deploy(ClusterSpec.of("m4.large", 2))
+        resize = provisioner.deploy(ClusterSpec.of("m4.large", 4))
+        boot = provisioner.deploy(ClusterSpec.of("c4.large", 2))
+        assert first.action == "boot"
+        assert resize.action == "resize"
+        assert boot.action == "boot"
+
+    def test_teardown_forgets_current_cluster(self, provisioner):
+        cluster = ClusterSpec.of("m4.large", 2)
+        provisioner.deploy(cluster)
+        provisioner.teardown()
+        assert provisioner.current_cluster is None
+        assert provisioner.estimate_switch_seconds(cluster) > 0.0
+
+    def test_jitter_keeps_setup_time_nonnegative(self):
+        provisioner = SimulatedProvisioner(jitter=0.5, seed=0)
+        for n in (1, 2, 4, 8):
+            event = provisioner.deploy(ClusterSpec.of("m4.large", n))
+            assert event.setup_seconds >= 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedProvisioner(boot_seconds_per_vm=-1.0)
+        with pytest.raises(ValueError):
+            SimulatedProvisioner(jitter=-0.1)

@@ -1,0 +1,103 @@
+"""Tests for the VM catalogue, cluster specs and billing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.pricing import PerHourBilling, PerSecondBilling
+from repro.cloud.vm import VM_CATALOG, family_of, get_vm_type, size_of
+
+
+class TestCatalogue:
+    def test_contains_every_family_used_by_the_paper(self):
+        families = {vm.family for vm in VM_CATALOG.values()}
+        assert {"t2", "c4", "m4", "r4", "r3", "i2"} <= families
+
+    def test_tensorflow_types_match_table2(self):
+        assert get_vm_type("t2.small").vcpus == 1
+        assert get_vm_type("t2.medium").vcpus == 2
+        assert get_vm_type("t2.xlarge").vcpus == 4
+        assert get_vm_type("t2.2xlarge").vcpus == 8
+        assert get_vm_type("t2.small").memory_gb == 2.0
+        assert get_vm_type("t2.2xlarge").memory_gb == 32.0
+
+    def test_prices_scale_with_size_within_a_family(self):
+        assert (
+            get_vm_type("c4.large").price_per_hour
+            < get_vm_type("c4.xlarge").price_per_hour
+            < get_vm_type("c4.2xlarge").price_per_hour
+        )
+
+    def test_price_per_second(self):
+        vm = get_vm_type("m4.large")
+        assert vm.price_per_second == pytest.approx(vm.price_per_hour / 3600.0)
+
+    def test_unknown_type_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="known types"):
+            get_vm_type("z9.mega")
+
+    def test_family_and_size_helpers(self):
+        assert family_of("r4.xlarge") == "r4"
+        assert size_of("r4.xlarge") == "xlarge"
+
+
+class TestClusterSpec:
+    def test_aggregate_resources(self):
+        cluster = ClusterSpec.of("c4.xlarge", 4)
+        assert cluster.total_vcpus == 16
+        assert cluster.total_memory_gb == pytest.approx(30.0)
+        assert cluster.n_vms == 4
+        assert cluster.total_price_per_hour == pytest.approx(4 * 0.199)
+
+    def test_master_is_counted_in_price_but_not_compute(self):
+        cluster = ClusterSpec.of("t2.small", 8, master_vm_name="t2.small")
+        assert cluster.n_vms == 9
+        assert cluster.total_vcpus == 8
+        assert cluster.total_price_per_hour == pytest.approx(9 * 0.023)
+
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.of("c4.large", 0)
+
+    def test_describe_mentions_vm_type_and_count(self):
+        text = ClusterSpec.of("m4.large", 3).describe()
+        assert "3x m4.large" in text
+
+
+class TestBilling:
+    def test_per_second_billing_is_linear(self):
+        cluster = ClusterSpec.of("m4.large", 2)
+        billing = PerSecondBilling()
+        assert billing.cost(cluster, 3600.0) == pytest.approx(cluster.total_price_per_hour)
+        assert billing.cost(cluster, 1800.0) == pytest.approx(
+            cluster.total_price_per_hour / 2
+        )
+        assert billing.cost(cluster, 0.0) == 0.0
+
+    def test_per_second_minimum_duration(self):
+        cluster = ClusterSpec.of("m4.large", 2)
+        billing = PerSecondBilling(minimum_seconds=60.0)
+        assert billing.cost(cluster, 10.0) == pytest.approx(billing.cost(cluster, 60.0))
+
+    def test_negative_runtime_rejected(self):
+        cluster = ClusterSpec.of("m4.large", 2)
+        with pytest.raises(ValueError):
+            PerSecondBilling().cost(cluster, -1.0)
+        with pytest.raises(ValueError):
+            PerHourBilling().cost(cluster, -1.0)
+
+    def test_per_hour_billing_rounds_up(self):
+        cluster = ClusterSpec.of("m4.large", 1)
+        billing = PerHourBilling()
+        assert billing.cost(cluster, 10.0) == pytest.approx(cluster.total_price_per_hour)
+        assert billing.cost(cluster, 3601.0) == pytest.approx(
+            2 * cluster.total_price_per_hour
+        )
+        assert billing.cost(cluster, 0.0) == 0.0
+
+    def test_unit_price_matches_cluster_price(self):
+        cluster = ClusterSpec.of("r4.2xlarge", 3)
+        assert PerSecondBilling().unit_price_per_hour(cluster) == pytest.approx(
+            cluster.total_price_per_hour
+        )

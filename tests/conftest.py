@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the generated workload tables) are session-scoped; the
+small synthetic jobs used by most optimizer tests are rebuilt per test from a
+fixed seed so tests stay independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import CategoricalParameter, ConfigSpace, OrdinalParameter
+from repro.workloads import (
+    load_job,
+    make_quadratic_job,
+    make_synthetic_job,
+    synthetic_space,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_space() -> ConfigSpace:
+    """A 2-dimensional, 6-point configuration space."""
+    return ConfigSpace(
+        parameters=[
+            OrdinalParameter("n_vms", [1, 2, 4]),
+            CategoricalParameter("vm_type", ["small", "large"]),
+        ]
+    )
+
+
+@pytest.fixture
+def small_space() -> ConfigSpace:
+    """The default 48-point synthetic space."""
+    return synthetic_space()
+
+
+@pytest.fixture
+def synthetic_job():
+    """A random but reproducible 48-point lookup-table job."""
+    return make_synthetic_job(seed=3)
+
+
+@pytest.fixture
+def quadratic_job():
+    """A smooth job whose optimum is known exactly."""
+    return make_quadratic_job(optimum={"x0": 2.0, "x1": 3.0, "c0": "option1"})
+
+
+@pytest.fixture(scope="session")
+def scout_job():
+    """One Scout job (72 configurations), shared across the session."""
+    return load_job("scout-hadoop-wordcount")
+
+
+@pytest.fixture(scope="session")
+def cherrypick_job():
+    """One CherryPick job, shared across the session."""
+    return load_job("cherrypick-spark-regression")
+
+
+@pytest.fixture(scope="session")
+def tensorflow_job():
+    """The Multilayer TensorFlow job (384 configurations), shared across the session."""
+    return load_job("tensorflow-multilayer")

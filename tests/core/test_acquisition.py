@@ -1,0 +1,133 @@
+"""Tests for EI, constrained EI, the incumbent rule and the viability filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import (
+    budget_viable_mask,
+    constrained_expected_improvement,
+    estimate_incumbent,
+    expected_improvement,
+    probability_below,
+)
+from repro.core.state import Observation, OptimizerState
+
+
+class TestExpectedImprovement:
+    def test_zero_uncertainty_below_incumbent(self):
+        ei = expected_improvement(np.array([5.0]), np.array([0.0]), incumbent=10.0)
+        assert ei[0] == pytest.approx(5.0)
+
+    def test_zero_uncertainty_above_incumbent(self):
+        ei = expected_improvement(np.array([15.0]), np.array([0.0]), incumbent=10.0)
+        assert ei[0] == 0.0
+
+    def test_uncertainty_gives_positive_ei_even_above_incumbent(self):
+        ei = expected_improvement(np.array([12.0]), np.array([5.0]), incumbent=10.0)
+        assert ei[0] > 0.0
+
+    def test_ei_increases_with_uncertainty(self):
+        low = expected_improvement(np.array([10.0]), np.array([1.0]), incumbent=10.0)
+        high = expected_improvement(np.array([10.0]), np.array([5.0]), incumbent=10.0)
+        assert high[0] > low[0]
+
+    def test_ei_increases_as_mean_decreases(self):
+        worse = expected_improvement(np.array([9.0]), np.array([1.0]), incumbent=10.0)
+        better = expected_improvement(np.array([5.0]), np.array([1.0]), incumbent=10.0)
+        assert better[0] > worse[0]
+
+    def test_ei_never_negative(self):
+        means = np.linspace(0, 100, 21)
+        stds = np.linspace(0, 10, 21)
+        ei = expected_improvement(means, stds, incumbent=30.0)
+        assert np.all(ei >= 0.0)
+
+    def test_vectorised_shape(self):
+        ei = expected_improvement(np.ones(7), np.ones(7), incumbent=2.0)
+        assert ei.shape == (7,)
+
+
+class TestProbabilityBelow:
+    def test_certain_cases_without_uncertainty(self):
+        prob = probability_below(np.array([1.0, 3.0]), np.array([0.0, 0.0]), 2.0)
+        assert prob[0] == 1.0
+        assert prob[1] == 0.0
+
+    def test_symmetric_at_threshold(self):
+        prob = probability_below(np.array([2.0]), np.array([1.0]), 2.0)
+        assert prob[0] == pytest.approx(0.5)
+
+    def test_monotone_in_threshold(self):
+        mean, std = np.array([5.0]), np.array([2.0])
+        assert probability_below(mean, std, 4.0)[0] < probability_below(mean, std, 6.0)[0]
+
+    def test_array_threshold_broadcast(self):
+        prob = probability_below(
+            np.array([1.0, 1.0]), np.array([1.0, 1.0]), np.array([0.0, 2.0])
+        )
+        assert prob[0] < 0.5 < prob[1]
+
+
+class TestConstrainedEI:
+    def test_product_structure(self):
+        mean = np.array([5.0, 5.0])
+        std = np.array([1.0, 1.0])
+        constraint = np.array([1.0, 0.0])
+        eic = constrained_expected_improvement(mean, std, 10.0, constraint)
+        assert eic[1] == 0.0
+        assert eic[0] > 0.0
+
+    def test_halved_constraint_halves_acquisition(self):
+        mean, std = np.array([5.0]), np.array([1.0])
+        full = constrained_expected_improvement(mean, std, 10.0, np.array([1.0]))
+        half = constrained_expected_improvement(mean, std, 10.0, np.array([0.5]))
+        assert half[0] == pytest.approx(full[0] / 2.0)
+
+
+class TestIncumbent:
+    def _state(self, tiny_space):
+        return OptimizerState(
+            space=tiny_space, untested=tiny_space.enumerate(), budget_remaining=100.0
+        )
+
+    def test_uses_cheapest_feasible_cost(self, tiny_space):
+        state = self._state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(Observation(configs[0], cost=8.0, runtime_seconds=5.0))
+        state.add_observation(Observation(configs[1], cost=3.0, runtime_seconds=50.0))
+        assert estimate_incumbent(state, tmax=10.0) == pytest.approx(8.0)
+
+    def test_fallback_when_no_feasible_observation(self, tiny_space):
+        state = self._state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(Observation(configs[0], cost=8.0, runtime_seconds=100.0))
+        incumbent = estimate_incumbent(state, tmax=10.0, untested_std=np.array([2.0, 1.0]))
+        assert incumbent == pytest.approx(8.0 + 3.0 * 2.0)
+
+    def test_fallback_without_std_information(self, tiny_space):
+        state = self._state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(Observation(configs[0], cost=8.0, runtime_seconds=100.0))
+        assert estimate_incumbent(state, tmax=10.0) == pytest.approx(8.0)
+
+
+class TestBudgetViability:
+    def test_certain_cheap_configs_are_viable(self):
+        mask = budget_viable_mask(np.array([1.0]), np.array([0.0]), budget_remaining=5.0)
+        assert mask[0]
+
+    def test_certain_expensive_configs_are_not_viable(self):
+        mask = budget_viable_mask(np.array([9.0]), np.array([0.0]), budget_remaining=5.0)
+        assert not mask[0]
+
+    def test_uncertain_configs_need_margin(self):
+        # mean 4, std 1, budget 5: P(c <= 5) ~= 0.84 < 0.99 -> not viable.
+        mask = budget_viable_mask(np.array([4.0]), np.array([1.0]), budget_remaining=5.0)
+        assert not mask[0]
+        # With a looser confidence the same configuration becomes viable.
+        mask = budget_viable_mask(
+            np.array([4.0]), np.array([1.0]), budget_remaining=5.0, confidence=0.8
+        )
+        assert mask[0]

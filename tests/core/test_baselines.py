@@ -1,0 +1,113 @@
+"""Tests for the baseline optimizers: greedy BO, random search, disjoint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, DisjointOptimizer, RandomSearchOptimizer
+from repro.workloads import make_quadratic_job
+
+
+class TestRandomSearch:
+    def test_explores_until_budget_exhausted(self, synthetic_job):
+        result = RandomSearchOptimizer(seed=0).optimize(synthetic_job, seed=0)
+        assert result.budget_spent >= result.budget or result.n_explorations == len(
+            synthetic_job.configurations
+        )
+
+    def test_large_budget_explores_whole_space(self, synthetic_job):
+        result = RandomSearchOptimizer(seed=0).optimize(
+            synthetic_job, budget=1e9, seed=0
+        )
+        assert result.n_explorations == len(synthetic_job.configurations)
+
+
+class TestBayesianOptimizer:
+    def test_outperforms_bootstrap_only(self, quadratic_job):
+        tmax = quadratic_job.default_tmax()
+        optimal = quadratic_job.optimal_cost(tmax)
+        result = BayesianOptimizer(seed=0).optimize(
+            quadratic_job, tmax=tmax, budget_multiplier=4.0, seed=0
+        )
+        bootstrap_best = min(
+            obs.cost for obs in result.observations[: result.n_bootstrap]
+        )
+        assert result.best_cost <= bootstrap_best
+        assert result.cno(optimal) < 2.0
+
+    def test_profiles_distinct_configurations(self, scout_job):
+        result = BayesianOptimizer(seed=1).optimize(scout_job, seed=1)
+        configs = [obs.config for obs in result.observations]
+        assert len(configs) == len(set(configs))
+
+    def test_gp_backend_works(self, quadratic_job):
+        result = BayesianOptimizer(model="gp", seed=0).optimize(
+            quadratic_job, budget_multiplier=3.0, seed=0
+        )
+        assert result.best_config is not None
+
+    def test_records_decision_latency(self, synthetic_job):
+        result = BayesianOptimizer(seed=0).optimize(synthetic_job, seed=0)
+        guided = result.n_explorations - result.n_bootstrap
+        assert len(result.next_config_seconds) >= guided
+        assert all(t >= 0 for t in result.next_config_seconds)
+
+
+class TestDisjointOptimizer:
+    def _optimizer(self):
+        return DisjointOptimizer(
+            cloud_parameters=["x0"], application_parameters=["x1", "c0"]
+        )
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            DisjointOptimizer([], ["a"])
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError):
+            DisjointOptimizer(["a"], ["a", "b"])
+
+    def test_finds_optimum_on_separable_surface(self):
+        # On a quadratic (separable) surface disjoint optimization is exact.
+        job = make_quadratic_job(optimum={"x0": 2.0, "x1": 3.0, "c0": "option1"})
+        tmax = job.default_tmax()
+        optimal_cost = job.optimal_cost(tmax)
+        outcomes = self._optimizer().optimize_all_references(job, tmax)
+        assert min(o.final_cost for o in outcomes) == pytest.approx(optimal_cost)
+
+    def test_one_outcome_per_reference_cloud(self, synthetic_job):
+        tmax = synthetic_job.default_tmax()
+        outcomes = self._optimizer().optimize_all_references(synthetic_job, tmax)
+        n_references = len(synthetic_job.space.parameter("x0").values)
+        assert len(outcomes) == n_references
+
+    def test_final_config_keeps_tuned_parameters(self, synthetic_job):
+        tmax = synthetic_job.default_tmax()
+        outcome = self._optimizer().optimize_from(
+            synthetic_job, synthetic_job.configurations[0], tmax
+        )
+        assert outcome.final_config["x1"] == outcome.tuned_parameters["x1"]
+        assert outcome.final_config["c0"] == outcome.tuned_parameters["c0"]
+
+    def test_unknown_reference_rejected(self, synthetic_job, tiny_space):
+        tmax = synthetic_job.default_tmax()
+        optimizer = DisjointOptimizer(["x0"], ["x1", "c0"])
+        from repro.core.space import Configuration
+
+        bogus = Configuration.from_dict({"x0": 999.0})
+        with pytest.raises(ValueError):
+            optimizer.optimize_from(synthetic_job, bogus, tmax)
+
+    def test_sub_optimality_on_tensorflow_job(self, tensorflow_job):
+        optimizer = DisjointOptimizer(
+            cloud_parameters=["vm_type", "total_vcpus"],
+            application_parameters=["learning_rate", "batch_size", "training_mode"],
+        )
+        tmax = tensorflow_job.default_tmax()
+        optimal_cost = tensorflow_job.optimal_cost(tmax)
+        outcomes = optimizer.optimize_all_references(tensorflow_job, tmax)
+        cnos = np.array([o.final_cost / optimal_cost for o in outcomes])
+        # Disjoint optimization misses the joint optimum for some references.
+        assert np.any(cnos > 1.0 + 1e-6)
+        assert np.all(cnos >= 1.0 - 1e-9)

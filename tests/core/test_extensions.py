@@ -1,0 +1,156 @@
+"""Tests for the Section 4.4 extensions: extra constraints and setup costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.provisioner import SimulatedProvisioner
+from repro.core.extensions import (
+    ConstrainedLynceusOptimizer,
+    MetricConstraint,
+    SetupCostAwareJob,
+    provisioner_setup_estimator,
+)
+from repro.workloads import make_synthetic_job
+
+
+def cluster_fn(config):
+    """Map a synthetic-space configuration onto a small cluster."""
+    n = max(1, int(config["x0"]))
+    return ClusterSpec.of("m4.large", n)
+
+
+class TestConstrainedLynceus:
+    def _constraint(self, threshold):
+        return MetricConstraint(
+            name="runtime_proxy",
+            threshold=threshold,
+            metric=lambda config, outcome: outcome.runtime_seconds,
+        )
+
+    def test_requires_at_least_one_constraint(self):
+        with pytest.raises(ValueError):
+            ConstrainedLynceusOptimizer(constraints=[])
+
+    def test_records_metric_values_for_profiled_configs(self, synthetic_job):
+        optimizer = ConstrainedLynceusOptimizer(
+            constraints=[self._constraint(threshold=1e9)],
+            lookahead=0,
+            seed=0,
+        )
+        result = optimizer.optimize(synthetic_job, budget_multiplier=2.0, seed=0)
+        recorded = optimizer._metric_values["runtime_proxy"]
+        assert len(recorded) == result.n_explorations
+        assert all(v >= 0 for v in recorded.values())
+
+    def test_constraint_probability_shrinks_with_tight_threshold(self, synthetic_job):
+        loose = ConstrainedLynceusOptimizer(
+            constraints=[self._constraint(threshold=1e9)], lookahead=0, seed=0
+        )
+        tight = ConstrainedLynceusOptimizer(
+            constraints=[self._constraint(threshold=1.0)], lookahead=0, seed=0
+        )
+        loose.optimize(synthetic_job, budget_multiplier=1.5, seed=0)
+        tight.optimize(synthetic_job, budget_multiplier=1.5, seed=0)
+        # With the loose threshold every candidate satisfies the constraint
+        # (probability 1); the tight threshold must push probabilities down.
+        import numpy as np
+
+        from repro.core.state import OptimizerState
+
+        state = OptimizerState(
+            space=synthetic_job.space,
+            untested=list(synthetic_job.configurations),
+            budget_remaining=1.0,
+        )
+        # Reuse the recorded metric values from the finished runs.
+        loose_probs = loose._extra_constraint_probability(
+            _state_with(loose, synthetic_job), synthetic_job.configurations[:10]
+        )
+        tight_probs = tight._extra_constraint_probability(
+            _state_with(tight, synthetic_job), synthetic_job.configurations[:10]
+        )
+        assert np.all(loose_probs >= tight_probs - 1e-9)
+        assert np.any(tight_probs < 0.99)
+
+    def test_name_marks_constrained_variant(self):
+        optimizer = ConstrainedLynceusOptimizer(
+            constraints=[self._constraint(1.0)], lookahead=1
+        )
+        assert "constrained" in optimizer.name
+
+
+def _state_with(optimizer, job):
+    """Build a state whose explored configs are those the optimizer profiled."""
+    from repro.core.state import Observation, OptimizerState
+
+    explored = list(optimizer._metric_values[optimizer.constraints[0].name].keys())
+    state = OptimizerState(
+        space=job.space, untested=list(job.configurations), budget_remaining=100.0
+    )
+    for config in explored:
+        outcome = job.run(config)
+        state.add_observation(
+            Observation(config, outcome.cost, outcome.runtime_seconds, outcome.timed_out)
+        )
+    return state
+
+
+class TestSetupCostAwareJob:
+    def test_charges_boot_cost_on_first_deployment(self):
+        job = make_synthetic_job(seed=2)
+        provisioner = SimulatedProvisioner(boot_seconds_per_vm=60.0, data_load_seconds=60.0)
+        wrapped = SetupCostAwareJob(job=job, cluster_fn=cluster_fn, provisioner=provisioner)
+        config = job.configurations[0]
+        bare = job.run(config)
+        charged = wrapped.run(config)
+        assert charged.cost > bare.cost
+        assert provisioner.total_setup_cost > 0.0
+
+    def test_repeat_deployment_of_same_cluster_is_free(self):
+        job = make_synthetic_job(seed=2)
+        provisioner = SimulatedProvisioner()
+        wrapped = SetupCostAwareJob(job=job, cluster_fn=cluster_fn, provisioner=provisioner)
+        config = job.configurations[0]
+        wrapped.run(config)
+        first_setup = provisioner.total_setup_cost
+        second = wrapped.run(config)
+        assert provisioner.total_setup_cost == pytest.approx(first_setup)
+        assert second.cost == pytest.approx(job.run(config).cost)
+
+    def test_exposes_underlying_space_and_prices(self):
+        job = make_synthetic_job(seed=2)
+        wrapped = SetupCostAwareJob(job=job, cluster_fn=cluster_fn)
+        config = job.configurations[0]
+        assert wrapped.space is job.space
+        assert wrapped.configurations == job.configurations
+        assert wrapped.unit_price_per_hour(config) == job.unit_price_per_hour(config)
+        assert wrapped.name.endswith("+setup")
+
+
+class TestSetupEstimator:
+    def test_same_cluster_costs_nothing(self):
+        job = make_synthetic_job(seed=2)
+        provisioner = SimulatedProvisioner()
+        estimator = provisioner_setup_estimator(provisioner, cluster_fn)
+        config = job.configurations[0]
+        assert estimator(config, config) == 0.0
+
+    def test_first_deployment_has_positive_estimate(self):
+        provisioner = SimulatedProvisioner()
+        estimator = provisioner_setup_estimator(provisioner, cluster_fn)
+        job = make_synthetic_job(seed=2)
+        assert estimator(None, job.configurations[0]) > 0.0
+
+    def test_changing_vm_count_is_cheaper_than_changing_everything(self):
+        provisioner = SimulatedProvisioner()
+        estimator = provisioner_setup_estimator(provisioner, cluster_fn)
+        job = make_synthetic_job(seed=2)
+        # Configurations that differ only in x0 map to clusters of the same VM
+        # type but different sizes.
+        small = job.space.make(x0=1.0, x1=1.0, c0="option0")
+        bigger = job.space.make(x0=4.0, x1=1.0, c0="option0")
+        resize = estimator(small, bigger)
+        fresh = estimator(None, bigger)
+        assert resize <= fresh

@@ -1,0 +1,223 @@
+"""Tests for the Lynceus optimizer (Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.model import CostModel
+from repro.core.state import Observation, OptimizerState
+from repro.workloads import make_quadratic_job, make_synthetic_job
+
+
+def small_lynceus(**kwargs):
+    """A Lynceus instance cheap enough for unit tests."""
+    defaults = dict(lookahead=1, gh_order=3, lookahead_pool_size=6, speculation="believer")
+    defaults.update(kwargs)
+    return LynceusOptimizer(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_negative_lookahead(self):
+        with pytest.raises(ValueError):
+            LynceusOptimizer(lookahead=-1)
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(ValueError):
+            LynceusOptimizer(discount=1.5)
+
+    def test_rejects_bad_viability_confidence(self):
+        with pytest.raises(ValueError):
+            LynceusOptimizer(viability_confidence=1.0)
+
+    def test_rejects_unknown_speculation_mode(self):
+        with pytest.raises(ValueError):
+            LynceusOptimizer(speculation="guess")
+
+    def test_rejects_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            LynceusOptimizer(lookahead_pool_size=0)
+
+    def test_name_encodes_lookahead(self):
+        assert LynceusOptimizer(lookahead=2).name == "lynceus-la2"
+        assert LynceusOptimizer(lookahead=0).name == "lynceus-la0"
+
+
+class TestEndToEnd:
+    def test_finds_near_optimal_config_on_quadratic_job(self):
+        job = make_quadratic_job(optimum={"x0": 2.0, "x1": 3.0, "c0": "option1"})
+        tmax = job.default_tmax()
+        optimal = job.optimal_cost(tmax)
+        result = small_lynceus(seed=0).optimize(job, tmax=tmax, budget_multiplier=4.0, seed=0)
+        assert result.feasible_found
+        assert result.cno(optimal) < 2.0
+
+    def test_lookahead_zero_runs(self, synthetic_job):
+        result = LynceusOptimizer(lookahead=0, seed=0).optimize(synthetic_job, seed=0)
+        assert result.best_config is not None
+        assert result.n_explorations > result.n_bootstrap
+
+    def test_lookahead_two_runs(self, synthetic_job):
+        result = small_lynceus(lookahead=2, seed=0).optimize(
+            synthetic_job, budget_multiplier=2.0, seed=0
+        )
+        assert result.best_config is not None
+
+    def test_refit_speculation_runs(self):
+        job = make_synthetic_job(seed=11)
+        result = small_lynceus(speculation="refit", model="gp", seed=0).optimize(
+            job, budget_multiplier=2.0, seed=0
+        )
+        assert result.best_config is not None
+
+    def test_gp_backend_runs(self, synthetic_job):
+        result = small_lynceus(model="gp", seed=0).optimize(
+            synthetic_job, budget_multiplier=2.0, seed=0
+        )
+        assert result.best_config is not None
+
+    def test_reproducible_with_same_seed(self, synthetic_job):
+        a = small_lynceus().optimize(synthetic_job, seed=5)
+        b = small_lynceus().optimize(synthetic_job, seed=5)
+        assert [o.config for o in a.observations] == [o.config for o in b.observations]
+
+    def test_profiles_distinct_configurations(self, synthetic_job):
+        result = small_lynceus(seed=3).optimize(synthetic_job, seed=3)
+        configs = [o.config for o in result.observations]
+        assert len(configs) == len(set(configs))
+
+    def test_setup_cost_estimator_is_charged_into_path_costs(self, synthetic_job):
+        calls = []
+
+        def estimator(current, candidate):
+            calls.append((current, candidate))
+            return 0.01
+
+        result = small_lynceus(setup_cost_estimator=estimator, seed=0).optimize(
+            synthetic_job, budget_multiplier=2.0, seed=0
+        )
+        assert result.best_config is not None
+        assert len(calls) > 0
+
+
+class TestNextConfig:
+    def _prepared(self, job, optimizer, n_observed=8, budget=None):
+        rng = np.random.default_rng(0)
+        tmax = job.default_tmax()
+        budget = budget if budget is not None else job.mean_cost() * 20
+        state = OptimizerState(
+            space=job.space, untested=list(job.configurations), budget_remaining=budget
+        )
+        optimizer._prepare(job, state, tmax, rng)
+        for config in job.configurations[:n_observed]:
+            outcome = job.run(config)
+            state.add_observation(
+                Observation(
+                    config=config,
+                    cost=outcome.cost,
+                    runtime_seconds=outcome.runtime_seconds,
+                    timed_out=outcome.timed_out,
+                )
+            )
+        return state, tmax, rng
+
+    def test_returns_untested_configuration(self, synthetic_job):
+        optimizer = small_lynceus(seed=0)
+        state, tmax, rng = self._prepared(synthetic_job, optimizer)
+        config = optimizer._next_config(synthetic_job, state, tmax, rng)
+        assert config is not None
+        assert config in state.untested
+
+    def test_returns_none_when_budget_is_gone(self, synthetic_job):
+        optimizer = small_lynceus(seed=0)
+        state, tmax, rng = self._prepared(synthetic_job, optimizer, budget=1e-9)
+        assert optimizer._next_config(synthetic_job, state, tmax, rng) is None
+
+    def test_returns_none_when_everything_explored(self, synthetic_job):
+        optimizer = small_lynceus(seed=0)
+        state, tmax, rng = self._prepared(
+            synthetic_job, optimizer, n_observed=len(synthetic_job.configurations)
+        )
+        assert optimizer._next_config(synthetic_job, state, tmax, rng) is None
+
+    def test_lookahead_zero_maximises_reward_cost_ratio(self, synthetic_job):
+        optimizer = LynceusOptimizer(lookahead=0, seed=0)
+        state, tmax, rng = self._prepared(synthetic_job, optimizer)
+        # The chosen configuration must be budget-viable.
+        config = optimizer._next_config(synthetic_job, state, tmax, rng)
+        assert config is not None
+
+
+class TestExplorePaths:
+    def test_path_values_are_finite_and_cost_positive(self, synthetic_job):
+        optimizer = small_lynceus(lookahead=2, seed=0)
+        rng = np.random.default_rng(0)
+        tmax = synthetic_job.default_tmax()
+        state = OptimizerState(
+            space=synthetic_job.space,
+            untested=list(synthetic_job.configurations),
+            budget_remaining=synthetic_job.mean_cost() * 30,
+        )
+        optimizer._prepare(synthetic_job, state, tmax, rng)
+        for config in synthetic_job.configurations[:6]:
+            outcome = synthetic_job.run(config)
+            state.add_observation(
+                Observation(config, outcome.cost, outcome.runtime_seconds, outcome.timed_out)
+            )
+        model = CostModel(synthetic_job.space, "bagging", seed=1)
+        model.fit(state.explored_configs, [o.cost for o in state.observations])
+        prediction = model.predict(state.untested)
+        prices = optimizer._unit_prices(state.untested)
+        reward, cost = optimizer._explore_path(
+            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=2
+        )
+        assert np.isfinite(reward) and np.isfinite(cost)
+        assert cost > 0.0
+        assert reward >= 0.0
+
+    def test_deeper_paths_cost_at_least_as_much(self, synthetic_job):
+        optimizer = small_lynceus(lookahead=2, seed=0)
+        rng = np.random.default_rng(0)
+        tmax = synthetic_job.default_tmax()
+        state = OptimizerState(
+            space=synthetic_job.space,
+            untested=list(synthetic_job.configurations),
+            budget_remaining=synthetic_job.mean_cost() * 30,
+        )
+        optimizer._prepare(synthetic_job, state, tmax, rng)
+        for config in synthetic_job.configurations[:6]:
+            outcome = synthetic_job.run(config)
+            state.add_observation(
+                Observation(config, outcome.cost, outcome.runtime_seconds, outcome.timed_out)
+            )
+        model = CostModel(synthetic_job.space, "bagging", seed=1)
+        model.fit(state.explored_configs, [o.cost for o in state.observations])
+        prediction = model.predict(state.untested)
+        prices = optimizer._unit_prices(state.untested)
+        _, cost_shallow = optimizer._explore_path(
+            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=0
+        )
+        _, cost_deep = optimizer._explore_path(
+            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=2
+        )
+        assert cost_deep >= cost_shallow - 1e-12
+
+    def test_next_step_respects_budget_viability(self, synthetic_job):
+        optimizer = small_lynceus(seed=0)
+        state = OptimizerState(
+            space=synthetic_job.space,
+            untested=list(synthetic_job.configurations),
+            budget_remaining=1e-9,
+        )
+        means = np.full(len(state.untested), 10.0)
+        stds = np.full(len(state.untested), 1.0)
+        prices = np.ones(len(state.untested))
+        state.add_observation(
+            Observation(synthetic_job.configurations[0], 10.0, 10.0)
+        )
+        state.budget_remaining = 1e-9
+        assert (
+            optimizer._next_step(state, means[1:], stds[1:], prices[1:], tmax=100.0)
+            is None
+        )

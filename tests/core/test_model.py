@@ -1,0 +1,110 @@
+"""Tests for the CostModel wrapper and speculative conditioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import CostModel
+
+
+def _costs_for(space):
+    configs = space.enumerate()
+    costs = [1.0 + 0.5 * i for i in range(len(configs))]
+    return configs, costs
+
+
+class TestCostModelBasics:
+    def test_requires_fit_before_prediction(self, small_space):
+        model = CostModel(small_space, "bagging", seed=0)
+        assert not model.is_fitted
+        with pytest.raises((RuntimeError, Exception)):
+            model.predict_one(small_space.enumerate()[0])
+
+    def test_fit_and_predict_shapes(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "bagging", seed=0).fit(configs[:20], costs[:20])
+        prediction = model.predict(configs)
+        assert len(prediction) == len(configs)
+        assert np.all(np.isfinite(prediction.mean))
+        assert np.all(prediction.std >= 0.0)
+
+    def test_predict_empty_list(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "bagging", seed=0).fit(configs[:10], costs[:10])
+        prediction = model.predict([])
+        assert len(prediction) == 0
+
+    def test_predict_one_returns_scalars(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "gp").fit(configs[:10], costs[:10])
+        mean, std = model.predict_one(configs[0])
+        assert isinstance(mean, float) and isinstance(std, float)
+
+    def test_fit_rejects_mismatched_lengths(self, small_space):
+        configs, costs = _costs_for(small_space)
+        with pytest.raises(ValueError):
+            CostModel(small_space).fit(configs[:3], costs[:2])
+
+    def test_fit_rejects_empty_training_set(self, small_space):
+        with pytest.raises(ValueError):
+            CostModel(small_space).fit([], [])
+
+    def test_unknown_speculation_mode_rejected(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "gp").fit(configs[:10], costs[:10])
+        with pytest.raises(ValueError):
+            model.condition_on(configs[11], 2.0, mode="magic")
+
+
+class TestSpeculativeConditioning:
+    def test_refit_incorporates_new_point(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "gp").fit(configs[:15], costs[:15])
+        target = configs[30]
+        conditioned = model.condition_on(target, 99.0, mode="refit")
+        mean, _ = conditioned.predict_one(target)
+        base_mean, _ = model.predict_one(target)
+        assert abs(mean - 99.0) < abs(base_mean - 99.0)
+        assert conditioned.n_training_points == model.n_training_points + 1
+
+    def test_refit_does_not_mutate_original(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "gp").fit(configs[:15], costs[:15])
+        before = model.predict(configs[:5]).mean.copy()
+        model.condition_on(configs[30], 99.0, mode="refit")
+        after = model.predict(configs[:5]).mean
+        assert np.allclose(before, after)
+
+    def test_believer_overrides_only_the_speculated_point(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "bagging", seed=0).fit(configs[:15], costs[:15])
+        target = configs[30]
+        conditioned = model.condition_on(target, 123.0, mode="believer")
+        mean, std = conditioned.predict_one(target)
+        assert mean == pytest.approx(123.0)
+        assert std <= 1e-6
+        other_before = model.predict([configs[40]]).mean[0]
+        other_after = conditioned.predict([configs[40]]).mean[0]
+        assert other_after == pytest.approx(other_before)
+
+    def test_believer_shares_backend_without_mutation(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "bagging", seed=0).fit(configs[:15], costs[:15])
+        target = configs[30]
+        base_prediction = model.predict([target]).mean[0]
+        model.condition_on(target, 123.0, mode="believer")
+        assert model.predict([target]).mean[0] == pytest.approx(base_prediction)
+
+    def test_nested_believer_conditioning(self, small_space):
+        configs, costs = _costs_for(small_space)
+        model = CostModel(small_space, "bagging", seed=0).fit(configs[:15], costs[:15])
+        first = model.condition_on(configs[30], 50.0, mode="believer")
+        second = first.condition_on(configs[31], 60.0, mode="believer")
+        assert second.predict_one(configs[30])[0] == pytest.approx(50.0)
+        assert second.predict_one(configs[31])[0] == pytest.approx(60.0)
+
+    def test_condition_requires_fitted_model(self, small_space):
+        model = CostModel(small_space, "bagging", seed=0)
+        with pytest.raises(RuntimeError):
+            model.condition_on(small_space.enumerate()[0], 1.0)

@@ -1,0 +1,135 @@
+"""Tests for the shared optimization loop and the result container."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    OptimizationResult,
+    default_bootstrap_size,
+    default_budget,
+)
+from repro.core.baselines import RandomSearchOptimizer
+from repro.core.state import Observation
+
+
+class TestDefaults:
+    def test_bootstrap_size_uses_three_percent_rule(self, tensorflow_job):
+        # 3% of 384 = 11.52 -> 12, larger than the 5 dimensions.
+        assert default_bootstrap_size(tensorflow_job) == 12
+
+    def test_bootstrap_size_respects_dimensionality_floor(self, scout_job):
+        # 3% of 72 = 2.16 -> 3, equal to the 3 dimensions.
+        assert default_bootstrap_size(scout_job) == 3
+
+    def test_default_budget_formula(self, scout_job):
+        budget = default_budget(scout_job, n_bootstrap=3, budget_multiplier=3.0)
+        assert budget == pytest.approx(3 * scout_job.mean_cost() * 3.0)
+
+
+class TestOptimizeLoop:
+    def test_result_contains_full_trace(self, synthetic_job):
+        optimizer = RandomSearchOptimizer(seed=0)
+        result = optimizer.optimize(synthetic_job, seed=0)
+        assert result.n_explorations == len(result.observations)
+        assert result.n_explorations >= result.n_bootstrap
+        assert result.budget_spent == pytest.approx(
+            sum(obs.cost for obs in result.observations)
+        )
+
+    def test_bootstrap_observations_are_marked(self, synthetic_job):
+        result = RandomSearchOptimizer(seed=0).optimize(synthetic_job, seed=0)
+        bootstrap_flags = [obs.bootstrap for obs in result.observations]
+        assert all(bootstrap_flags[: result.n_bootstrap])
+        assert not any(bootstrap_flags[result.n_bootstrap:])
+
+    def test_initial_configs_are_respected(self, synthetic_job):
+        initial = synthetic_job.configurations[:4]
+        result = RandomSearchOptimizer(seed=0).optimize(
+            synthetic_job, initial_configs=initial, seed=0
+        )
+        assert [obs.config for obs in result.observations[:4]] == initial
+        assert result.n_bootstrap == 4
+
+    def test_explicit_budget_limits_spend(self, synthetic_job):
+        mean_cost = synthetic_job.mean_cost()
+        result = RandomSearchOptimizer(seed=0).optimize(
+            synthetic_job, budget=mean_cost * 2, n_bootstrap=2, seed=0
+        )
+        # The loop stops once the budget is depleted; the overshoot is at most
+        # the cost of the final run.
+        max_single = max(synthetic_job.run(c).cost for c in synthetic_job.configurations)
+        assert result.budget_spent <= mean_cost * 2 + max_single
+
+    def test_recommendation_is_feasible_when_possible(self, synthetic_job):
+        tmax = synthetic_job.default_tmax()
+        result = RandomSearchOptimizer(seed=1).optimize(synthetic_job, tmax=tmax, seed=1)
+        if result.feasible_found:
+            assert result.best_runtime <= tmax
+
+    def test_infeasible_fallback(self, synthetic_job):
+        # An impossible constraint: no run can satisfy it, so the recommendation
+        # falls back to the cheapest profiled configuration.
+        result = RandomSearchOptimizer(seed=1).optimize(synthetic_job, tmax=1e-3, seed=1)
+        assert not result.feasible_found
+        assert result.best_cost == min(obs.cost for obs in result.observations)
+
+    def test_distinct_configurations_are_profiled(self, synthetic_job):
+        result = RandomSearchOptimizer(seed=2).optimize(synthetic_job, seed=2)
+        configs = [obs.config for obs in result.observations]
+        assert len(configs) == len(set(configs))
+
+    def test_same_seed_reproduces_run(self, synthetic_job):
+        a = RandomSearchOptimizer().optimize(synthetic_job, seed=9)
+        b = RandomSearchOptimizer().optimize(synthetic_job, seed=9)
+        assert [o.config for o in a.observations] == [o.config for o in b.observations]
+
+
+class TestOptimizationResult:
+    def _result(self, tiny_space, costs, runtimes, tmax=100.0):
+        configs = tiny_space.enumerate()
+        observations = [
+            Observation(config=configs[i], cost=c, runtime_seconds=r)
+            for i, (c, r) in enumerate(zip(costs, runtimes))
+        ]
+        feasible = [o for o in observations if o.is_feasible(tmax)]
+        best = min(feasible or observations, key=lambda o: o.cost)
+        return OptimizationResult(
+            job_name="job",
+            optimizer_name="test",
+            best_config=best.config,
+            best_cost=best.cost,
+            best_runtime=best.runtime_seconds,
+            feasible_found=bool(feasible),
+            tmax=tmax,
+            budget=100.0,
+            budget_spent=sum(costs),
+            n_bootstrap=1,
+            observations=observations,
+            next_config_seconds=[0.1, 0.3],
+        )
+
+    def test_cno(self, tiny_space):
+        result = self._result(tiny_space, [4.0, 2.0], [10.0, 10.0])
+        assert result.cno(optimal_cost=1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            result.cno(0.0)
+
+    def test_best_cost_trace_is_monotone(self, tiny_space):
+        result = self._result(tiny_space, [4.0, 6.0, 2.0], [10.0, 10.0, 10.0])
+        trace = result.best_cost_trace()
+        assert trace == [4.0, 4.0, 2.0]
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_best_cost_trace_handles_initial_infeasibility(self, tiny_space):
+        result = self._result(tiny_space, [4.0, 2.0], [500.0, 10.0])
+        trace = result.best_cost_trace()
+        assert math.isinf(trace[0])
+        assert trace[1] == 2.0
+
+    def test_mean_decision_seconds(self, tiny_space):
+        result = self._result(tiny_space, [4.0], [10.0])
+        assert result.mean_decision_seconds() == pytest.approx(0.2)

@@ -1,0 +1,202 @@
+"""Tests for the configuration-space abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import (
+    CategoricalParameter,
+    ConfigSpace,
+    Configuration,
+    ContinuousParameter,
+    OrdinalParameter,
+)
+
+
+class TestCategoricalParameter:
+    def test_values_preserved_in_order(self):
+        param = CategoricalParameter("vm", ["a", "b", "c"])
+        assert param.values == ("a", "b", "c")
+        assert param.cardinality == 3
+
+    def test_encode_uses_declaration_index(self):
+        param = CategoricalParameter("vm", ["a", "b", "c"])
+        assert param.encode("a") == 0.0
+        assert param.encode("c") == 2.0
+
+    def test_encode_rejects_unknown_value(self):
+        param = CategoricalParameter("vm", ["a", "b"])
+        with pytest.raises(ValueError, match="not admissible"):
+            param.encode("z")
+
+    def test_validate_rejects_unknown_value(self):
+        param = CategoricalParameter("vm", ["a", "b"])
+        with pytest.raises(ValueError):
+            param.validate("z")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalParameter("vm", ["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("vm", [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("", ["a"])
+
+
+class TestOrdinalParameter:
+    def test_values_are_floats(self):
+        param = OrdinalParameter("n", [1, 2, 4])
+        assert param.values == (1.0, 2.0, 4.0)
+
+    def test_encode_returns_numeric_value(self):
+        param = OrdinalParameter("n", [1, 2, 4])
+        assert param.encode(2) == 2.0
+
+    def test_rejects_unsorted_values(self):
+        with pytest.raises(ValueError, match="sorted"):
+            OrdinalParameter("n", [2, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OrdinalParameter("n", [1, 1, 2])
+
+    def test_encode_rejects_off_grid_value(self):
+        param = OrdinalParameter("n", [1, 2, 4])
+        with pytest.raises(ValueError):
+            param.encode(3)
+
+    def test_validate_accepts_int_and_float_forms(self):
+        param = OrdinalParameter("n", [1, 2, 4])
+        param.validate(4)
+        param.validate(4.0)
+
+
+class TestContinuousParameter:
+    def test_grid_points_span_bounds(self):
+        param = ContinuousParameter("x", 0.0, 1.0, grid_points=5)
+        values = param.values
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(1.0)
+        assert len(values) == 5
+
+    def test_log_scale_grid(self):
+        param = ContinuousParameter("x", 1e-3, 1.0, grid_points=4, log=True)
+        assert param.values[0] == pytest.approx(1e-3)
+        assert param.values[-1] == pytest.approx(1.0)
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ContinuousParameter("x", 1.0, 0.0)
+
+    def test_rejects_log_with_nonpositive_low(self):
+        with pytest.raises(ValueError):
+            ContinuousParameter("x", 0.0, 1.0, log=True)
+
+    def test_validate_enforces_bounds(self):
+        param = ContinuousParameter("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            param.validate(1.5)
+        param.validate(0.7)
+
+
+class TestConfiguration:
+    def test_round_trip_through_dict(self):
+        config = Configuration.from_dict({"b": 2, "a": 1})
+        assert config.as_dict() == {"a": 1, "b": 2}
+
+    def test_getitem_and_contains(self):
+        config = Configuration.from_dict({"a": 1})
+        assert config["a"] == 1
+        assert "a" in config
+        assert "z" not in config
+        with pytest.raises(KeyError):
+            config["z"]
+
+    def test_get_with_default(self):
+        config = Configuration.from_dict({"a": 1})
+        assert config.get("a") == 1
+        assert config.get("z", 7) == 7
+
+    def test_hashable_and_order_insensitive_equality(self):
+        c1 = Configuration.from_dict({"a": 1, "b": 2})
+        c2 = Configuration.from_dict({"b": 2, "a": 1})
+        assert c1 == c2
+        assert hash(c1) == hash(c2)
+        assert len({c1, c2}) == 1
+
+    def test_replace_returns_new_configuration(self):
+        config = Configuration.from_dict({"a": 1, "b": 2})
+        updated = config.replace(a=9)
+        assert updated["a"] == 9
+        assert config["a"] == 1
+
+
+class TestConfigSpace:
+    def test_size_is_product_of_cardinalities(self, tiny_space):
+        assert tiny_space.size == 6
+        assert len(tiny_space) == 6
+
+    def test_enumerate_yields_all_distinct_configs(self, tiny_space):
+        configs = tiny_space.enumerate()
+        assert len(configs) == 6
+        assert len(set(configs)) == 6
+
+    def test_enumerate_order_is_deterministic(self, tiny_space):
+        assert tiny_space.enumerate() == tiny_space.enumerate()
+
+    def test_index_of_matches_enumeration(self, tiny_space):
+        for i, config in enumerate(tiny_space.enumerate()):
+            assert tiny_space.index_of(config) == i
+
+    def test_encode_shape_and_values(self, tiny_space):
+        config = tiny_space.make(n_vms=4, vm_type="large")
+        vec = tiny_space.encode(config)
+        assert vec.shape == (2,)
+        assert vec[0] == 4.0  # ordinal encoded by value
+        assert vec[1] == 1.0  # categorical encoded by index
+
+    def test_encode_many_shape(self, tiny_space):
+        X = tiny_space.encode_many(tiny_space.enumerate())
+        assert X.shape == (6, 2)
+        assert np.all(np.isfinite(X))
+
+    def test_encode_many_empty(self, tiny_space):
+        X = tiny_space.encode_many([])
+        assert X.shape == (0, 2)
+
+    def test_make_validates(self, tiny_space):
+        with pytest.raises(ValueError):
+            tiny_space.make(n_vms=3, vm_type="large")
+
+    def test_validate_rejects_missing_parameter(self, tiny_space):
+        config = Configuration.from_dict({"n_vms": 1})
+        with pytest.raises(ValueError, match="do not match"):
+            tiny_space.validate(config)
+
+    def test_validate_rejects_extra_parameter(self, tiny_space):
+        config = Configuration.from_dict({"n_vms": 1, "vm_type": "small", "zzz": 0})
+        with pytest.raises(ValueError):
+            tiny_space.validate(config)
+
+    def test_parameter_lookup(self, tiny_space):
+        assert tiny_space.parameter("n_vms").name == "n_vms"
+        with pytest.raises(KeyError):
+            tiny_space.parameter("missing")
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ConfigSpace(
+                parameters=[
+                    OrdinalParameter("a", [1, 2]),
+                    OrdinalParameter("a", [3, 4]),
+                ]
+            )
+
+    def test_names_and_dimensions(self, tiny_space):
+        assert tiny_space.names == ["n_vms", "vm_type"]
+        assert tiny_space.dimensions == 2

@@ -1,0 +1,118 @@
+"""Tests for the optimizer state Σ = ⟨S, T, β, χ⟩."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import Observation, OptimizerState
+
+
+def make_state(space, budget=100.0):
+    return OptimizerState(
+        space=space, untested=space.enumerate(), budget_remaining=budget
+    )
+
+
+def obs(config, cost, runtime=10.0, timed_out=False, bootstrap=False):
+    return Observation(
+        config=config,
+        cost=cost,
+        runtime_seconds=runtime,
+        timed_out=timed_out,
+        bootstrap=bootstrap,
+    )
+
+
+class TestObservation:
+    def test_feasibility_respects_runtime(self, tiny_space):
+        config = tiny_space.enumerate()[0]
+        assert obs(config, 1.0, runtime=5.0).is_feasible(tmax=10.0)
+        assert not obs(config, 1.0, runtime=15.0).is_feasible(tmax=10.0)
+
+    def test_timed_out_runs_are_never_feasible(self, tiny_space):
+        config = tiny_space.enumerate()[0]
+        assert not obs(config, 1.0, runtime=5.0, timed_out=True).is_feasible(tmax=10.0)
+
+
+class TestOptimizerState:
+    def test_add_observation_updates_all_components(self, tiny_space):
+        state = make_state(tiny_space, budget=50.0)
+        config = tiny_space.enumerate()[0]
+        state.add_observation(obs(config, cost=7.0))
+        assert state.n_observations == 1
+        assert config not in state.untested
+        assert state.n_untested == tiny_space.size - 1
+        assert state.budget_remaining == pytest.approx(43.0)
+        assert state.current_config == config
+
+    def test_budget_spent(self, tiny_space):
+        state = make_state(tiny_space, budget=50.0)
+        state.add_observation(obs(tiny_space.enumerate()[0], cost=7.0))
+        assert state.budget_spent(50.0) == pytest.approx(7.0)
+
+    def test_speculate_leaves_original_untouched(self, tiny_space):
+        state = make_state(tiny_space, budget=50.0)
+        config = tiny_space.enumerate()[0]
+        clone = state.speculate(config, cost=5.0)
+        assert state.n_observations == 0
+        assert state.budget_remaining == 50.0
+        assert clone.n_observations == 1
+        assert clone.budget_remaining == pytest.approx(45.0)
+        assert config not in clone.untested
+        assert config in state.untested
+
+    def test_speculate_carries_runtime(self, tiny_space):
+        state = make_state(tiny_space)
+        config = tiny_space.enumerate()[0]
+        clone = state.speculate(config, cost=5.0, runtime_seconds=123.0)
+        assert clone.observations[-1].runtime_seconds == 123.0
+
+    def test_best_feasible_picks_cheapest_within_constraint(self, tiny_space):
+        state = make_state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(obs(configs[0], cost=5.0, runtime=20.0))
+        state.add_observation(obs(configs[1], cost=3.0, runtime=50.0))
+        state.add_observation(obs(configs[2], cost=4.0, runtime=10.0))
+        best = state.best_feasible(tmax=30.0)
+        assert best is not None
+        assert best.config == configs[2]
+
+    def test_best_feasible_none_when_all_violate(self, tiny_space):
+        state = make_state(tiny_space)
+        state.add_observation(obs(tiny_space.enumerate()[0], cost=5.0, runtime=100.0))
+        assert state.best_feasible(tmax=30.0) is None
+
+    def test_best_observation_ignores_feasibility(self, tiny_space):
+        state = make_state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(obs(configs[0], cost=5.0, runtime=1000.0))
+        state.add_observation(obs(configs[1], cost=9.0, runtime=1.0))
+        assert state.best_observation().config == configs[0]
+
+    def test_best_observation_requires_observations(self, tiny_space):
+        with pytest.raises(ValueError):
+            make_state(tiny_space).best_observation()
+
+    def test_max_observed_cost(self, tiny_space):
+        state = make_state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(obs(configs[0], cost=5.0))
+        state.add_observation(obs(configs[1], cost=11.0))
+        assert state.max_observed_cost() == 11.0
+
+    def test_training_matrices_shapes(self, tiny_space):
+        state = make_state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(obs(configs[0], cost=5.0))
+        state.add_observation(obs(configs[3], cost=2.0))
+        X, y = state.training_matrices()
+        assert X.shape == (2, tiny_space.dimensions)
+        assert np.allclose(y, [5.0, 2.0])
+
+    def test_explored_configs_order(self, tiny_space):
+        state = make_state(tiny_space)
+        configs = tiny_space.enumerate()
+        state.add_observation(obs(configs[2], cost=1.0))
+        state.add_observation(obs(configs[0], cost=1.0))
+        assert state.explored_configs == [configs[2], configs[0]]

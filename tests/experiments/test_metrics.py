@@ -1,0 +1,60 @@
+"""Tests for the CNO/NEX aggregation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import empirical_cdf, fraction_at_optimum, summarize
+
+
+class TestEmpiricalCdf:
+    def test_sorted_values_and_probabilities(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert np.allclose(xs, [1.0, 2.0, 3.0])
+        assert np.allclose(ps, [1 / 3, 2 / 3, 1.0])
+
+    def test_last_probability_is_one(self, rng):
+        xs, ps = empirical_cdf(rng.random(17))
+        assert ps[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) > 0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.p50 == pytest.approx(2.5)
+        assert summary.n == 4
+        assert summary.std == pytest.approx(np.std([1.0, 2.0, 3.0, 4.0]))
+
+    def test_percentile_ordering(self, rng):
+        summary = summarize(rng.random(100))
+        assert summary.p50 <= summary.p90 <= summary.p95
+
+    def test_as_dict_round_trip(self):
+        summary = summarize([1.0, 2.0])
+        data = summary.as_dict()
+        assert set(data) == {"mean", "std", "p50", "p90", "p95", "n"}
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFractionAtOptimum:
+    def test_counts_values_at_one(self):
+        assert fraction_at_optimum([1.0, 1.0005, 2.0, 3.0]) == pytest.approx(0.5)
+
+    def test_tolerance_parameter(self):
+        assert fraction_at_optimum([1.05], tolerance=0.1) == 1.0
+        assert fraction_at_optimum([1.05], tolerance=0.01) == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_at_optimum([])

@@ -1,0 +1,60 @@
+"""Tests for JSON persistence of experiment results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.experiments.persistence import (
+    comparison_from_dict,
+    comparison_to_dict,
+    load_comparison,
+    save_comparison,
+)
+from repro.experiments.runner import compare_optimizers
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.workloads import make_synthetic_job
+
+    job = make_synthetic_job(seed=8)
+    return compare_optimizers(
+        job, {"rnd": RandomSearchOptimizer()}, n_trials=2, budget_multiplier=2.0
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_metrics(self, comparison):
+        rebuilt = comparison_from_dict(comparison_to_dict(comparison))
+        assert rebuilt.job_name == comparison.job_name
+        assert rebuilt.optimal_cost == pytest.approx(comparison.optimal_cost)
+        assert np.allclose(rebuilt.cno_values("rnd"), comparison.cno_values("rnd"))
+        assert np.allclose(rebuilt.nex_values("rnd"), comparison.nex_values("rnd"))
+
+    def test_dict_round_trip_preserves_observations(self, comparison):
+        rebuilt = comparison_from_dict(comparison_to_dict(comparison))
+        original = comparison.outcomes["rnd"][0].result
+        restored = rebuilt.outcomes["rnd"][0].result
+        assert len(restored.observations) == len(original.observations)
+        assert restored.observations[0].config == original.observations[0].config
+        assert restored.best_config == original.best_config
+
+    def test_file_round_trip(self, comparison, tmp_path):
+        path = save_comparison(comparison, tmp_path / "results" / "comparison.json")
+        assert path.exists()
+        loaded = load_comparison(path)
+        assert loaded.n_trials == comparison.n_trials
+        assert loaded.cno_summary("rnd").mean == pytest.approx(
+            comparison.cno_summary("rnd").mean
+        )
+
+    def test_serialised_form_is_plain_json(self, comparison, tmp_path):
+        import json
+
+        path = save_comparison(comparison, tmp_path / "comparison.json")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["job_name"] == comparison.job_name
+        assert "rnd" in payload["outcomes"]

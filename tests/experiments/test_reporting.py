@@ -1,0 +1,54 @@
+"""Tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import summarize
+from repro.experiments.reporting import format_cdf, format_summary_table, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "value"], [["long-name-here", 1]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSummaryTable:
+    def test_one_row_per_optimizer(self):
+        summaries = {"lynceus": summarize([1.0, 1.1]), "bo": summarize([2.0, 2.5])}
+        text = format_summary_table(summaries)
+        assert "lynceus" in text and "bo" in text
+        assert "CNO mean" in text
+        assert len(text.splitlines()) == 4
+
+    def test_metric_name_is_configurable(self):
+        text = format_summary_table({"rnd": summarize([3.0])}, metric_name="NEX")
+        assert "NEX mean" in text
+
+
+class TestFormatCdf:
+    def test_contains_label_and_pairs(self):
+        text = format_cdf([1.0, 2.0, 3.0, 4.0], label="bo")
+        assert text.startswith("bo:")
+        assert "@" in text
+
+    def test_limits_number_of_points(self):
+        text = format_cdf(list(range(100)), n_points=5)
+        assert text.count("@") <= 6

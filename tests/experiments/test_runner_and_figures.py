@@ -1,0 +1,138 @@
+"""Tests for the multi-seed runner and the per-figure drivers (small scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.experiments.figures import (
+    ExperimentConfig,
+    figure1a,
+    figure1b,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    table3,
+)
+from repro.experiments.runner import compare_optimizers
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """A configuration small enough for unit testing the drivers."""
+    return ExperimentConfig(
+        n_trials=2,
+        gh_order=2,
+        speculation="believer",
+        lookahead_pool_size=4,
+        n_estimators=5,
+    )
+
+
+class TestCompareOptimizers:
+    def test_every_optimizer_gets_every_trial(self, synthetic_job):
+        comparison = compare_optimizers(
+            synthetic_job,
+            {"rnd-a": RandomSearchOptimizer(), "rnd-b": RandomSearchOptimizer()},
+            n_trials=3,
+        )
+        assert comparison.optimizer_names() == ["rnd-a", "rnd-b"]
+        assert len(comparison.outcomes["rnd-a"]) == 3
+        assert len(comparison.outcomes["rnd-b"]) == 3
+
+    def test_shared_bootstrap_within_a_trial(self, synthetic_job):
+        comparison = compare_optimizers(
+            synthetic_job,
+            {"a": RandomSearchOptimizer(), "b": RandomSearchOptimizer()},
+            n_trials=2,
+        )
+        for trial in range(2):
+            a = comparison.outcomes["a"][trial].result
+            b = comparison.outcomes["b"][trial].result
+            boot_a = [o.config for o in a.observations[: a.n_bootstrap]]
+            boot_b = [o.config for o in b.observations[: b.n_bootstrap]]
+            assert boot_a == boot_b
+
+    def test_cno_values_are_at_least_one_or_flagged(self, synthetic_job):
+        comparison = compare_optimizers(
+            synthetic_job, {"rnd": RandomSearchOptimizer()}, n_trials=3
+        )
+        cnos = comparison.cno_values("rnd")
+        feasible = [o.feasible_found for o in comparison.outcomes["rnd"]]
+        assert np.all(cnos[np.array(feasible)] >= 1.0 - 1e-9)
+
+    def test_summaries_have_matching_counts(self, synthetic_job):
+        comparison = compare_optimizers(
+            synthetic_job, {"rnd": RandomSearchOptimizer()}, n_trials=4
+        )
+        assert comparison.cno_summary("rnd").n == 4
+        assert comparison.nex_summary("rnd").n == 4
+
+    def test_invalid_arguments_rejected(self, synthetic_job):
+        with pytest.raises(ValueError):
+            compare_optimizers(synthetic_job, {}, n_trials=2)
+        with pytest.raises(ValueError):
+            compare_optimizers(synthetic_job, {"rnd": RandomSearchOptimizer()}, n_trials=0)
+
+
+class TestExperimentConfig:
+    def test_presets(self):
+        assert ExperimentConfig.paper().n_trials == 100
+        assert ExperimentConfig.fast(4).n_trials == 4
+        assert ExperimentConfig.fast().speculation == "believer"
+
+    def test_with_budget(self):
+        config = ExperimentConfig.fast().with_budget(5.0)
+        assert config.budget_multiplier == 5.0
+
+    def test_factories_produce_named_optimizers(self):
+        config = ExperimentConfig.fast()
+        optimizers = config.standard_optimizers()
+        assert set(optimizers) == {"lynceus", "bo", "rnd"}
+        assert config.lynceus(1).name == "lynceus-la1"
+
+
+class TestFigureDrivers:
+    def test_figure1a_series_are_normalised(self):
+        series = figure1a(job_names=("tensorflow-multilayer",))
+        values = series["tensorflow-multilayer"]
+        assert values[0] >= 1.0 - 1e-9
+        assert len(values) == 384
+
+    def test_figure1b_outputs_one_value_per_reference(self):
+        series = figure1b(job_names=("tensorflow-multilayer",))
+        assert len(series["tensorflow-multilayer"]) == 32
+
+    def test_figure4_on_a_small_job(self, tiny_config):
+        results = figure4(tiny_config, job_names=("cherrypick-spark-regression",))
+        comparison = results["cherrypick-spark-regression"]
+        assert set(comparison.optimizer_names()) == {"lynceus", "bo", "rnd"}
+        assert comparison.cno_summary("lynceus").n == tiny_config.n_trials
+
+    def test_figure7_traces_are_monotone(self, tiny_config):
+        series = figure7(tiny_config, job_name="cherrypick-spark-regression", lookaheads=(0, 1))
+        for data in series.values():
+            p90 = data["p90_cno"]
+            finite = p90[np.isfinite(p90)]
+            assert np.all(np.diff(finite) <= 1e-9)
+
+    def test_figure8_and_figure9_share_a_sweep(self, tiny_config):
+        from repro.experiments.figures import budget_sensitivity
+
+        sweep = budget_sensitivity(
+            tiny_config, job_names=("cherrypick-spark-regression",), budgets=(1.0, 3.0)
+        )
+        fig8 = figure8(tiny_config, ("cherrypick-spark-regression",), (1.0, 3.0), sweep=sweep)
+        fig9 = figure9(tiny_config, ("cherrypick-spark-regression",), (1.0, 3.0), sweep=sweep)
+        assert set(fig8["cherrypick-spark-regression"]) == {1.0, 3.0}
+        assert set(fig9["cherrypick-spark-regression"]) == {1.0, 3.0}
+        # More budget -> at least as many explorations on average.
+        nex = fig9["cherrypick-spark-regression"]
+        assert nex[3.0]["lynceus"] >= nex[1.0]["lynceus"]
+
+    def test_table3_orders_decision_latency(self, tiny_config):
+        data = table3(tiny_config, job_name="cherrypick-spark-regression", lookaheads=(0, 1))
+        assert data["lynceus-la1"] >= data["lynceus-la0"] * 0.5
+        assert set(data) == {"bo", "lynceus-la0", "lynceus-la1"}

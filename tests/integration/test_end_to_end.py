@@ -1,0 +1,78 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the public API exactly the way the examples and the benchmark
+harness do: generate a paper dataset, run the compared optimizers against it,
+and check the qualitative relationships the paper reports (at a scale small
+enough for CI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BayesianOptimizer, LynceusOptimizer, RandomSearchOptimizer, load_job
+from repro.experiments.runner import compare_optimizers
+
+
+@pytest.mark.slow
+class TestPaperWorkflow:
+    def test_lynceus_beats_random_on_a_cherrypick_job(self, cherrypick_job):
+        tmax = cherrypick_job.default_tmax()
+        optimal = cherrypick_job.optimal_cost(tmax)
+        comparison = compare_optimizers(
+            cherrypick_job,
+            {
+                "lynceus": LynceusOptimizer(
+                    lookahead=1, gh_order=3, lookahead_pool_size=8,
+                    speculation="believer", n_estimators=5,
+                ),
+                "rnd": RandomSearchOptimizer(),
+            },
+            n_trials=3,
+            budget_multiplier=3.0,
+        )
+        assert comparison.optimal_cost == pytest.approx(optimal)
+        assert comparison.cno_summary("lynceus").mean <= comparison.cno_summary("rnd").mean + 0.3
+
+    def test_lynceus_explores_at_least_as_much_as_bo_on_tensorflow(self, tensorflow_job):
+        comparison = compare_optimizers(
+            tensorflow_job,
+            {
+                "lynceus": LynceusOptimizer(
+                    lookahead=1, gh_order=3, lookahead_pool_size=8,
+                    speculation="believer", n_estimators=5,
+                ),
+                "bo": BayesianOptimizer(n_estimators=5),
+            },
+            n_trials=2,
+            budget_multiplier=3.0,
+        )
+        assert (
+            comparison.nex_summary("lynceus").mean
+            >= comparison.nex_summary("bo").mean - 1.0
+        )
+
+    def test_recommendations_respect_the_constraint(self, scout_job):
+        tmax = scout_job.default_tmax()
+        for optimizer in (
+            LynceusOptimizer(lookahead=1, gh_order=2, lookahead_pool_size=6,
+                             speculation="believer", n_estimators=5, seed=0),
+            BayesianOptimizer(n_estimators=5, seed=0),
+            RandomSearchOptimizer(seed=0),
+        ):
+            result = optimizer.optimize(scout_job, tmax=tmax, seed=0)
+            assert result.feasible_found
+            assert result.best_runtime <= tmax
+
+    def test_public_api_round_trip(self):
+        job = load_job("scout-hadoop-scan")
+        result = LynceusOptimizer(
+            lookahead=0, n_estimators=5, seed=1
+        ).optimize(job, budget_multiplier=2.0, seed=1)
+        assert result.job_name == "scout-hadoop-scan"
+        assert result.best_config in set(job.configurations)
+        trace = result.best_cost_trace()
+        assert len(trace) == result.n_explorations
+        finite = [v for v in trace if np.isfinite(v)]
+        assert finite and finite[-1] == result.best_cost

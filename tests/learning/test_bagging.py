@@ -1,0 +1,93 @@
+"""Tests for the bagging ensemble."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.bagging import BaggingEnsemble
+from repro.learning.tree import RegressionTree
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(60, 3))
+    y = X @ np.array([1.0, -2.0, 0.0]) + 0.1 * rng.normal(size=60)
+    return X, y
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BaggingEnsemble(n_estimators=0)
+        with pytest.raises(ValueError):
+            BaggingEnsemble(bootstrap_fraction=0.0)
+        with pytest.raises(ValueError):
+            BaggingEnsemble(min_std=-1.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            BaggingEnsemble().predict_distribution(np.zeros((1, 3)))
+
+
+class TestFitting:
+    def test_trains_requested_number_of_estimators(self, data):
+        X, y = data
+        ensemble = BaggingEnsemble(n_estimators=7, seed=0).fit(X, y)
+        assert len(ensemble.estimators) == 7
+        assert all(isinstance(e, RegressionTree) for e in ensemble.estimators)
+
+    def test_predictions_track_the_target(self, data):
+        X, y = data
+        ensemble = BaggingEnsemble(seed=0).fit(X, y)
+        residual = y - ensemble.predict(X)
+        assert np.var(residual) < 0.5 * np.var(y)
+
+    def test_std_is_positive_everywhere(self, data):
+        X, y = data
+        ensemble = BaggingEnsemble(seed=0).fit(X, y)
+        prediction = ensemble.predict_distribution(X)
+        assert np.all(prediction.std > 0)
+
+    def test_std_floor_applies_on_constant_targets(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 5.0)
+        ensemble = BaggingEnsemble(seed=0).fit(X, y)
+        prediction = ensemble.predict_distribution(X)
+        assert np.all(prediction.std > 0)
+        assert np.allclose(prediction.mean, 5.0)
+
+    def test_same_seed_is_reproducible(self, data):
+        X, y = data
+        a = BaggingEnsemble(seed=3).fit(X, y).predict(X)
+        b = BaggingEnsemble(seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self, data):
+        X, y = data
+        a = BaggingEnsemble(seed=3).fit(X, y).predict(X)
+        b = BaggingEnsemble(seed=4).fit(X, y).predict(X)
+        assert not np.allclose(a, b)
+
+    def test_custom_base_factory(self, data):
+        X, y = data
+        ensemble = BaggingEnsemble(
+            n_estimators=3,
+            base_factory=lambda rng: RegressionTree(max_depth=1, rng=rng),
+            seed=0,
+        ).fit(X, y)
+        assert all(e.depth() <= 1 for e in ensemble.estimators)
+
+    def test_uncertainty_larger_far_from_training_data(self, data):
+        X, y = data
+        ensemble = BaggingEnsemble(seed=0).fit(X, y)
+        near = ensemble.predict_distribution(X[:5]).std.mean()
+        far = ensemble.predict_distribution(X[:5] + 20.0).std.mean()
+        # Trees extrapolate with leaf values, so the disagreement far away is
+        # at least as large as near the data.
+        assert far >= near * 0.5
+
+    def test_single_training_point(self):
+        ensemble = BaggingEnsemble(seed=0).fit(np.array([[1.0, 1.0]]), np.array([4.0]))
+        prediction = ensemble.predict_distribution(np.array([[0.0, 0.0]]))
+        assert prediction.mean[0] == pytest.approx(4.0)

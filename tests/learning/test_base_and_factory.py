@@ -1,0 +1,67 @@
+"""Tests for the regressor interface helpers and the model factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning import BaggingEnsemble, GaussianProcessRegressor, make_model
+from repro.learning.base import GaussianPrediction, check_training_data
+from repro.learning.factory import MODEL_NAMES
+
+
+class TestGaussianPrediction:
+    def test_shapes_must_match(self):
+        with pytest.raises(ValueError):
+            GaussianPrediction(mean=np.zeros(3), std=np.zeros(2))
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianPrediction(mean=np.zeros(2), std=np.array([0.1, -0.1]))
+
+    def test_len(self):
+        assert len(GaussianPrediction(mean=np.zeros(4), std=np.zeros(4))) == 4
+
+
+class TestCheckTrainingData:
+    def test_reshapes_1d_features(self):
+        X, y = check_training_data(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 3.0]))
+        assert X.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_training_data(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_training_data(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            check_training_data(np.array([[1.0], [np.inf]]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            check_training_data(np.array([[1.0], [2.0]]), np.array([1.0, np.nan]))
+
+    def test_rejects_2d_targets(self):
+        with pytest.raises(ValueError):
+            check_training_data(np.zeros((3, 2)), np.zeros((3, 1)))
+
+
+class TestFactory:
+    def test_bagging_by_name(self):
+        model = make_model("bagging", seed=0, n_estimators=4)
+        assert isinstance(model, BaggingEnsemble)
+        assert model.n_estimators == 4
+
+    def test_gp_by_name(self):
+        assert isinstance(make_model("gp"), GaussianProcessRegressor)
+        assert make_model("gp").kernel_name == "matern52"
+        assert make_model("gp-rbf").kernel_name == "rbf"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("forest")
+
+    def test_all_registered_names_construct(self):
+        for name in MODEL_NAMES:
+            assert make_model(name) is not None

@@ -1,0 +1,109 @@
+"""Tests for the Gaussian-Process regressor and its kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.gp import GaussianProcessRegressor, Matern52Kernel, RBFKernel
+
+
+@pytest.fixture
+def smooth_data(rng):
+    X = rng.uniform(-2, 2, size=(40, 2))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] ** 2
+    return X, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_signal_variance(self):
+        kernel = RBFKernel(length_scale=1.0, signal_variance=2.0)
+        A = np.random.default_rng(0).normal(size=(5, 3))
+        K = kernel(A, A)
+        assert np.allclose(np.diag(K), 2.0)
+
+    def test_rbf_decays_with_distance(self):
+        kernel = RBFKernel()
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[3.0, 0.0]])
+        assert kernel(a, near)[0, 0] > kernel(a, far)[0, 0]
+
+    def test_matern_diagonal_is_signal_variance(self):
+        kernel = Matern52Kernel(signal_variance=1.5)
+        A = np.random.default_rng(0).normal(size=(4, 2))
+        assert np.allclose(np.diag(kernel(A, A)), 1.5)
+
+    def test_matern_symmetry(self):
+        kernel = Matern52Kernel()
+        A = np.random.default_rng(1).normal(size=(6, 3))
+        K = kernel(A, A)
+        assert np.allclose(K, K.T)
+
+    def test_kernels_are_positive_semidefinite(self):
+        A = np.random.default_rng(2).normal(size=(10, 3))
+        for kernel in (RBFKernel(), Matern52Kernel()):
+            eigenvalues = np.linalg.eigvalsh(kernel(A, A))
+            assert eigenvalues.min() > -1e-8
+
+    def test_with_params_returns_new_kernel(self):
+        kernel = RBFKernel()
+        other = kernel.with_params(length_scale=2.0, signal_variance=3.0)
+        assert other.length_scale == 2.0
+        assert kernel.length_scale == 1.0
+
+
+class TestGaussianProcess:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(kernel="linear")
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict_distribution(np.zeros((1, 2)))
+
+    def test_interpolates_training_points(self, smooth_data):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor().fit(X, y)
+        assert np.allclose(gp.predict(X), y, atol=0.05)
+
+    def test_generalises_on_smooth_function(self, smooth_data, rng):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor().fit(X, y)
+        Xq = rng.uniform(-2, 2, size=(50, 2))
+        yq = np.sin(Xq[:, 0]) + 0.5 * Xq[:, 1] ** 2
+        r2 = 1 - np.var(yq - gp.predict(Xq)) / np.var(yq)
+        assert r2 > 0.9
+
+    def test_uncertainty_grows_away_from_data(self, smooth_data):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor().fit(X, y)
+        near = gp.predict_distribution(X[:3]).std.mean()
+        far = gp.predict_distribution(X[:3] + 10.0).std.mean()
+        assert far > near
+
+    def test_std_is_never_negative(self, smooth_data):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor().fit(X, y)
+        prediction = gp.predict_distribution(np.vstack([X, X + 5.0]))
+        assert np.all(prediction.std >= 0)
+
+    def test_constant_targets_are_handled(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        gp = GaussianProcessRegressor().fit(X, np.full(10, 2.0))
+        prediction = gp.predict_distribution(X)
+        assert np.allclose(prediction.mean, 2.0, atol=1e-6)
+
+    def test_rbf_variant_fits(self, smooth_data):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor(kernel="rbf").fit(X, y)
+        assert np.allclose(gp.predict(X), y, atol=0.1)
+
+    def test_without_hyperparameter_tuning(self, smooth_data):
+        X, y = smooth_data
+        gp = GaussianProcessRegressor(tune_hyperparameters=False).fit(X, y)
+        assert gp.is_fitted

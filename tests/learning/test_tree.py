@@ -1,0 +1,137 @@
+"""Tests for the CART regression tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.tree import RegressionTree
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.normal(size=(80, 4))
+    y = X @ np.array([2.0, -1.0, 0.5, 0.0]) + 0.05 * rng.normal(size=80)
+    return X, y
+
+
+class TestConstruction:
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_split=1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree(max_features=0)
+
+    def test_unfitted_tree_raises(self):
+        tree = RegressionTree()
+        assert not tree.is_fitted
+        with pytest.raises(RuntimeError):
+            tree.predict_distribution(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            _ = tree.root
+
+
+class TestFitting:
+    def test_perfectly_fits_training_data_when_fully_grown(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), y, atol=1e-9)
+
+    def test_single_sample_produces_leaf(self):
+        tree = RegressionTree().fit(np.array([[1.0, 2.0]]), np.array([5.0]))
+        assert tree.root.is_leaf
+        assert tree.predict(np.array([[9.0, 9.0]]))[0] == 5.0
+
+    def test_constant_targets_produce_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 3.0)
+        tree = RegressionTree().fit(X, y)
+        assert tree.n_leaves() == 1
+        assert np.all(tree.predict(X) == 3.0)
+
+    def test_max_depth_limits_depth(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+        assert tree.n_leaves() <= 4
+
+    def test_min_samples_leaf_respected(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree(min_samples_leaf=10).fit(X, y)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.n_samples >= 10
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root)
+
+    def test_split_on_informative_feature(self, rng):
+        # Only feature 1 carries signal.
+        X = rng.normal(size=(60, 3))
+        y = np.where(X[:, 1] > 0, 10.0, -10.0)
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.root.feature == 1
+
+    def test_max_features_restricts_candidates(self, rng):
+        X = rng.normal(size=(40, 5))
+        y = X[:, 0] * 3.0
+        tree = RegressionTree(max_features=2, rng=np.random.default_rng(0)).fit(X, y)
+        assert tree.is_fitted
+
+    def test_duplicate_feature_values_never_split_between_them(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 2.0, 10.0])
+        tree = RegressionTree().fit(X, y)
+        # Only one admissible threshold exists: between 1.0 and 2.0.
+        assert tree.root.threshold == pytest.approx(1.5)
+
+    def test_rejects_nan_training_data(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestPrediction:
+    def test_prediction_shapes_and_spread(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree(min_samples_leaf=5).fit(X, y)
+        prediction = tree.predict_distribution(X[:7])
+        assert prediction.mean.shape == (7,)
+        assert prediction.std.shape == (7,)
+        assert np.all(prediction.std >= 0)
+
+    def test_1d_query_is_reshaped(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree().fit(X, y)
+        prediction = tree.predict_distribution(X[0])
+        assert len(prediction) == 1
+
+    def test_wrong_feature_count_rejected(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict_distribution(np.zeros((2, 9)))
+
+    def test_vectorised_predict_matches_manual_traversal(self, linear_data):
+        X, y = linear_data
+        tree = RegressionTree(min_samples_leaf=4).fit(X, y)
+
+        def manual(row):
+            node = tree.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            return node.value
+
+        queries = X[:20]
+        expected = np.array([manual(row) for row in queries])
+        assert np.allclose(tree.predict(queries), expected)

@@ -1,0 +1,63 @@
+"""Property-based tests for the regression substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.learning import BaggingEnsemble, GaussianProcessRegressor, RegressionTree
+
+_finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def training_sets(draw, max_samples=25, n_features=3):
+    n = draw(st.integers(min_value=2, max_value=max_samples))
+    X = draw(
+        arrays(dtype=float, shape=(n, n_features), elements=_finite)
+    )
+    y = draw(arrays(dtype=float, shape=(n,), elements=_finite))
+    return X, y
+
+
+@given(training_sets())
+@settings(max_examples=25, deadline=None)
+def test_tree_predictions_stay_within_target_range(data):
+    X, y = data
+    tree = RegressionTree().fit(X, y)
+    predictions = tree.predict(X + 0.5)
+    assert np.all(predictions >= y.min() - 1e-9)
+    assert np.all(predictions <= y.max() + 1e-9)
+
+
+@given(training_sets())
+@settings(max_examples=25, deadline=None)
+def test_tree_training_error_never_exceeds_constant_predictor(data):
+    X, y = data
+    tree = RegressionTree().fit(X, y)
+    tree_sse = np.sum((y - tree.predict(X)) ** 2)
+    constant_sse = np.sum((y - y.mean()) ** 2)
+    assert tree_sse <= constant_sse + 1e-6
+
+
+@given(training_sets(max_samples=20))
+@settings(max_examples=20, deadline=None)
+def test_ensemble_std_is_nonnegative_and_mean_in_range(data):
+    X, y = data
+    ensemble = BaggingEnsemble(n_estimators=5, seed=0).fit(X, y)
+    prediction = ensemble.predict_distribution(X)
+    assert np.all(prediction.std >= 0.0)
+    assert np.all(prediction.mean >= y.min() - 1e-9)
+    assert np.all(prediction.mean <= y.max() + 1e-9)
+
+
+@given(training_sets(max_samples=15))
+@settings(max_examples=15, deadline=None)
+def test_gp_predictions_are_finite_with_positive_std(data):
+    X, y = data
+    gp = GaussianProcessRegressor(tune_hyperparameters=False).fit(X, y)
+    prediction = gp.predict_distribution(X + 1.0)
+    assert np.all(np.isfinite(prediction.mean))
+    assert np.all(prediction.std >= 0.0)

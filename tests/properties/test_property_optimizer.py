@@ -1,0 +1,79 @@
+"""Property-based tests for optimizer-level invariants.
+
+These run the full optimization loop on randomly generated synthetic jobs and
+check the invariants that must hold for *any* job: the recommendation is one
+of the profiled configurations, profiled configurations are distinct, budget
+accounting is consistent, and the feasibility flag is truthful.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.workloads import make_synthetic_job
+
+
+def _job(seed, ruggedness):
+    return make_synthetic_job(seed=seed, ruggedness=ruggedness)
+
+
+def _check_invariants(job, result):
+    explored = [obs.config for obs in result.observations]
+    assert len(explored) == len(set(explored))
+    assert result.best_config in explored
+    assert result.budget_spent == pytest.approx(
+        sum(obs.cost for obs in result.observations)
+    )
+    if result.feasible_found:
+        assert result.best_runtime <= result.tmax
+        best_feasible_cost = min(
+            obs.cost for obs in result.observations if obs.is_feasible(result.tmax)
+        )
+        assert result.best_cost == best_feasible_cost
+    # The recommendation's cost/runtime must match an actual run of the job.
+    outcome = job.run(result.best_config)
+    assert abs(outcome.runtime_seconds - result.best_runtime) < 1e-9
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_search_invariants(seed, ruggedness, budget_multiplier):
+    job = _job(seed, ruggedness)
+    result = RandomSearchOptimizer(seed=seed).optimize(
+        job, budget_multiplier=budget_multiplier, seed=seed
+    )
+    _check_invariants(job, result)
+
+
+@given(st.integers(min_value=0, max_value=30), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=6, deadline=None)
+def test_bayesian_optimizer_invariants(seed, ruggedness):
+    job = _job(seed, ruggedness)
+    result = BayesianOptimizer(n_estimators=5, seed=seed).optimize(
+        job, budget_multiplier=2.0, seed=seed
+    )
+    _check_invariants(job, result)
+
+
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=2))
+@settings(max_examples=5, deadline=None)
+def test_lynceus_invariants(seed, lookahead):
+    job = _job(seed, 0.4)
+    optimizer = LynceusOptimizer(
+        lookahead=lookahead,
+        gh_order=2,
+        lookahead_pool_size=4,
+        speculation="believer",
+        n_estimators=5,
+        seed=seed,
+    )
+    result = optimizer.optimize(job, budget_multiplier=2.0, seed=seed)
+    _check_invariants(job, result)

@@ -1,0 +1,62 @@
+"""Property-based tests for LHS and the Gauss-Hermite quadrature."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.lhs import latin_hypercube_indices, latin_hypercube_sample
+from repro.sampling.quadrature import GaussHermiteQuadrature
+from repro.workloads import synthetic_space
+
+
+@given(
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_lhs_unit_points_are_stratified(n_samples, n_dims, seed):
+    points = latin_hypercube_indices(n_samples, n_dims, np.random.default_rng(seed))
+    assert points.shape == (n_samples, n_dims)
+    assert np.all((points >= 0.0) & (points < 1.0))
+    for dim in range(n_dims):
+        bins = np.floor(points[:, dim] * n_samples).astype(int)
+        assert sorted(bins) == list(range(n_samples))
+
+
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_lhs_config_samples_are_distinct_and_valid(n_samples, seed):
+    space = synthetic_space()
+    sample = latin_hypercube_sample(space, n_samples, np.random.default_rng(seed))
+    assert len(sample) == n_samples
+    assert len(set(sample)) == n_samples
+    for config in sample:
+        space.validate(config)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_quadrature_weights_sum_to_one_and_mean_is_preserved(order, mean, std):
+    quadrature = GaussHermiteQuadrature(order=order, clip_to_positive=False)
+    nodes = quadrature.discretise(mean, std)
+    total_weight = sum(n.weight for n in nodes)
+    assert np.isclose(total_weight, 1.0)
+    weighted_mean = sum(n.value * n.weight for n in nodes)
+    assert np.isclose(weighted_mean, mean, atol=1e-6, rtol=1e-6)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_quadrature_clipping_never_produces_nonpositive_costs(mean, std):
+    nodes = GaussHermiteQuadrature(order=5).discretise(mean, std)
+    assert all(n.value > 0.0 for n in nodes)

@@ -1,0 +1,69 @@
+"""Property-based tests for the configuration-space data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import CategoricalParameter, ConfigSpace, Configuration, OrdinalParameter
+
+
+@st.composite
+def config_spaces(draw):
+    """Random small mixed spaces (2-4 dimensions, finite grids)."""
+    n_ordinal = draw(st.integers(min_value=1, max_value=2))
+    n_categorical = draw(st.integers(min_value=1, max_value=2))
+    params = []
+    for i in range(n_ordinal):
+        size = draw(st.integers(min_value=2, max_value=4))
+        start = draw(st.integers(min_value=0, max_value=5))
+        values = [float(start + j * (i + 1)) for j in range(size)]
+        params.append(OrdinalParameter(f"o{i}", values))
+    for i in range(n_categorical):
+        size = draw(st.integers(min_value=2, max_value=3))
+        params.append(CategoricalParameter(f"c{i}", [f"v{j}" for j in range(size)]))
+    return ConfigSpace(parameters=params)
+
+
+@given(config_spaces())
+@settings(max_examples=30, deadline=None)
+def test_enumerate_size_matches_product_of_cardinalities(space):
+    configs = space.enumerate()
+    assert len(configs) == space.size
+    assert len(set(configs)) == space.size
+
+
+@given(config_spaces())
+@settings(max_examples=30, deadline=None)
+def test_every_enumerated_config_validates_and_encodes(space):
+    configs = space.enumerate()
+    X = space.encode_many(configs)
+    assert X.shape == (space.size, space.dimensions)
+    assert np.all(np.isfinite(X))
+    for config in configs:
+        space.validate(config)
+
+
+@given(config_spaces())
+@settings(max_examples=30, deadline=None)
+def test_index_of_is_a_bijection_over_the_grid(space):
+    indices = [space.index_of(c) for c in space.enumerate()]
+    assert indices == list(range(space.size))
+
+
+@given(config_spaces(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_configuration_dict_round_trip(space, pick):
+    configs = space.enumerate()
+    config = configs[pick % len(configs)]
+    assert Configuration.from_dict(config.as_dict()) == config
+
+
+@given(config_spaces())
+@settings(max_examples=20, deadline=None)
+def test_encoding_distinguishes_distinct_configurations(space):
+    configs = space.enumerate()
+    X = space.encode_many(configs)
+    unique_rows = np.unique(X, axis=0)
+    assert unique_rows.shape[0] == len(configs)

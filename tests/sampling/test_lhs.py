@@ -1,0 +1,73 @@
+"""Tests for Latin Hypercube Sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.lhs import latin_hypercube_indices, latin_hypercube_sample
+from repro.workloads import load_job, synthetic_space
+
+
+class TestUnitHypercube:
+    def test_shape_and_range(self, rng):
+        points = latin_hypercube_indices(10, 3, rng)
+        assert points.shape == (10, 3)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+    def test_stratification_one_point_per_bin(self, rng):
+        n = 16
+        points = latin_hypercube_indices(n, 4, rng)
+        for dim in range(4):
+            bins = np.floor(points[:, dim] * n).astype(int)
+            assert sorted(bins) == list(range(n))
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube_indices(0, 2, rng)
+        with pytest.raises(ValueError):
+            latin_hypercube_indices(3, 0, rng)
+
+
+class TestConfigSampling:
+    def test_returns_requested_number_of_distinct_configs(self, small_space, rng):
+        sample = latin_hypercube_sample(small_space, 10, rng)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_samples_belong_to_the_space(self, small_space, rng):
+        for config in latin_hypercube_sample(small_space, 8, rng):
+            small_space.validate(config)
+
+    def test_covers_marginals_better_than_worst_case(self, small_space, rng):
+        # With 12 samples over a parameter with 4 values, LHS should hit at
+        # least 3 of the 4 values of every dimension.
+        sample = latin_hypercube_sample(small_space, 12, rng)
+        for param in small_space.parameters:
+            seen = {config[param.name] for config in sample}
+            assert len(seen) >= min(3, param.cardinality)
+
+    def test_respects_exclude(self, small_space, rng):
+        excluded = set(small_space.enumerate()[:5])
+        sample = latin_hypercube_sample(small_space, 10, rng, exclude=excluded)
+        assert not excluded & set(sample)
+
+    def test_respects_candidate_restriction(self, rng):
+        job = load_job("scout-hadoop-wordcount")
+        sample = latin_hypercube_sample(
+            job.space, 6, rng, candidates=job.configurations
+        )
+        assert all(config in set(job.configurations) for config in sample)
+
+    def test_raises_when_space_too_small(self, tiny_space, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube_sample(tiny_space, 10, rng)
+
+    def test_can_exhaust_the_space(self, tiny_space, rng):
+        sample = latin_hypercube_sample(tiny_space, 6, rng)
+        assert len(set(sample)) == 6
+
+    def test_deterministic_given_seed(self, small_space):
+        a = latin_hypercube_sample(small_space, 8, np.random.default_rng(5))
+        b = latin_hypercube_sample(small_space, 8, np.random.default_rng(5))
+        assert a == b

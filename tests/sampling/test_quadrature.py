@@ -1,0 +1,75 @@
+"""Tests for the Gauss-Hermite quadrature used in the lookahead simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.quadrature import GaussHermiteQuadrature
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_order(self):
+        with pytest.raises(ValueError):
+            GaussHermiteQuadrature(order=0)
+
+    def test_weights_sum_to_one(self):
+        for order in (1, 3, 5, 9):
+            quadrature = GaussHermiteQuadrature(order=order)
+            assert np.isclose(quadrature.standard_weights.sum(), 1.0)
+
+
+class TestDiscretisation:
+    def test_produces_requested_number_of_nodes(self):
+        nodes = GaussHermiteQuadrature(order=5).discretise(10.0, 2.0)
+        assert len(nodes) == 5
+        assert np.isclose(sum(n.weight for n in nodes), 1.0)
+
+    def test_matches_mean_of_the_distribution(self):
+        quadrature = GaussHermiteQuadrature(order=5, clip_to_positive=False)
+        assert quadrature.expectation(7.0, 3.0) == pytest.approx(7.0)
+
+    def test_matches_second_moment(self):
+        quadrature = GaussHermiteQuadrature(order=7, clip_to_positive=False)
+        mean, std = 4.0, 1.5
+        second_moment = quadrature.expectation(mean, std, func=lambda v: v**2)
+        assert second_moment == pytest.approx(mean**2 + std**2, rel=1e-6)
+
+    def test_clipping_biases_the_mean_upwards_near_zero(self):
+        # With clipping enabled (the default used for monetary costs) a wide
+        # distribution centred near zero has its mass truncated at zero, so
+        # the discretised mean is slightly larger than the Gaussian mean.
+        clipped = GaussHermiteQuadrature(order=5).expectation(7.0, 3.0)
+        assert clipped >= 7.0
+
+    def test_degenerate_distribution_collapses_to_single_node(self):
+        nodes = GaussHermiteQuadrature(order=5).discretise(3.0, 0.0)
+        assert len(nodes) == 1
+        assert nodes[0].value == pytest.approx(3.0)
+        assert nodes[0].weight == 1.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussHermiteQuadrature().discretise(1.0, -0.5)
+
+    def test_clipping_keeps_costs_positive(self):
+        nodes = GaussHermiteQuadrature(order=7).discretise(0.1, 5.0)
+        assert all(n.value > 0 for n in nodes)
+
+    def test_clipping_can_be_disabled(self):
+        nodes = GaussHermiteQuadrature(order=7, clip_to_positive=False).discretise(0.1, 5.0)
+        assert any(n.value < 0 for n in nodes)
+
+    def test_values_are_symmetric_around_the_mean_without_clipping(self):
+        quadrature = GaussHermiteQuadrature(order=5, clip_to_positive=False)
+        nodes = quadrature.discretise(100.0, 2.0)
+        values = np.array([n.value for n in nodes])
+        assert np.isclose(values.mean(), 100.0, atol=1e-9)
+
+    def test_exact_for_cubic_polynomials(self):
+        # Gauss-Hermite with K nodes integrates polynomials up to degree 2K-1
+        # exactly; for a cubic, E[(Y-mu)^3] = 0.
+        quadrature = GaussHermiteQuadrature(order=3, clip_to_positive=False)
+        mean, std = 2.0, 0.7
+        third_central = quadrature.expectation(mean, std, func=lambda v: (v - mean) ** 3)
+        assert third_central == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "--job", "scout-hadoop-scan"])
+        assert args.optimizer == "lynceus"
+        assert args.budget_multiplier == 3.0
+        assert args.lookahead == 2
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tune", "--job", "scout-hadoop-scan", "--optimizer", "grid"]
+            )
+
+
+class TestCommands:
+    def test_list_jobs_prints_all_suites(self, capsys):
+        assert main(["list-jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "tensorflow-cnn" in out
+        assert "scout-spark-als" in out
+        assert "cherrypick-tpch" in out
+
+    def test_describe_text_output(self, capsys):
+        assert main(["describe", "--job", "scout-hadoop-scan"]) == 0
+        out = capsys.readouterr().out
+        assert "configurations" in out
+        assert "optimal configuration" in out
+
+    def test_describe_json_output(self, capsys):
+        assert main(["describe", "--job", "scout-hadoop-scan", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job"] == "scout-hadoop-scan"
+        assert payload["configurations"] == 72
+
+    def test_describe_unknown_job_returns_error_code(self, capsys):
+        assert main(["describe", "--job", "does-not-exist"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_tune_with_random_search(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--job",
+                "scout-hadoop-scan",
+                "--optimizer",
+                "rnd",
+                "--budget-multiplier",
+                "2.0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["optimizer"] == "rnd"
+        assert payload["cno"] >= 1.0 or not payload["meets_constraint"]
+
+    def test_tune_with_fast_lynceus(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--job",
+                "scout-hadoop-scan",
+                "--optimizer",
+                "lynceus",
+                "--lookahead",
+                "1",
+                "--fast",
+                "--budget-multiplier",
+                "2.0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["explorations"] > 0
+        assert payload["budget_spent"] > 0
+
+    def test_compare_json_output(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--job",
+                "cherrypick-spark-regression",
+                "--trials",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"lynceus", "bo", "rnd"}
+        assert payload["lynceus"]["cno"]["n"] == 1.0

@@ -1,0 +1,111 @@
+"""Tests for the job abstractions and the tabulated (trace-driven) job."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.space import ConfigSpace, OrdinalParameter
+from repro.workloads.base import JobOutcome, ProfiledRun, TabulatedJob
+
+
+@pytest.fixture
+def simple_job():
+    space = ConfigSpace(parameters=[OrdinalParameter("n", [1, 2, 3, 4])])
+    runs = [
+        ProfiledRun(space.make(n=1), runtime_seconds=100.0, unit_price_per_hour=3.6),
+        ProfiledRun(space.make(n=2), runtime_seconds=60.0, unit_price_per_hour=7.2),
+        ProfiledRun(space.make(n=3), runtime_seconds=40.0, unit_price_per_hour=10.8),
+        ProfiledRun(space.make(n=4), runtime_seconds=35.0, unit_price_per_hour=14.4),
+    ]
+    return TabulatedJob(name="simple", _space=space, runs=runs)
+
+
+class TestJobOutcome:
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            JobOutcome(runtime_seconds=-1.0, cost=1.0)
+        with pytest.raises(ValueError):
+            JobOutcome(runtime_seconds=1.0, cost=-1.0)
+
+
+class TestProfiledRun:
+    def test_cost_is_runtime_times_unit_price(self):
+        run = ProfiledRun(
+            config=None, runtime_seconds=1800.0, unit_price_per_hour=2.0
+        )
+        assert run.cost == pytest.approx(1.0)
+
+
+class TestTabulatedJob:
+    def test_cost_follows_per_second_billing(self, simple_job):
+        config = simple_job.configurations[0]
+        outcome = simple_job.run(config)
+        assert outcome.cost == pytest.approx(100.0 * 3.6 / 3600.0)
+        assert not outcome.timed_out
+
+    def test_unknown_configuration_rejected(self, simple_job):
+        with pytest.raises(KeyError):
+            simple_job.run(simple_job.space.make(n=1).replace(n=99))
+
+    def test_unit_price_lookup(self, simple_job):
+        assert simple_job.unit_price_per_hour(simple_job.configurations[2]) == 10.8
+
+    def test_timeout_caps_runtime_and_marks_run(self):
+        space = ConfigSpace(parameters=[OrdinalParameter("n", [1, 2])])
+        runs = [
+            ProfiledRun(space.make(n=1), runtime_seconds=50.0, unit_price_per_hour=3.6),
+            ProfiledRun(space.make(n=2), runtime_seconds=500.0, unit_price_per_hour=3.6),
+        ]
+        job = TabulatedJob(name="t", _space=space, runs=runs, timeout_seconds=100.0)
+        ok = job.run(space.make(n=1))
+        hit = job.run(space.make(n=2))
+        assert not ok.timed_out
+        assert hit.timed_out
+        assert hit.runtime_seconds == 100.0
+        assert hit.cost == pytest.approx(100.0 * 3.6 / 3600.0)
+
+    def test_duplicate_configurations_rejected(self):
+        space = ConfigSpace(parameters=[OrdinalParameter("n", [1, 2])])
+        run = ProfiledRun(space.make(n=1), 10.0, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            TabulatedJob(name="dup", _space=space, runs=[run, run])
+
+    def test_empty_table_rejected(self):
+        space = ConfigSpace(parameters=[OrdinalParameter("n", [1, 2])])
+        with pytest.raises(ValueError):
+            TabulatedJob(name="empty", _space=space, runs=[])
+
+    def test_mean_cost_and_default_tmax(self, simple_job):
+        costs = simple_job.costs()
+        assert simple_job.mean_cost() == pytest.approx(float(np.mean(costs)))
+        assert simple_job.default_tmax() == pytest.approx(
+            float(np.median(simple_job.runtimes()))
+        )
+
+    def test_optimal_respects_constraint(self, simple_job):
+        # Cheapest overall is n=1 (0.1), but with Tmax=50 only n=3 and n=4 qualify.
+        config, cost = simple_job.optimal(tmax=50.0)
+        assert config["n"] == 3
+        assert cost == pytest.approx(40.0 * 10.8 / 3600.0)
+
+    def test_optimal_without_constraint_pressure(self, simple_job):
+        config, _ = simple_job.optimal(tmax=1000.0)
+        assert config["n"] == 1
+
+    def test_optimal_raises_when_no_feasible_config(self, simple_job):
+        with pytest.raises(ValueError):
+            simple_job.optimal(tmax=1.0)
+
+    def test_feasible_configurations(self, simple_job):
+        feasible = simple_job.feasible_configurations(tmax=50.0)
+        assert {c["n"] for c in feasible} == {3, 4}
+
+    def test_subset_restricts_configurations(self, simple_job):
+        subset = simple_job.subset(simple_job.configurations[:2])
+        assert len(subset) == 2
+        assert subset.name == simple_job.name
+
+    def test_outcome_table_covers_every_configuration(self, simple_job):
+        table = simple_job.outcome_table()
+        assert set(table.keys()) == set(simple_job.configurations)

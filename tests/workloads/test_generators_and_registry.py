@@ -1,0 +1,81 @@
+"""Tests for the synthetic generators and the job registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    available_jobs,
+    cherrypick_suite,
+    load_job,
+    make_quadratic_job,
+    make_synthetic_job,
+    scout_suite,
+    synthetic_space,
+    tensorflow_suite,
+)
+
+
+class TestSyntheticJob:
+    def test_deterministic_for_a_seed(self):
+        a = make_synthetic_job(seed=5).costs()
+        b = make_synthetic_job(seed=5).costs()
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_job(seed=5).costs()
+        b = make_synthetic_job(seed=6).costs()
+        assert not np.allclose(a, b)
+
+    def test_runtime_range_is_respected(self):
+        job = make_synthetic_job(seed=1, runtime_range=(10.0, 100.0))
+        runtimes = job.runtimes()
+        assert runtimes.min() >= 10.0 - 1e-6
+        assert runtimes.max() <= 100.0 + 1e-6
+
+    def test_invalid_ruggedness_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_job(ruggedness=1.5)
+
+    def test_covers_whole_space(self):
+        space = synthetic_space(n_numeric=1, numeric_levels=3, n_categorical=1, categories=2)
+        job = make_synthetic_job(seed=0, space=space)
+        assert len(job) == space.size
+
+
+class TestQuadraticJob:
+    def test_optimum_is_where_requested(self):
+        job = make_quadratic_job(optimum={"x0": 3.0, "x1": 2.0, "c0": "option2"})
+        config, _ = job.optimal(tmax=np.inf)
+        assert config["x0"] == 3.0
+        assert config["x1"] == 2.0
+        assert config["c0"] == "option2"
+
+    def test_cost_grows_with_distance_from_optimum(self):
+        job = make_quadratic_job(optimum={"x0": 1.0, "x1": 1.0, "c0": "option0"})
+        near = job.run(job.space.make(x0=1.0, x1=2.0, c0="option0")).cost
+        far = job.run(job.space.make(x0=4.0, x1=4.0, c0="option2")).cost
+        assert far > near
+
+
+class TestRegistry:
+    def test_available_jobs_lists_all_suites(self):
+        names = available_jobs()
+        assert len(names) == 3 + 18 + 5
+        assert "tensorflow-cnn" in names
+        assert "scout-spark-als" in names
+        assert "cherrypick-tpch" in names
+
+    def test_load_job_round_trips_names(self):
+        for name in ("tensorflow-rnn", "scout-hadoop-join", "cherrypick-terasort"):
+            assert load_job(name).name == name
+
+    def test_load_job_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            load_job("bigquery-job")
+
+    def test_suites_have_expected_sizes(self):
+        assert len(tensorflow_suite()) == 3
+        assert len(scout_suite()) == 18
+        assert len(cherrypick_suite()) == 5

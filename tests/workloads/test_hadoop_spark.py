@@ -1,0 +1,98 @@
+"""Tests for the simulated Scout and CherryPick datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.hadoop_spark import (
+    CHERRYPICK_JOB_NAMES,
+    SCOUT_JOB_NAMES,
+    SCOUT_PROFILES,
+    cherrypick_config_space,
+    make_cherrypick_job,
+    make_scout_job,
+    scout_config_space,
+    simulate_analytics_runtime,
+)
+
+
+class TestSuites:
+    def test_scout_has_eighteen_jobs(self):
+        assert len(SCOUT_JOB_NAMES) == 18
+
+    def test_cherrypick_has_five_jobs(self):
+        assert len(CHERRYPICK_JOB_NAMES) == 5
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_scout_job("nope")
+        with pytest.raises(ValueError):
+            make_cherrypick_job("nope")
+
+
+class TestScoutDataset:
+    def test_space_is_three_dimensional(self):
+        assert scout_config_space().dimensions == 3
+
+    def test_size_limits_per_vm_size(self):
+        job = make_scout_job("hadoop-sort")
+        for config in job.configurations:
+            if config["vm_size"] == "xlarge":
+                assert config["n_machines"] <= 24
+            if config["vm_size"] == "2xlarge":
+                assert config["n_machines"] <= 12
+        # 11 counts for large + 8 for xlarge + 5 for 2xlarge, over 3 families.
+        assert len(job) == 3 * (11 + 8 + 5)
+
+    def test_generation_is_deterministic(self):
+        a = make_scout_job("spark-als").runtimes()
+        b = make_scout_job("spark-als").runtimes()
+        assert np.allclose(a, b)
+
+    def test_every_job_has_heterogeneous_costs(self):
+        for name in SCOUT_JOB_NAMES[:6]:
+            costs = make_scout_job(name).costs()
+            assert costs.max() / costs.min() > 1.5
+
+    def test_different_jobs_prefer_different_vm_families(self):
+        """The suite is heterogeneous: not every job has the same optimal family."""
+        best_families = set()
+        for name in SCOUT_JOB_NAMES:
+            job = make_scout_job(name)
+            config, _ = job.optimal(tmax=np.inf)
+            best_families.add(config["vm_family"])
+        assert len(best_families) >= 2
+
+
+class TestCherryPickDataset:
+    def test_space_is_three_dimensional(self):
+        assert cherrypick_config_space().dimensions == 3
+
+    def test_cardinalities_are_in_paper_range(self):
+        sizes = {name: len(make_cherrypick_job(name)) for name in CHERRYPICK_JOB_NAMES}
+        assert all(40 <= n <= 72 for n in sizes.values())
+        assert sizes["tpch"] == 72
+        assert min(sizes.values()) < 60
+
+    def test_memory_pressure_penalises_small_memory_clusters(self):
+        profile = SCOUT_PROFILES["spark-terasort"]
+        space = scout_config_space()
+        small_memory = space.make(vm_family="c4", vm_size="large", n_machines=4)
+        big_memory = space.make(vm_family="r4", vm_size="2xlarge", n_machines=4)
+        assert simulate_analytics_runtime(profile, small_memory) > simulate_analytics_runtime(
+            profile, big_memory
+        )
+
+    def test_more_machines_speed_up_compute_bound_jobs(self):
+        profile = SCOUT_PROFILES["spark-kmeans"]
+        space = scout_config_space()
+        small = space.make(vm_family="c4", vm_size="xlarge", n_machines=4)
+        big = space.make(vm_family="c4", vm_size="xlarge", n_machines=16)
+        assert simulate_analytics_runtime(profile, big) < simulate_analytics_runtime(
+            profile, small
+        )
+
+    def test_runtimes_positive_for_every_configuration(self):
+        job = make_cherrypick_job("tpcds")
+        assert np.all(job.runtimes() > 0)

@@ -1,0 +1,154 @@
+"""Tests for the simulated TensorFlow dataset (Tables 1 and 2, Fig. 1 properties)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.tensorflow_jobs import (
+    TENSORFLOW_BATCH_SIZES,
+    TENSORFLOW_JOB_NAMES,
+    TENSORFLOW_LEARNING_RATES,
+    TENSORFLOW_TIMEOUT_SECONDS,
+    TENSORFLOW_TOTAL_VCPUS,
+    TENSORFLOW_TRAINING_MODES,
+    TENSORFLOW_VM_TYPES,
+    cluster_of,
+    make_tensorflow_job,
+    n_workers_of,
+    simulate_runtime_seconds,
+    tensorflow_config_space,
+)
+
+
+class TestConfigurationSpace:
+    def test_dimensions_match_table1_and_table2(self):
+        space = tensorflow_config_space()
+        assert space.dimensions == 5
+        assert space.size == 384
+        assert len(TENSORFLOW_VM_TYPES) == 4
+        assert len(TENSORFLOW_TOTAL_VCPUS) == 8
+        assert len(TENSORFLOW_LEARNING_RATES) == 3
+        assert len(TENSORFLOW_BATCH_SIZES) == 2
+        assert len(TENSORFLOW_TRAINING_MODES) == 2
+
+    def test_worker_counts_match_table2(self):
+        space = tensorflow_config_space()
+        config = space.make(
+            vm_type="t2.2xlarge",
+            total_vcpus=112,
+            learning_rate=1e-3,
+            batch_size=16,
+            training_mode="sync",
+        )
+        assert n_workers_of(config) == 14
+        config = config.replace(vm_type="t2.small")
+        assert n_workers_of(config) == 112
+
+    def test_cluster_includes_parameter_server(self):
+        space = tensorflow_config_space()
+        config = space.make(
+            vm_type="t2.medium",
+            total_vcpus=16,
+            learning_rate=1e-3,
+            batch_size=16,
+            training_mode="async",
+        )
+        cluster = cluster_of(config)
+        assert cluster.n_workers == 8
+        assert cluster.n_vms == 9  # 8 workers + 1 parameter server
+
+
+class TestDatasetProperties:
+    @pytest.fixture(scope="class", params=TENSORFLOW_JOB_NAMES)
+    def job(self, request):
+        return make_tensorflow_job(request.param)
+
+    def test_full_grid_is_profiled(self, job):
+        assert len(job) == 384
+        assert job.timeout_seconds == TENSORFLOW_TIMEOUT_SECONDS
+
+    def test_generation_is_deterministic(self):
+        a = make_tensorflow_job("cnn")
+        b = make_tensorflow_job("cnn")
+        assert np.allclose(a.runtimes(), b.runtimes())
+
+    def test_costs_are_positive_and_spread_is_wide(self, job):
+        costs = job.costs()
+        assert np.all(costs > 0)
+        assert costs.max() / costs.min() > 20.0
+
+    def test_roughly_half_of_the_grid_is_feasible(self, job):
+        tmax = job.default_tmax()
+        feasible = len(job.feasible_configurations(tmax))
+        assert 0.3 <= feasible / len(job) <= 0.7
+
+    def test_few_configurations_are_near_optimal(self, job):
+        tmax = job.default_tmax()
+        optimal = job.optimal_cost(tmax)
+        near = np.sum(job.costs() / optimal <= 2.0)
+        assert near <= 0.15 * len(job)
+
+    def test_some_configurations_time_out(self, job):
+        timeouts = sum(job.run(c).timed_out for c in job.configurations)
+        assert timeouts > 0
+
+    def test_unknown_job_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_tensorflow_job("transformer")
+
+
+class TestPerformanceModel:
+    def _config(self, **overrides):
+        space = tensorflow_config_space()
+        base = dict(
+            vm_type="t2.small",
+            total_vcpus=8,
+            learning_rate=1e-3,
+            batch_size=256,
+            training_mode="async",
+        )
+        base.update(overrides)
+        return space.make(**base)
+
+    def test_lower_learning_rate_is_slower(self):
+        fast = simulate_runtime_seconds("cnn", self._config(learning_rate=1e-3))
+        slow = simulate_runtime_seconds("cnn", self._config(learning_rate=1e-5))
+        assert slow > fast
+
+    def test_async_divergence_at_scale(self):
+        # Async training with the largest cluster and the largest step size
+        # never reaches the target accuracy.
+        runtime = simulate_runtime_seconds(
+            "multilayer",
+            self._config(vm_type="t2.small", total_vcpus=112, learning_rate=1e-3),
+        )
+        assert runtime > TENSORFLOW_TIMEOUT_SECONDS
+
+    def test_sync_mode_is_not_affected_by_divergence(self):
+        runtime = simulate_runtime_seconds(
+            "multilayer",
+            self._config(
+                vm_type="t2.small",
+                total_vcpus=112,
+                learning_rate=1e-3,
+                training_mode="sync",
+            ),
+        )
+        assert runtime < 10_000.0
+
+    def test_hyperparameters_interact_with_cluster_shape(self):
+        """The best training mode differs between small and large clusters."""
+        small_async = simulate_runtime_seconds("multilayer", self._config(batch_size=256))
+        small_sync = simulate_runtime_seconds(
+            "multilayer", self._config(batch_size=256, training_mode="sync")
+        )
+        big_async = simulate_runtime_seconds(
+            "multilayer", self._config(batch_size=256, total_vcpus=112)
+        )
+        big_sync = simulate_runtime_seconds(
+            "multilayer",
+            self._config(batch_size=256, total_vcpus=112, training_mode="sync"),
+        )
+        assert small_async < small_sync
+        assert big_sync < big_async
