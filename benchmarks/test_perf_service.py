@@ -1,0 +1,106 @@
+"""Service throughput — sessions/second for a 50-session mixed-suite sweep.
+
+This starts the performance trajectory of the multi-tenant service layer: the
+same 50-session sweep (scout + cherrypick jobs, two optimizer families,
+several trials each) is drained serially and over a worker pool, and the
+sessions/second plus wall-clock figures are recorded under
+``benchmarks/results/service_throughput.txt``.
+
+Profiling runs in this reproduction are table lookups, so the worker pool
+mostly measures the scheduling/dispatch overhead rather than overlap wins;
+the serial number is the honest baseline for the hot decision loop and the
+pool number bounds the multiplexing cost.  ``REPRO_BENCH_SERVICE_SESSIONS``
+scales the sweep (default 50).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import report, run_once
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.experiments.reporting import format_table
+from repro.service.service import TuningService
+from repro.workloads import load_job
+
+_JOB_NAMES = (
+    "scout-spark-kmeans",
+    "scout-hadoop-wordcount",
+    "scout-spark-pagerank",
+    "cherrypick-tpch",
+    "cherrypick-tpcds",
+)
+
+
+def _n_sessions() -> int:
+    return int(os.environ.get("REPRO_BENCH_SERVICE_SESSIONS", "50"))
+
+
+def _make_optimizer(index: int):
+    if index % 2 == 0:
+        return RandomSearchOptimizer()
+    return BayesianOptimizer(n_estimators=5)
+
+
+def _run_sweep(n_workers: int) -> dict:
+    jobs = [load_job(name) for name in _JOB_NAMES]
+    service = TuningService(n_workers=n_workers, policy="round-robin")
+    n_sessions = _n_sessions()
+    for index in range(n_sessions):
+        service.submit(
+            jobs[index % len(jobs)],
+            _make_optimizer(index),
+            session_id=f"s{index:03d}",
+            seed=index // len(jobs),
+        )
+    started = time.perf_counter()
+    results = service.drain()
+    wall = time.perf_counter() - started
+    explorations = sum(r.n_explorations for r in results.values())
+    return {
+        "n_sessions": n_sessions,
+        "n_workers": n_workers,
+        "wall_seconds": wall,
+        "sessions_per_second": n_sessions / wall,
+        "explorations": explorations,
+        "explorations_per_second": explorations / wall,
+        "results": results,
+    }
+
+
+def test_service_throughput_serial_vs_pool(benchmark):
+    def sweep_both():
+        return _run_sweep(1), _run_sweep(4)
+
+    serial, pooled = run_once(benchmark, sweep_both)
+
+    rows = [
+        [
+            f"{mode['n_workers']}",
+            f"{mode['n_sessions']}",
+            f"{mode['wall_seconds']:.2f} s",
+            f"{mode['sessions_per_second']:.1f}",
+            f"{mode['explorations_per_second']:.0f}",
+        ]
+        for mode in (serial, pooled)
+    ]
+    report(
+        "service_throughput",
+        f"\nService throughput — {serial['n_sessions']}-session mixed-suite sweep "
+        "(scout + cherrypick, RND/BO mix, round-robin)\n"
+        + format_table(
+            ["workers", "sessions", "wall", "sessions/s", "explorations/s"], rows
+        ),
+    )
+
+    # Every session terminates in both modes, with identical per-session
+    # results: parallelism must change wall-clock only.
+    assert set(serial["results"]) == set(pooled["results"])
+    for sid, result in serial["results"].items():
+        other = pooled["results"][sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+        assert result.best_cost == other.best_cost
+    assert serial["sessions_per_second"] > 0

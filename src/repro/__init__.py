@@ -34,6 +34,12 @@ The package is organised as follows:
     The evaluation harness: multi-seed runners, the CNO / NEX metrics and
     per-figure experiment drivers that regenerate every table and figure of
     the paper's evaluation section.
+
+``repro.service``
+    The multi-tenant layer above the ask/tell optimizer core: tuning
+    sessions with lifecycle and JSON checkpoint/resume, pluggable scheduling
+    policies, and a :class:`~repro.service.service.TuningService` that
+    drives many sessions concurrently over a worker pool.
 """
 
 from repro._version import __version__
@@ -44,6 +50,12 @@ from repro.core import (
     LynceusOptimizer,
     OptimizationResult,
     RandomSearchOptimizer,
+)
+from repro.service import (
+    SessionStatus,
+    TuningService,
+    TuningSession,
+    run_sweep,
 )
 from repro.workloads import (
     cherrypick_suite,
@@ -60,8 +72,12 @@ __all__ = [
     "LynceusOptimizer",
     "OptimizationResult",
     "RandomSearchOptimizer",
+    "SessionStatus",
+    "TuningService",
+    "TuningSession",
     "cherrypick_suite",
     "load_job",
+    "run_sweep",
     "scout_suite",
     "tensorflow_suite",
 ]

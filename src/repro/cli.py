@@ -16,6 +16,12 @@ The CLI exposes the library's day-to-day operations without writing Python:
     Run the paper's Lynceus / BO / RND comparison on one job and print CNO
     and NEX summaries (a one-job slice of Figure 4).
 
+``python -m repro sweep --jobs scout,cherrypick --trials 2 --workers 4``
+    Submit one tuning session per (job, trial) pair to the multi-tenant
+    service and drain them, optionally over a worker pool.  ``--jobs``
+    accepts fully-qualified names and the suite aliases ``tensorflow``,
+    ``scout``, ``cherrypick`` and ``all``.
+
 All commands print plain text; machine-readable output is available with
 ``--json``.
 """
@@ -31,9 +37,9 @@ import numpy as np
 
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.core.lynceus import LynceusOptimizer
-from repro.core.optimizer import BaseOptimizer
 from repro.experiments.reporting import format_summary_table, format_table
 from repro.experiments.runner import compare_optimizers
+from repro.service.sweep import make_optimizer, run_sweep
 from repro.workloads import available_jobs, load_job
 
 __all__ = ["main", "build_parser"]
@@ -76,23 +82,45 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
     compare.add_argument("--seed", type=int, default=0, help="seed of the first trial")
     compare.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="tune many jobs concurrently through the multi-tenant service"
+    )
+    sweep.add_argument(
+        "--jobs",
+        required=True,
+        help="comma-separated job names and/or suite aliases (tensorflow, scout, cherrypick, all)",
+    )
+    sweep.add_argument(
+        "--optimizer",
+        choices=("lynceus", "bo", "rnd"),
+        default="lynceus",
+        help="optimizer run against every job (default: lynceus)",
+    )
+    sweep.add_argument("--trials", type=int, default=1, help="sessions per job")
+    sweep.add_argument("--lookahead", type=int, default=2, help="Lynceus lookahead depth")
+    sweep.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the fast lookahead settings (same approximation as tune --fast)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="profiling runs in flight (1 = serial)"
+    )
+    sweep.add_argument(
+        "--policy",
+        choices=("fifo", "round-robin", "cost-aware"),
+        default="fifo",
+        help="scheduling policy deciding which session advances next",
+    )
+    sweep.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
+    sweep.add_argument("--seed", type=int, default=0, help="seed of the first trial")
+    sweep.add_argument("--json", action="store_true", help="emit JSON instead of text")
     return parser
 
 
 def _add_job_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--job", required=True, help="fully-qualified job name (see list-jobs)")
-
-
-def _make_optimizer(name: str, lookahead: int, fast: bool) -> BaseOptimizer:
-    if name == "rnd":
-        return RandomSearchOptimizer()
-    if name == "bo":
-        return BayesianOptimizer()
-    if fast:
-        return LynceusOptimizer(
-            lookahead=lookahead, gh_order=3, lookahead_pool_size=12, speculation="believer"
-        )
-    return LynceusOptimizer(lookahead=lookahead)
 
 
 # ---------------------------------------------------------------------------
@@ -132,7 +160,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     job = load_job(args.job)
-    optimizer = _make_optimizer(args.optimizer, args.lookahead, args.fast)
+    optimizer = make_optimizer(args.optimizer, lookahead=args.lookahead, fast=args.fast)
     tmax = args.tmax if args.tmax is not None else job.default_tmax()
     result = optimizer.optimize(
         job,
@@ -203,11 +231,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    report = run_sweep(
+        args.jobs.split(","),
+        optimizer=args.optimizer,
+        trials=args.trials,
+        n_workers=args.workers,
+        policy=args.policy,
+        budget_multiplier=args.budget_multiplier,
+        base_seed=args.seed,
+        fast=args.fast,
+        lookahead=args.lookahead,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    rows = [
+        [
+            row.session_id,
+            row.status,
+            f"{row.cno:.3f}",
+            row.n_explorations,
+            f"{row.budget_spent:.2f}",
+        ]
+        for row in report.rows
+    ]
+    print(format_table(["session", "status", "cno", "nex", "spent"], rows))
+    print(
+        f"{report.n_sessions} sessions in {report.wall_seconds:.2f}s "
+        f"({report.sessions_per_second:.1f}/s, workers={report.n_workers}, "
+        f"policy={report.policy}); mean CNO {report.mean_cno:.3f}, "
+        f"total spend {report.total_budget_spent:.2f}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "list-jobs": _cmd_list_jobs,
     "describe": _cmd_describe,
     "tune": _cmd_tune,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -93,18 +93,18 @@ class ConstrainedLynceusOptimizer(LynceusOptimizer):
         self._constraint_models = {}
         self._constraint_models_size = -1
 
-    def _profile(self, job: Job, state: OptimizerState, config: Configuration, *, bootstrap: bool) -> Observation:
-        observation = super()._profile(job, state, config, bootstrap=bootstrap)
+    def _record_observation(
+        self, job: Job, state: OptimizerState, observation: Observation
+    ) -> None:
         outcome = JobOutcome(
             runtime_seconds=observation.runtime_seconds,
             cost=observation.cost,
             timed_out=observation.timed_out,
         )
         for constraint in self.constraints:
-            self._metric_values[constraint.name][config] = float(
-                constraint.metric(config, outcome)
+            self._metric_values[constraint.name][observation.config] = float(
+                constraint.metric(observation.config, outcome)
             )
-        return observation
 
     # -- acquisition hook -------------------------------------------------------
     def _refresh_constraint_models(self) -> None:

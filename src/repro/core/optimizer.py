@@ -12,6 +12,23 @@ share the same outer loop:
 3. recommend the cheapest configuration, among those profiled, whose runtime
    satisfied the constraint.
 
+The loop is exposed as an incremental **ask/tell** API so callers other than
+:meth:`BaseOptimizer.optimize` (most importantly the multi-session
+:mod:`repro.service` layer) can interleave, parallelise and checkpoint runs:
+
+* :meth:`BaseOptimizer.start` resolves the run parameters and returns a
+  :class:`SessionState`;
+* :meth:`BaseOptimizer.ask` yields the next configuration to profile (the
+  bootstrap set first, then ``_next_config`` decisions), or ``None`` when the
+  run is over;
+* :meth:`BaseOptimizer.tell` feeds the measured :class:`~repro.workloads.base.JobOutcome`
+  back into the state;
+* :meth:`BaseOptimizer.finish` packages the final :class:`OptimizationResult`.
+
+:meth:`optimize` is a thin serial loop over these four calls, so every
+optimizer — Lynceus, the baselines and the constrained extensions — inherits
+incremental operation without overriding anything new.
+
 :class:`OptimizationResult` records everything the experiment harness needs:
 the recommendation, the full exploration trace, per-decision latencies (for
 Table 3) and budget accounting.
@@ -21,6 +38,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,9 +46,16 @@ import numpy as np
 from repro.core.space import ConfigSpace, Configuration
 from repro.core.state import Observation, OptimizerState
 from repro.sampling.lhs import latin_hypercube_sample
-from repro.workloads.base import Job
+from repro.workloads.base import Job, JobOutcome
 
-__all__ = ["OptimizationResult", "BaseOptimizer", "default_bootstrap_size", "default_budget"]
+__all__ = [
+    "OptimizationResult",
+    "BaseOptimizer",
+    "PendingRun",
+    "SessionState",
+    "default_bootstrap_size",
+    "default_budget",
+]
 
 
 def default_bootstrap_size(job: Job) -> int:
@@ -116,6 +141,76 @@ class OptimizationResult:
         return float(np.mean(self.next_config_seconds))
 
 
+@dataclass
+class PendingRun:
+    """A configuration handed out by :meth:`BaseOptimizer.ask`, awaiting its outcome.
+
+    ``extra_cost`` is the optimizer's extra charge for the run (e.g. setup
+    costs), estimated at ask time — matching the pre-ask/tell loop, which
+    charged it before running the job.
+    """
+
+    config: Configuration
+    bootstrap: bool
+    extra_cost: float = 0.0
+
+
+@dataclass
+class SessionState:
+    """Everything one incremental optimization run needs between steps.
+
+    A session is created by :meth:`BaseOptimizer.start` and advanced by
+    alternating :meth:`BaseOptimizer.ask` / :meth:`BaseOptimizer.tell` calls.
+    At most one profiling run may be outstanding at a time (``pending``); the
+    bootstrap configurations are served first, in order, then the optimizer's
+    own decisions.
+
+    ``finish_reason`` distinguishes why a session ended: ``"budget"`` (the
+    search budget ran out), ``"space"`` (every configuration was profiled) or
+    ``"converged"`` (the optimizer declined to propose another candidate,
+    e.g. no budget-viable configuration remained).
+    """
+
+    job: Job
+    tmax: float
+    budget: float
+    n_bootstrap: int
+    rng: np.random.Generator
+    optimizer_state: OptimizerState
+    bootstrap_queue: deque[Configuration]
+    decision_seconds: list[float] = field(default_factory=list)
+    pending: PendingRun | None = None
+    finished: bool = False
+    finish_reason: str | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the run is over (``ask`` will keep returning ``None``)."""
+        return self.finished
+
+    @property
+    def in_bootstrap(self) -> bool:
+        """Whether the session is still profiling its initial LHS sample."""
+        if self.bootstrap_queue:
+            return True
+        return self.pending is not None and self.pending.bootstrap
+
+    @property
+    def budget_remaining(self) -> float:
+        """Budget left for further profiling runs."""
+        return self.optimizer_state.budget_remaining
+
+    @property
+    def budget_spent(self) -> float:
+        """Money spent so far."""
+        return self.optimizer_state.budget_spent(self.budget)
+
+    @property
+    def n_explorations(self) -> int:
+        """Profiling runs completed so far (bootstrap included)."""
+        return self.optimizer_state.n_observations
+
+
 class BaseOptimizer:
     """Common optimization loop; concrete strategies override :meth:`_next_config`.
 
@@ -160,6 +255,44 @@ class BaseOptimizer:
 
         ``initial_configs`` lets the experiment harness hand every compared
         optimizer the same bootstrap set, as the paper's methodology requires.
+
+        This is a thin serial loop over the incremental step API
+        (:meth:`start` / :meth:`ask` / :meth:`tell` / :meth:`finish`); for a
+        fixed seed it produces exactly the trace the pre-ask/tell monolithic
+        loop produced.
+        """
+        session = self.start(
+            job,
+            tmax=tmax,
+            budget=budget,
+            budget_multiplier=budget_multiplier,
+            n_bootstrap=n_bootstrap,
+            initial_configs=initial_configs,
+            seed=seed,
+        )
+        while True:
+            config = self.ask(session)
+            if config is None:
+                break
+            self.tell(session, job.run(config))
+        return self.finish(session)
+
+    # -- incremental step API -------------------------------------------------
+    def start(
+        self,
+        job: Job,
+        *,
+        tmax: float | None = None,
+        budget: float | None = None,
+        budget_multiplier: float = 3.0,
+        n_bootstrap: int | None = None,
+        initial_configs: list[Configuration] | None = None,
+        seed: int | None = None,
+    ) -> SessionState:
+        """Resolve the run parameters and return a fresh :class:`SessionState`.
+
+        No profiling happens here: the bootstrap configurations are queued so
+        the first :meth:`ask` calls serve them in order.
         """
         rng = np.random.default_rng(seed if seed is not None else self.seed)
         tmax = float(tmax) if tmax is not None else job.default_tmax()
@@ -183,21 +316,83 @@ class BaseOptimizer:
             budget_remaining=total_budget,
         )
         self._prepare(job, state, tmax, rng)
+        return SessionState(
+            job=job,
+            tmax=tmax,
+            budget=total_budget,
+            n_bootstrap=n_boot,
+            rng=rng,
+            optimizer_state=state,
+            bootstrap_queue=deque(initial),
+        )
 
-        for config in initial:
-            self._profile(job, state, config, bootstrap=True)
+    def ask(self, session: SessionState) -> Configuration | None:
+        """Return the next configuration to profile, or ``None`` when done.
 
-        decision_seconds: list[float] = []
-        while state.budget_remaining > 0 and state.untested:
-            started = time.perf_counter()
-            config = self._next_config(job, state, tmax, rng)
-            decision_seconds.append(time.perf_counter() - started)
-            if config is None:
-                break
-            self._profile(job, state, config, bootstrap=False)
+        The caller must run the job on the returned configuration and report
+        the outcome with :meth:`tell` before asking again: every decision
+        conditions on all previous observations, so at most one run per
+        session may be in flight.
+        """
+        if session.pending is not None:
+            raise RuntimeError(
+                "ask() called with a profiling run outstanding; tell() its outcome first"
+            )
+        if session.finished:
+            return None
+        state = session.optimizer_state
+        if session.bootstrap_queue:
+            config = session.bootstrap_queue.popleft()
+            session.pending = PendingRun(
+                config=config,
+                bootstrap=True,
+                extra_cost=self._charge_extra(session.job, state, config),
+            )
+            return config
+        if state.budget_remaining <= 0 or not state.untested:
+            session.finished = True
+            session.finish_reason = "budget" if state.untested else "space"
+            return None
+        started = time.perf_counter()
+        config = self._next_config(session.job, state, session.tmax, session.rng)
+        session.decision_seconds.append(time.perf_counter() - started)
+        if config is None:
+            session.finished = True
+            session.finish_reason = "converged"
+            return None
+        session.pending = PendingRun(
+            config=config,
+            bootstrap=False,
+            extra_cost=self._charge_extra(session.job, state, config),
+        )
+        return config
 
+    def tell(self, session: SessionState, outcome: JobOutcome) -> Observation:
+        """Feed the measured outcome of the last :meth:`ask` back into the state."""
+        pending = session.pending
+        if pending is None:
+            raise RuntimeError("tell() called without an outstanding ask()")
+        session.pending = None
+        observation = Observation(
+            config=pending.config,
+            cost=outcome.cost + pending.extra_cost,
+            runtime_seconds=outcome.runtime_seconds,
+            timed_out=outcome.timed_out,
+            bootstrap=pending.bootstrap,
+        )
+        session.optimizer_state.add_observation(observation)
+        self._record_observation(session.job, session.optimizer_state, observation)
+        return observation
+
+    def finish(self, session: SessionState) -> OptimizationResult:
+        """Package the session's final :class:`OptimizationResult`."""
         return self._build_result(
-            job, state, tmax, total_budget, n_boot, decision_seconds
+            session.job,
+            session.optimizer_state,
+            session.tmax,
+            session.budget,
+            session.n_bootstrap,
+            session.decision_seconds,
         )
 
     # -- hooks ------------------------------------------------------------------
@@ -216,22 +411,18 @@ class BaseOptimizer:
         """Extra cost charged on top of the run itself (e.g. setup costs)."""
         return 0.0
 
-    # -- internals ----------------------------------------------------------------
-    def _profile(
-        self, job: Job, state: OptimizerState, config: Configuration, *, bootstrap: bool
-    ) -> Observation:
-        extra = self._charge_extra(job, state, config)
-        outcome = job.run(config)
-        observation = Observation(
-            config=config,
-            cost=outcome.cost + extra,
-            runtime_seconds=outcome.runtime_seconds,
-            timed_out=outcome.timed_out,
-            bootstrap=bootstrap,
-        )
-        state.add_observation(observation)
-        return observation
+    def _record_observation(
+        self, job: Job, state: OptimizerState, observation: Observation
+    ) -> None:
+        """Subclass hook called after every observation lands in the state.
 
+        Extensions that collect per-run side information (e.g. the metric
+        values of :class:`~repro.core.extensions.ConstrainedLynceusOptimizer`)
+        override this instead of the profiling itself, so the hook fires on
+        both the serial :meth:`optimize` path and the ask/tell path.
+        """
+
+    # -- internals ----------------------------------------------------------------
     def _build_result(
         self,
         job: Job,

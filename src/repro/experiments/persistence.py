@@ -19,10 +19,19 @@ from repro.core.space import Configuration
 from repro.core.state import Observation
 from repro.experiments.runner import ComparisonResult, TrialOutcome
 
-__all__ = ["comparison_to_dict", "comparison_from_dict", "save_comparison", "load_comparison"]
+__all__ = [
+    "observation_to_dict",
+    "observation_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "comparison_to_dict",
+    "comparison_from_dict",
+    "save_comparison",
+    "load_comparison",
+]
 
 
-def _observation_to_dict(obs: Observation) -> dict:
+def observation_to_dict(obs: Observation) -> dict:
     return {
         "config": obs.config.as_dict(),
         "cost": obs.cost,
@@ -32,7 +41,7 @@ def _observation_to_dict(obs: Observation) -> dict:
     }
 
 
-def _observation_from_dict(data: dict) -> Observation:
+def observation_from_dict(data: dict) -> Observation:
     return Observation(
         config=Configuration.from_dict(data["config"]),
         cost=data["cost"],
@@ -42,7 +51,7 @@ def _observation_from_dict(data: dict) -> Observation:
     )
 
 
-def _result_to_dict(result: OptimizationResult) -> dict:
+def result_to_dict(result: OptimizationResult) -> dict:
     return {
         "job_name": result.job_name,
         "optimizer_name": result.optimizer_name,
@@ -54,12 +63,12 @@ def _result_to_dict(result: OptimizationResult) -> dict:
         "budget": result.budget,
         "budget_spent": result.budget_spent,
         "n_bootstrap": result.n_bootstrap,
-        "observations": [_observation_to_dict(o) for o in result.observations],
+        "observations": [observation_to_dict(o) for o in result.observations],
         "next_config_seconds": list(result.next_config_seconds),
     }
 
 
-def _result_from_dict(data: dict) -> OptimizationResult:
+def result_from_dict(data: dict) -> OptimizationResult:
     return OptimizationResult(
         job_name=data["job_name"],
         optimizer_name=data["optimizer_name"],
@@ -73,7 +82,7 @@ def _result_from_dict(data: dict) -> OptimizationResult:
         budget=data["budget"],
         budget_spent=data["budget_spent"],
         n_bootstrap=data["n_bootstrap"],
-        observations=[_observation_from_dict(o) for o in data["observations"]],
+        observations=[observation_from_dict(o) for o in data["observations"]],
         next_config_seconds=list(data["next_config_seconds"]),
     )
 
@@ -94,7 +103,7 @@ def comparison_to_dict(comparison: ComparisonResult) -> dict:
                     "n_explorations": outcome.n_explorations,
                     "budget_spent": outcome.budget_spent,
                     "feasible_found": outcome.feasible_found,
-                    "result": _result_to_dict(outcome.result),
+                    "result": result_to_dict(outcome.result),
                 }
                 for outcome in outcomes
             ]
@@ -122,7 +131,7 @@ def comparison_from_dict(data: dict) -> ComparisonResult:
                 n_explorations=o["n_explorations"],
                 budget_spent=o["budget_spent"],
                 feasible_found=o["feasible_found"],
-                result=_result_from_dict(o["result"]),
+                result=result_from_dict(o["result"]),
             )
             for o in outcomes
         ]

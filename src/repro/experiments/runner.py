@@ -90,17 +90,31 @@ def compare_optimizers(
     tmax: float | None = None,
     n_bootstrap: int | None = None,
     base_seed: int = 0,
+    n_workers: int = 1,
 ) -> ComparisonResult:
     """Run every optimizer ``n_trials`` times against ``job``.
 
     Each trial draws a fresh LHS bootstrap sample; within a trial every
     optimizer receives the same bootstrap sample and the same seed, exactly
     as the paper's methodology prescribes.
+
+    Every ``(optimizer, trial)`` pair runs as one session of a
+    :class:`~repro.service.service.TuningService`.  ``n_workers=1`` (the
+    default) executes serially and reproduces the pre-service outputs
+    bit-for-bit; ``n_workers > 1`` runs up to that many profiling runs
+    concurrently with identical per-trial results (sessions are independent
+    given their shared bootstrap sample and seed), so figure benchmarks can
+    opt into parallelism without changing their numbers.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
     if not optimizers:
         raise ValueError("at least one optimizer is required")
+
+    # Imported here: repro.service sits above repro.core but below the
+    # experiment harness, and this module is imported by repro.experiments
+    # modules the service layer must stay importable without.
+    from repro.service.service import TuningService
 
     tmax = float(tmax) if tmax is not None else job.default_tmax()
     n_boot = n_bootstrap if n_bootstrap is not None else default_bootstrap_size(job)
@@ -115,6 +129,8 @@ def compare_optimizers(
         outcomes={name: [] for name in optimizers},
     )
 
+    service = TuningService(n_workers=n_workers)
+    submitted: list[tuple[str, int, str]] = []  # (optimizer name, trial, session id)
     for trial in range(n_trials):
         seed = base_seed + trial
         rng = np.random.default_rng(seed)
@@ -122,22 +138,29 @@ def compare_optimizers(
             job.space, n_boot, rng, candidates=job.configurations
         )
         for name, optimizer in optimizers.items():
-            result = optimizer.optimize(
+            session_id = service.submit(
                 job,
+                optimizer,
+                session_id=f"{name}/trial-{trial}",
                 tmax=tmax,
                 budget_multiplier=budget_multiplier,
                 initial_configs=initial,
                 seed=seed,
             )
-            comparison.outcomes[name].append(
-                TrialOutcome(
-                    trial=trial,
-                    optimizer_name=name,
-                    cno=result.cno(optimal_cost),
-                    n_explorations=result.n_explorations,
-                    budget_spent=result.budget_spent,
-                    feasible_found=result.feasible_found,
-                    result=result,
-                )
+            submitted.append((name, trial, session_id))
+
+    results = service.drain()
+    for name, trial, session_id in submitted:
+        result = results[session_id]
+        comparison.outcomes[name].append(
+            TrialOutcome(
+                trial=trial,
+                optimizer_name=name,
+                cno=result.cno(optimal_cost),
+                n_explorations=result.n_explorations,
+                budget_spent=result.budget_spent,
+                feasible_found=result.feasible_found,
+                result=result,
             )
+        )
     return comparison

@@ -1,0 +1,50 @@
+"""Multi-tenant tuning service built on the ask/tell optimizer core.
+
+The paper frames Lynceus as a tool an operator runs once per recurring job;
+this package turns the reproduction into a *service* that drives many tuning
+sessions concurrently:
+
+``repro.service.session``
+    :class:`TuningSession` — one job + optimizer + budget with an explicit
+    lifecycle (PENDING → BOOTSTRAPPING → RUNNING → DONE/EXHAUSTED), live
+    metrics and JSON checkpoint/resume.
+
+``repro.service.scheduler``
+    Pluggable scheduling policies (FIFO, round-robin, cost-aware priority)
+    deciding which session advances next.
+
+``repro.service.service``
+    :class:`TuningService` — multiplexes N sessions over a worker pool so
+    decision-making and (simulated) profiling runs overlap, and exposes
+    ``submit`` / ``poll`` / ``result`` / ``drain``.
+
+``repro.service.sweep``
+    :func:`run_sweep` — a mixed-suite convenience front-end used by the
+    ``python -m repro sweep`` CLI command.
+"""
+
+from repro.service.scheduler import (
+    CostAwarePolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus, TuningSession
+from repro.service.sweep import SweepReport, SweepRow, make_optimizer, run_sweep
+
+__all__ = [
+    "CostAwarePolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "SessionStatus",
+    "SweepReport",
+    "SweepRow",
+    "TuningService",
+    "TuningSession",
+    "make_optimizer",
+    "make_policy",
+    "run_sweep",
+]

@@ -1,0 +1,99 @@
+"""Scheduling policies: which tuning session advances next.
+
+The service asks its policy to pick one session out of the *ready* set (live
+sessions with no profiling run in flight).  Policies are deliberately tiny —
+pure functions of the candidate sessions plus whatever memory they keep —
+so new ones can be plugged in without touching the service loop.
+
+Three built-ins cover the obvious operating points:
+
+* :class:`FifoPolicy` — run each session to completion in submission order;
+  minimises per-session latency for early tenants.
+* :class:`RoundRobinPolicy` — one step per session in turn; fair progress
+  across tenants.
+* :class:`CostAwarePolicy` — advance the session that has spent the least of
+  its budget so far; cheap sessions finish first, which maximises completed
+  sessions per dollar when the service itself is budget-bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.session import TuningSession
+
+__all__ = [
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RoundRobinPolicy",
+    "CostAwarePolicy",
+    "make_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base class: pick the next session to advance from the ready set."""
+
+    name = "base"
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        """Return one of ``ready`` (guaranteed non-empty, in submission order)."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Always advance the earliest-submitted ready session."""
+
+    name = "fifo"
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        return ready[0]
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Advance sessions in turn, one step each, cycling over the ready set."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        chosen = ready[self._turn % len(ready)]
+        self._turn += 1
+        return chosen
+
+
+class CostAwarePolicy(SchedulingPolicy):
+    """Advance the ready session with the smallest budget spend so far.
+
+    Unstarted sessions count as zero spend, so fresh tenants bootstrap
+    immediately; ties fall back to submission order.
+    """
+
+    name = "cost-aware"
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        def spend(session: "TuningSession") -> float:
+            return session.state.budget_spent if session.state is not None else 0.0
+
+        return min(ready, key=spend)
+
+
+_POLICIES = {
+    FifoPolicy.name: FifoPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    CostAwarePolicy.name: CostAwarePolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a built-in policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,187 @@
+"""The tuning service: N concurrent sessions over one worker pool.
+
+:class:`TuningService` multiplexes many :class:`~repro.service.session.TuningSession`
+objects.  Each session is strictly serial internally (ask → run → tell — every
+decision conditions on all previous observations), so the service extracts
+parallelism *across* sessions: while one session's profiling run executes on
+the worker pool, the scheduler keeps advancing other sessions' decision-making
+in the submitting thread.
+
+With ``n_workers <= 1`` the service runs every profiling run inline, in pure
+scheduling order, with no pool — execution is then fully deterministic and a
+session produces exactly the result a bare ``optimizer.optimize()`` call
+would.  With ``n_workers > 1`` a thread pool runs up to that many profiling
+runs concurrently; per-session results are unchanged (each session still sees
+its own serial history), only wall-clock time and the interleaving differ.
+
+Jobs are expected to be safe to run concurrently with each other; the
+tabulated replay jobs of this reproduction are pure lookups and qualify.
+Stateful wrappers (e.g. ``SetupCostAwareJob``, whose provisioner tracks the
+deployed cluster) should be multiplexed only with ``n_workers=1`` and one
+wrapper instance per session.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any
+
+from repro.core.optimizer import BaseOptimizer, OptimizationResult
+from repro.service.scheduler import SchedulingPolicy, make_policy
+from repro.service.session import SessionStatus, TuningSession
+from repro.workloads.base import Job
+
+__all__ = ["TuningService"]
+
+
+class TuningService:
+    """Drive many tuning sessions to completion.
+
+    Parameters
+    ----------
+    n_workers:
+        Maximum number of profiling runs in flight.  ``1`` (the default)
+        disables the pool entirely and runs everything inline.
+    policy:
+        A :class:`~repro.service.scheduler.SchedulingPolicy` instance or the
+        name of a built-in one (``"fifo"``, ``"round-robin"``,
+        ``"cost-aware"``).
+    copy_optimizers:
+        When true (the default) :meth:`submit` deep-copies the optimizer so
+        every session owns its instance; per-run mutable state (price caches,
+        constraint metrics) must not be shared across concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 1,
+        policy: SchedulingPolicy | str = "fifo",
+        copy_optimizers: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.copy_optimizers = copy_optimizers
+        self._sessions: dict[str, TuningSession] = {}
+        self._ids = itertools.count()
+
+    # -- submission and inspection ------------------------------------------
+    def submit(
+        self,
+        job: Job,
+        optimizer: BaseOptimizer,
+        *,
+        session_id: str | None = None,
+        **options: Any,
+    ) -> str:
+        """Register a new tuning session and return its id.
+
+        ``options`` are forwarded to
+        :meth:`~repro.core.optimizer.BaseOptimizer.start` (``tmax``,
+        ``budget``, ``budget_multiplier``, ``n_bootstrap``,
+        ``initial_configs``, ``seed``).
+        """
+        if session_id is None:
+            session_id = f"session-{next(self._ids)}"
+        if session_id in self._sessions:
+            raise ValueError(f"duplicate session id {session_id!r}")
+        if self.copy_optimizers:
+            optimizer = copy.deepcopy(optimizer)
+        self._sessions[session_id] = TuningSession(
+            session_id, job, optimizer, **options
+        )
+        return session_id
+
+    def add_session(self, session: TuningSession) -> str:
+        """Register an existing session object (e.g. one restored from a checkpoint)."""
+        if session.session_id in self._sessions:
+            raise ValueError(f"duplicate session id {session.session_id!r}")
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    def get(self, session_id: str) -> TuningSession:
+        """The session object behind ``session_id``."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    def poll(self, session_id: str) -> dict[str, Any]:
+        """A JSON-safe progress snapshot of one session."""
+        return self.get(session_id).metrics()
+
+    def result(self, session_id: str) -> OptimizationResult:
+        """The final result of a terminal session."""
+        return self.get(session_id).result()
+
+    @property
+    def session_ids(self) -> list[str]:
+        """All registered session ids, in submission order."""
+        return list(self._sessions)
+
+    def statuses(self) -> dict[str, SessionStatus]:
+        """Status of every registered session."""
+        return {sid: session.status for sid, session in self._sessions.items()}
+
+    # -- execution ----------------------------------------------------------
+    def _ready(self) -> list[TuningSession]:
+        return [
+            session
+            for session in self._sessions.values()
+            if not session.status.terminal
+            and (session.state is None or session.state.pending is None)
+        ]
+
+    def step(self) -> bool:
+        """Advance one scheduling decision inline (always serial).
+
+        Returns ``False`` when every session is terminal.
+        """
+        ready = self._ready()
+        if not ready:
+            return False
+        session = self.policy.select(ready)
+        session.step()
+        return True
+
+    def drain(self) -> dict[str, OptimizationResult]:
+        """Run every session to completion and return ``{session_id: result}``."""
+        if self.n_workers == 1:
+            while self.step():
+                pass
+        else:
+            self._drain_pool()
+        return {
+            sid: session.result()
+            for sid, session in self._sessions.items()
+            if session.status.terminal
+        }
+
+    def _drain_pool(self) -> None:
+        """Overlap profiling runs (pool) with decision-making (this thread)."""
+        with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
+            in_flight: dict[Future, TuningSession] = {}
+            while True:
+                # Dispatch while there is pool capacity and a ready session.
+                while len(in_flight) < self.n_workers:
+                    ready = self._ready()
+                    if not ready:
+                        break
+                    session = self.policy.select(ready)
+                    config = session.ask()
+                    if config is None:
+                        continue  # session just went terminal
+                    future = executor.submit(session.job.run, config)
+                    in_flight[future] = session
+                if not in_flight:
+                    if not self._ready():
+                        break
+                    continue
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    session = in_flight.pop(future)
+                    session.tell(future.result())

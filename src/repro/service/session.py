@@ -1,0 +1,316 @@
+"""One tuning session: a job, an optimizer, a budget and a lifecycle.
+
+:class:`TuningSession` wraps the ask/tell step API of
+:class:`~repro.core.optimizer.BaseOptimizer` with everything a long-running
+service needs per tenant: explicit lifecycle states, per-session metrics and
+JSON checkpoint/resume (built on the serialisation helpers of
+:mod:`repro.experiments.persistence`).
+
+Checkpoints deliberately exclude the job table and the optimizer object:
+both are deterministic to reconstruct (workload tables are generated
+analytically, optimizers from their constructor arguments), so a checkpoint
+stores only the *progress* of the run — observations, remaining bootstrap
+queue, budget accounting and the exact random-generator state.  Restoring
+replays every observation through the optimizer's recording hook, so
+extensions that accumulate side data (e.g. constrained-metric values) resume
+faithfully too.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.optimizer import BaseOptimizer, OptimizationResult, SessionState
+from repro.core.space import Configuration
+from repro.core.state import Observation, OptimizerState
+from repro.workloads.base import Job, JobOutcome
+
+__all__ = ["SessionStatus", "TuningSession"]
+
+_CHECKPOINT_VERSION = 1
+
+
+class SessionStatus(Enum):
+    """Lifecycle of a tuning session.
+
+    PENDING
+        Submitted but not started: no budget resolved, nothing profiled.
+    BOOTSTRAPPING
+        Profiling the initial LHS sample.
+    RUNNING
+        Past the bootstrap; the optimizer decides every next configuration.
+    DONE
+        Terminal: the optimizer converged or profiled the whole space.
+    EXHAUSTED
+        Terminal: the search budget ran out before the optimizer stopped.
+    """
+
+    PENDING = "pending"
+    BOOTSTRAPPING = "bootstrapping"
+    RUNNING = "running"
+    DONE = "done"
+    EXHAUSTED = "exhausted"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
+
+
+class TuningSession:
+    """One tenant of the tuning service.
+
+    Parameters
+    ----------
+    session_id:
+        Unique identifier within the service.
+    job / optimizer:
+        What to tune and with what strategy.  The session owns the optimizer
+        instance: per-run mutable state (price caches, constraint metrics)
+        lives on it, so an instance must not be shared across live sessions.
+    tmax / budget / budget_multiplier / n_bootstrap / initial_configs / seed:
+        Forwarded to :meth:`~repro.core.optimizer.BaseOptimizer.start`.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        job: Job,
+        optimizer: BaseOptimizer,
+        *,
+        tmax: float | None = None,
+        budget: float | None = None,
+        budget_multiplier: float = 3.0,
+        n_bootstrap: int | None = None,
+        initial_configs: list[Configuration] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.session_id = session_id
+        self.job = job
+        self.optimizer = optimizer
+        self.options: dict[str, Any] = {
+            "tmax": tmax,
+            "budget": budget,
+            "budget_multiplier": budget_multiplier,
+            "n_bootstrap": n_bootstrap,
+            "initial_configs": initial_configs,
+            "seed": seed,
+        }
+        self.state: SessionState | None = None
+        self._result: OptimizationResult | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def status(self) -> SessionStatus:
+        if self.state is None:
+            return SessionStatus.PENDING
+        if self.state.finished:
+            if self.state.finish_reason == "budget":
+                return SessionStatus.EXHAUSTED
+            return SessionStatus.DONE
+        if self.state.in_bootstrap:
+            return SessionStatus.BOOTSTRAPPING
+        return SessionStatus.RUNNING
+
+    @property
+    def started(self) -> bool:
+        return self.state is not None
+
+    def start(self) -> None:
+        """Resolve budgets and the bootstrap sample; idempotent."""
+        if self.state is None:
+            self.state = self.optimizer.start(self.job, **self.options)
+
+    def ask(self) -> Configuration | None:
+        """Next configuration to profile (starting the session if needed)."""
+        self.start()
+        return self.optimizer.ask(self.state)
+
+    def tell(self, outcome: JobOutcome) -> Observation:
+        """Report the outcome of the configuration handed out by :meth:`ask`."""
+        if self.state is None:
+            raise RuntimeError(f"session {self.session_id!r} was never asked")
+        return self.optimizer.tell(self.state, outcome)
+
+    def step(self) -> bool:
+        """Advance one full ask → run → tell cycle inline.
+
+        Returns ``False`` once the session is terminal.
+        """
+        config = self.ask()
+        if config is None:
+            return False
+        self.tell(self.job.run(config))
+        return True
+
+    def result(self) -> OptimizationResult:
+        """The final result; raises unless the session is terminal."""
+        if not self.status.terminal:
+            raise RuntimeError(
+                f"session {self.session_id!r} is {self.status.value}, not terminal"
+            )
+        if self._result is None:
+            self._result = self.optimizer.finish(self.state)
+        return self._result
+
+    # -- metrics ------------------------------------------------------------
+    def metrics(self) -> dict[str, Any]:
+        """A JSON-safe snapshot of the session's progress."""
+        snapshot: dict[str, Any] = {
+            "session_id": self.session_id,
+            "job": self.job.name,
+            "optimizer": self.optimizer.name,
+            "status": self.status.value,
+        }
+        if self.state is None:
+            return snapshot
+        state = self.state
+        snapshot.update(
+            {
+                "n_explorations": state.n_explorations,
+                "n_bootstrap": state.n_bootstrap,
+                "bootstrap_pending": len(state.bootstrap_queue),
+                "budget": state.budget,
+                "budget_spent": state.budget_spent,
+                "budget_remaining": state.budget_remaining,
+                "n_untested": state.optimizer_state.n_untested,
+                "decisions": len(state.decision_seconds),
+                "mean_decision_seconds": (
+                    float(np.mean(state.decision_seconds))
+                    if state.decision_seconds
+                    else 0.0
+                ),
+                "finish_reason": state.finish_reason,
+            }
+        )
+        return snapshot
+
+    # -- checkpoint / resume -------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialise the session's progress to a JSON-safe dict.
+
+        A checkpoint may only be taken between steps (no profiling run in
+        flight): the outcome of an in-flight run cannot be serialised.
+        """
+        from repro.experiments.persistence import observation_to_dict
+
+        options = dict(self.options)
+        if options.get("initial_configs") is not None:
+            options["initial_configs"] = [
+                c.as_dict() for c in options["initial_configs"]
+            ]
+        payload: dict[str, Any] = {
+            "version": _CHECKPOINT_VERSION,
+            "session_id": self.session_id,
+            "job_name": self.job.name,
+            "optimizer_name": self.optimizer.name,
+            "status": self.status.value,
+            "options": options,
+            "state": None,
+        }
+        if self.state is None:
+            return payload
+        if self.state.pending is not None:
+            raise RuntimeError(
+                "cannot checkpoint with a profiling run in flight; tell() it first"
+            )
+        state = self.state
+        payload["state"] = {
+            "tmax": state.tmax,
+            "budget": state.budget,
+            "n_bootstrap": state.n_bootstrap,
+            "budget_remaining": state.optimizer_state.budget_remaining,
+            "bootstrap_queue": [c.as_dict() for c in state.bootstrap_queue],
+            "observations": [
+                observation_to_dict(o) for o in state.optimizer_state.observations
+            ],
+            "decision_seconds": list(state.decision_seconds),
+            "finished": state.finished,
+            "finish_reason": state.finish_reason,
+            "rng_state": state.rng.bit_generator.state,
+        }
+        return payload
+
+    def save(self, path: str | Path) -> Path:
+        """Write :meth:`checkpoint` to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.checkpoint(), handle, indent=2)
+        return path
+
+    @classmethod
+    def restore(
+        cls, data: dict, job: Job, optimizer: BaseOptimizer
+    ) -> "TuningSession":
+        """Rebuild a session from a checkpoint plus its (reconstructed) job/optimizer.
+
+        The caller supplies ``job`` and ``optimizer`` because both are
+        deterministic to reconstruct; the checkpoint carries only progress.
+        """
+        if data.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {data.get('version')!r}")
+        if data["job_name"] != job.name:
+            raise ValueError(
+                f"checkpoint is for job {data['job_name']!r}, got {job.name!r}"
+            )
+        if data["optimizer_name"] != optimizer.name:
+            raise ValueError(
+                f"checkpoint is for optimizer {data['optimizer_name']!r}, "
+                f"got {optimizer.name!r}"
+            )
+        from repro.experiments.persistence import observation_from_dict
+
+        options = dict(data["options"])
+        if options.get("initial_configs") is not None:
+            options["initial_configs"] = [
+                Configuration.from_dict(c) for c in options["initial_configs"]
+            ]
+        session = cls(data["session_id"], job, optimizer, **options)
+        saved = data["state"]
+        if saved is None:
+            return session
+
+        observations = [observation_from_dict(o) for o in saved["observations"]]
+        observed = set(o.config for o in observations)
+        optimizer_state = OptimizerState(
+            space=job.space,
+            untested=[c for c in job.configurations if c not in observed],
+            budget_remaining=saved["budget_remaining"],
+            observations=list(observations),
+            current_config=observations[-1].config if observations else None,
+        )
+        rng = np.random.default_rng()
+        rng.bit_generator.state = saved["rng_state"]
+        # Rebuild the optimizer's derived caches, then replay the recording
+        # hook so side data accumulated per observation (e.g. constraint
+        # metrics) is restored as well.
+        optimizer._prepare(job, optimizer_state, saved["tmax"], rng)
+        for observation in observations:
+            optimizer._record_observation(job, optimizer_state, observation)
+        session.state = SessionState(
+            job=job,
+            tmax=saved["tmax"],
+            budget=saved["budget"],
+            n_bootstrap=saved["n_bootstrap"],
+            rng=rng,
+            optimizer_state=optimizer_state,
+            bootstrap_queue=deque(
+                Configuration.from_dict(c) for c in saved["bootstrap_queue"]
+            ),
+            decision_seconds=list(saved["decision_seconds"]),
+            finished=saved["finished"],
+            finish_reason=saved["finish_reason"],
+        )
+        return session
+
+    @classmethod
+    def load(cls, path: str | Path, job: Job, optimizer: BaseOptimizer) -> "TuningSession":
+        """Load a session previously written by :meth:`save`."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.restore(json.load(handle), job, optimizer)

@@ -1,0 +1,219 @@
+"""Mixed-suite sweeps: the service's convenience front-end.
+
+:func:`run_sweep` submits one session per (job, trial) pair to a
+:class:`~repro.service.service.TuningService`, drains it and returns a
+:class:`SweepReport` with per-session rows (CNO against each job's known
+optimum, explorations, spend, terminal status) plus throughput figures.  It
+backs the ``python -m repro sweep`` CLI command and the service throughput
+benchmark.
+
+Job lists accept fully-qualified job names (``"scout-spark-kmeans"``) and the
+suite aliases ``"tensorflow"``, ``"scout"``, ``"cherrypick"`` and ``"all"``,
+which expand to every job of the suite(s).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.optimizer import BaseOptimizer
+from repro.service.scheduler import SchedulingPolicy
+from repro.service.service import TuningService
+from repro.workloads import available_jobs, load_job
+
+__all__ = ["SweepRow", "SweepReport", "expand_job_names", "make_optimizer", "run_sweep"]
+
+_SUITE_ALIASES = ("tensorflow", "scout", "cherrypick")
+
+
+def expand_job_names(specs: Iterable[str]) -> list[str]:
+    """Expand job names and suite aliases into fully-qualified job names."""
+    names: list[str] = []
+    for spec in specs:
+        spec = spec.strip()
+        if not spec:
+            continue
+        if spec == "all":
+            names.extend(available_jobs())
+        elif spec in _SUITE_ALIASES:
+            names.extend(n for n in available_jobs() if n.startswith(f"{spec}-"))
+        else:
+            names.append(spec)
+    # Deduplicate while keeping first-mention order: session ids are derived
+    # from job names, so a job selected twice (e.g. "--jobs scout-spark-lr,scout")
+    # must still yield one session per trial.
+    names = list(dict.fromkeys(names))
+    if not names:
+        raise ValueError("no jobs selected")
+    return names
+
+
+def make_optimizer(
+    name: str, *, lookahead: int = 2, fast: bool = False, seed: int | None = None
+) -> BaseOptimizer:
+    """Build one of the CLI-selectable optimizers by short name."""
+    if name == "rnd":
+        return RandomSearchOptimizer(seed=seed)
+    if name == "bo":
+        return BayesianOptimizer(seed=seed)
+    if name != "lynceus":
+        raise ValueError(f"unknown optimizer {name!r}; expected lynceus, bo or rnd")
+    if fast:
+        return LynceusOptimizer(
+            lookahead=lookahead, gh_order=3, lookahead_pool_size=12,
+            speculation="believer", seed=seed,
+        )
+    return LynceusOptimizer(lookahead=lookahead, seed=seed)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One finished session of a sweep."""
+
+    session_id: str
+    job_name: str
+    optimizer_name: str
+    trial: int
+    seed: int
+    status: str
+    cno: float
+    n_explorations: int
+    budget: float
+    budget_spent: float
+    feasible_found: bool
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: per-session rows plus throughput figures."""
+
+    rows: list[SweepRow] = field(default_factory=list)
+    n_workers: int = 1
+    policy: str = "fifo"
+    wall_seconds: float = 0.0
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.rows)
+
+    @property
+    def sessions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_sessions / self.wall_seconds
+
+    @property
+    def total_budget_spent(self) -> float:
+        return sum(row.budget_spent for row in self.rows)
+
+    @property
+    def mean_cno(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.cno for row in self.rows) / len(self.rows)
+
+    def as_dict(self) -> dict:
+        """A JSON-safe summary of the sweep."""
+        return {
+            "n_sessions": self.n_sessions,
+            "n_workers": self.n_workers,
+            "policy": self.policy,
+            "wall_seconds": self.wall_seconds,
+            "sessions_per_second": self.sessions_per_second,
+            "total_budget_spent": self.total_budget_spent,
+            "mean_cno": self.mean_cno,
+            "sessions": [
+                {
+                    "session_id": row.session_id,
+                    "job": row.job_name,
+                    "optimizer": row.optimizer_name,
+                    "trial": row.trial,
+                    "seed": row.seed,
+                    "status": row.status,
+                    "cno": row.cno,
+                    "explorations": row.n_explorations,
+                    "budget": row.budget,
+                    "budget_spent": row.budget_spent,
+                    "feasible_found": row.feasible_found,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def run_sweep(
+    job_specs: Sequence[str],
+    *,
+    optimizer: str | BaseOptimizer = "lynceus",
+    trials: int = 1,
+    n_workers: int = 1,
+    policy: SchedulingPolicy | str = "fifo",
+    budget_multiplier: float = 3.0,
+    base_seed: int = 0,
+    fast: bool = False,
+    lookahead: int = 2,
+) -> SweepReport:
+    """Tune every selected job ``trials`` times through the service.
+
+    Session ``(job, trial)`` uses seed ``base_seed + trial``, so a sweep's
+    results are independent of ``n_workers`` and of the scheduling policy:
+    parallelism and ordering change only wall-clock time.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    job_names = expand_job_names(job_specs)
+    jobs = {name: load_job(name) for name in dict.fromkeys(job_names)}
+
+    if isinstance(optimizer, str):
+        optimizer = make_optimizer(optimizer, lookahead=lookahead, fast=fast)
+
+    service = TuningService(n_workers=n_workers, policy=policy)
+    submitted: list[tuple[str, str, int, int]] = []  # (session_id, job, trial, seed)
+    for trial in range(trials):
+        seed = base_seed + trial
+        for name in job_names:
+            session_id = service.submit(
+                jobs[name],
+                optimizer,
+                session_id=f"{name}/trial-{trial}",
+                budget_multiplier=budget_multiplier,
+                seed=seed,
+            )
+            submitted.append((session_id, name, trial, seed))
+
+    started = time.perf_counter()
+    results = service.drain()
+    wall_seconds = time.perf_counter() - started
+
+    # Each job's optimum is deterministic; compute it once for the CNO column.
+    optima = {
+        name: job.optimal_cost(job.default_tmax()) for name, job in jobs.items()
+    }
+
+    report = SweepReport(
+        n_workers=n_workers,
+        policy=service.policy.name,
+        wall_seconds=wall_seconds,
+    )
+    for session_id, name, trial, seed in submitted:
+        result = results[session_id]
+        report.rows.append(
+            SweepRow(
+                session_id=session_id,
+                job_name=name,
+                optimizer_name=result.optimizer_name,
+                trial=trial,
+                seed=seed,
+                status=service.get(session_id).status.value,
+                cno=result.cno(optima[name]),
+                n_explorations=result.n_explorations,
+                budget=result.budget,
+                budget_spent=result.budget_spent,
+                feasible_found=result.feasible_found,
+            )
+        )
+    return report

@@ -1,0 +1,157 @@
+"""Golden-trace determinism of the ask/tell step API.
+
+``BaseOptimizer.optimize`` used to be a monolithic loop; it is now a thin
+wrapper over ``start`` / ``ask`` / ``tell`` / ``finish``.  These tests pin the
+refactor down: for a fixed seed the step API must reproduce, decision by
+decision, the exact exploration trace of the pre-refactor loop (reimplemented
+verbatim below as the reference), for every optimizer family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.optimizer import (
+    BaseOptimizer,
+    OptimizationResult,
+    default_bootstrap_size,
+    default_budget,
+)
+from repro.core.state import Observation, OptimizerState
+from repro.sampling.lhs import latin_hypercube_sample
+from repro.workloads.base import Job
+
+
+def reference_optimize(
+    optimizer: BaseOptimizer,
+    job: Job,
+    *,
+    budget_multiplier: float = 3.0,
+    seed: int = 0,
+) -> OptimizationResult:
+    """The pre-ask/tell optimization loop, kept verbatim as the golden reference."""
+    rng = np.random.default_rng(seed)
+    tmax = job.default_tmax()
+    n_boot = default_bootstrap_size(job)
+    initial = latin_hypercube_sample(job.space, n_boot, rng, candidates=job.configurations)
+    total_budget = default_budget(job, n_boot, budget_multiplier)
+
+    state = OptimizerState(
+        space=job.space,
+        untested=list(job.configurations),
+        budget_remaining=total_budget,
+    )
+    optimizer._prepare(job, state, tmax, rng)
+
+    def profile(config, *, bootstrap):
+        extra = optimizer._charge_extra(job, state, config)
+        outcome = job.run(config)
+        observation = Observation(
+            config=config,
+            cost=outcome.cost + extra,
+            runtime_seconds=outcome.runtime_seconds,
+            timed_out=outcome.timed_out,
+            bootstrap=bootstrap,
+        )
+        state.add_observation(observation)
+        optimizer._record_observation(job, state, observation)
+
+    for config in initial:
+        profile(config, bootstrap=True)
+
+    decision_seconds: list[float] = []
+    while state.budget_remaining > 0 and state.untested:
+        config = optimizer._next_config(job, state, tmax, rng)
+        decision_seconds.append(0.0)
+        if config is None:
+            break
+        profile(config, bootstrap=False)
+
+    return optimizer._build_result(job, state, tmax, total_budget, n_boot, decision_seconds)
+
+
+def make_optimizers() -> dict[str, BaseOptimizer]:
+    return {
+        "rnd": RandomSearchOptimizer(),
+        "bo": BayesianOptimizer(n_estimators=5),
+        "lynceus": LynceusOptimizer(
+            lookahead=1, gh_order=3, lookahead_pool_size=6,
+            speculation="believer", n_estimators=5,
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["rnd", "bo", "lynceus"])
+def test_ask_tell_trace_matches_pre_refactor_loop(name, synthetic_job):
+    optimizer = make_optimizers()[name]
+    golden = reference_optimize(optimizer, synthetic_job, seed=7)
+    result = optimizer.optimize(synthetic_job, seed=7)
+
+    assert [o.config for o in result.observations] == [
+        o.config for o in golden.observations
+    ]
+    assert [o.cost for o in result.observations] == [o.cost for o in golden.observations]
+    assert [o.bootstrap for o in result.observations] == [
+        o.bootstrap for o in golden.observations
+    ]
+    assert result.best_config == golden.best_config
+    assert result.best_cost == golden.best_cost
+    assert result.budget_spent == golden.budget_spent
+    assert result.n_bootstrap == golden.n_bootstrap
+    assert len(result.next_config_seconds) == len(golden.next_config_seconds)
+
+
+def test_manual_ask_tell_loop_matches_optimize(synthetic_job):
+    # Driving the step API by hand is equivalent to calling optimize().
+    via_optimize = make_optimizers()["bo"].optimize(synthetic_job, seed=3)
+
+    optimizer = make_optimizers()["bo"]
+    session = optimizer.start(synthetic_job, seed=3)
+    while True:
+        config = optimizer.ask(session)
+        if config is None:
+            break
+        optimizer.tell(session, synthetic_job.run(config))
+    via_steps = optimizer.finish(session)
+
+    assert [o.config for o in via_steps.observations] == [
+        o.config for o in via_optimize.observations
+    ]
+    assert via_steps.best_config == via_optimize.best_config
+    assert via_steps.budget_spent == via_optimize.budget_spent
+    assert session.done
+    assert session.finish_reason in {"budget", "space", "converged"}
+
+
+def test_ask_requires_tell_between_calls(synthetic_job):
+    optimizer = RandomSearchOptimizer()
+    session = optimizer.start(synthetic_job, seed=0)
+    optimizer.ask(session)
+    with pytest.raises(RuntimeError, match="outstanding"):
+        optimizer.ask(session)
+
+
+def test_tell_requires_a_pending_ask(synthetic_job):
+    optimizer = RandomSearchOptimizer()
+    session = optimizer.start(synthetic_job, seed=0)
+    with pytest.raises(RuntimeError, match="ask"):
+        optimizer.tell(session, synthetic_job.run(synthetic_job.configurations[0]))
+
+
+def test_session_reports_bootstrap_phase(synthetic_job):
+    optimizer = RandomSearchOptimizer()
+    session = optimizer.start(synthetic_job, seed=0)
+    assert session.in_bootstrap
+    assert session.n_explorations == 0
+    for _ in range(session.n_bootstrap):
+        config = optimizer.ask(session)
+        assert session.in_bootstrap
+        optimizer.tell(session, synthetic_job.run(config))
+    assert not session.in_bootstrap
+    assert session.n_explorations == session.n_bootstrap
+    assert session.budget_spent == pytest.approx(
+        sum(o.cost for o in session.optimizer_state.observations)
+    )

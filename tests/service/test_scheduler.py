@@ -1,0 +1,76 @@
+"""Scheduling-policy behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.service.scheduler import (
+    CostAwarePolicy,
+    FifoPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.service.session import TuningSession
+
+
+@pytest.fixture
+def sessions(synthetic_job):
+    return [
+        TuningSession(f"s{i}", synthetic_job, RandomSearchOptimizer(), seed=i)
+        for i in range(3)
+    ]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("fifo", FifoPolicy), ("round-robin", RoundRobinPolicy), ("cost-aware", CostAwarePolicy)],
+    )
+    def test_builds_by_name(self, name, cls):
+        policy = make_policy(name)
+        assert isinstance(policy, cls)
+        assert policy.name == name
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("lifo")
+
+
+class TestFifo:
+    def test_always_picks_the_first_ready_session(self, sessions):
+        policy = FifoPolicy()
+        assert policy.select(sessions) is sessions[0]
+        assert policy.select(sessions) is sessions[0]
+        assert policy.select(sessions[1:]) is sessions[1]
+
+
+class TestRoundRobin:
+    def test_cycles_through_the_ready_set(self, sessions):
+        policy = RoundRobinPolicy()
+        picks = [policy.select(sessions).session_id for _ in range(6)]
+        assert picks == ["s0", "s1", "s2", "s0", "s1", "s2"]
+
+    def test_shrinking_ready_set_keeps_cycling(self, sessions):
+        policy = RoundRobinPolicy()
+        policy.select(sessions)
+        assert policy.select(sessions[:2]).session_id in {"s0", "s1"}
+
+
+class TestCostAware:
+    def test_prefers_the_cheapest_session_so_far(self, sessions):
+        # Advance s0 past its whole bootstrap; s1 a single step; s2 untouched.
+        while sessions[0].state is None or sessions[0].state.in_bootstrap:
+            sessions[0].step()
+        sessions[1].step()
+        policy = CostAwarePolicy()
+        assert policy.select(sessions) is sessions[2]  # unstarted: zero spend
+
+        sessions[2].step()
+        spends = {s.session_id: s.state.budget_spent for s in sessions}
+        expected = min(sessions, key=lambda s: spends[s.session_id])
+        assert policy.select(sessions) is expected
+
+    def test_falls_back_to_submission_order_on_ties(self, sessions):
+        policy = CostAwarePolicy()
+        assert policy.select(sessions) is sessions[0]

@@ -1,0 +1,141 @@
+"""The multi-session service: lifecycle, scheduling, and serial/parallel equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.experiments.runner import compare_optimizers
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus, TuningSession
+from repro.workloads import load_job
+
+
+def fast_lynceus() -> LynceusOptimizer:
+    return LynceusOptimizer(
+        lookahead=1, gh_order=3, lookahead_pool_size=6,
+        speculation="believer", n_estimators=5,
+    )
+
+
+class TestLifecycle:
+    def test_submit_poll_result(self, synthetic_job):
+        service = TuningService()
+        sid = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        assert service.poll(sid)["status"] == "pending"
+        results = service.drain()
+        snapshot = service.poll(sid)
+        assert snapshot["status"] in ("done", "exhausted")
+        assert snapshot["n_explorations"] == results[sid].n_explorations
+        assert service.result(sid).best_config is not None
+
+    def test_session_ids_are_unique_and_ordered(self, synthetic_job):
+        service = TuningService()
+        ids = [service.submit(synthetic_job, RandomSearchOptimizer()) for _ in range(3)]
+        assert ids == service.session_ids
+        with pytest.raises(ValueError, match="duplicate"):
+            service.submit(synthetic_job, RandomSearchOptimizer(), session_id=ids[0])
+
+    def test_unknown_session_raises(self, synthetic_job):
+        with pytest.raises(KeyError, match="unknown session"):
+            TuningService().poll("nope")
+
+    def test_step_advances_one_decision(self, synthetic_job):
+        service = TuningService()
+        sid = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        assert service.step()
+        assert service.poll(sid)["n_explorations"] == 1
+        assert service.get(sid).status == SessionStatus.BOOTSTRAPPING
+
+    def test_optimizers_are_copied_per_session(self, synthetic_job):
+        service = TuningService()
+        optimizer = fast_lynceus()
+        a = service.submit(synthetic_job, optimizer, seed=0)
+        b = service.submit(synthetic_job, optimizer, seed=1)
+        assert service.get(a).optimizer is not optimizer
+        assert service.get(a).optimizer is not service.get(b).optimizer
+
+    def test_restored_sessions_can_be_added(self, synthetic_job, tmp_path):
+        session = TuningSession("ckpt", synthetic_job, RandomSearchOptimizer(), seed=3)
+        for _ in range(3):
+            session.step()
+        path = session.save(tmp_path / "s.json")
+        restored = TuningSession.load(path, synthetic_job, RandomSearchOptimizer())
+        service = TuningService()
+        service.add_session(restored)
+        results = service.drain()
+        assert results["ckpt"].n_explorations >= 3
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            TuningService(n_workers=0)
+
+
+class TestConcurrentSweep:
+    @pytest.mark.slow
+    def test_parallel_sweep_matches_serial_per_session(self):
+        # A mixed-suite, mixed-optimizer sweep: per-session results must be
+        # independent of the worker count and of the scheduling policy.
+        jobs = [load_job("scout-spark-kmeans"), load_job("cherrypick-tpch")]
+        def submit_all(service):
+            ids = []
+            for trial, job in enumerate(jobs):
+                for opt in (fast_lynceus(), BayesianOptimizer(n_estimators=5),
+                            RandomSearchOptimizer()):
+                    ids.append(
+                        service.submit(job, opt, seed=trial,
+                                       session_id=f"{job.name}/{opt.name}/{trial}")
+                    )
+            return ids
+
+        serial = TuningService(n_workers=1)
+        ids = submit_all(serial)
+        serial_results = serial.drain()
+
+        parallel = TuningService(n_workers=4, policy="round-robin")
+        submit_all(parallel)
+        parallel_results = parallel.drain()
+
+        assert set(serial_results) == set(parallel_results) == set(ids)
+        for sid in ids:
+            a, b = serial_results[sid], parallel_results[sid]
+            assert [o.config for o in a.observations] == [
+                o.config for o in b.observations
+            ], sid
+            assert a.best_cost == b.best_cost
+            assert a.budget_spent == b.budget_spent
+
+    def test_every_policy_drains_to_the_same_results(self, synthetic_job):
+        baseline = None
+        for policy in ("fifo", "round-robin", "cost-aware"):
+            service = TuningService(policy=policy)
+            for seed in range(3):
+                service.submit(synthetic_job, RandomSearchOptimizer(),
+                               session_id=f"s{seed}", seed=seed)
+            results = {
+                sid: result.best_cost for sid, result in service.drain().items()
+            }
+            if baseline is None:
+                baseline = results
+            else:
+                assert results == baseline, policy
+
+
+class TestRunnerIntegration:
+    def test_compare_optimizers_n_workers_is_reproducible(self, synthetic_job):
+        def optimizers():
+            return {"bo": BayesianOptimizer(n_estimators=5), "rnd": RandomSearchOptimizer()}
+
+        serial = compare_optimizers(synthetic_job, optimizers(), n_trials=2)
+        parallel = compare_optimizers(
+            synthetic_job, optimizers(), n_trials=2, n_workers=3
+        )
+        for name in serial.optimizer_names():
+            for a, b in zip(serial.outcomes[name], parallel.outcomes[name]):
+                assert a.trial == b.trial
+                assert a.cno == b.cno
+                assert a.n_explorations == b.n_explorations
+                assert [o.config for o in a.result.observations] == [
+                    o.config for o in b.result.observations
+                ]

@@ -1,0 +1,171 @@
+"""Checkpoint → resume round-trips for :class:`TuningSession`.
+
+The contract: a checkpoint taken between steps captures budget accounting,
+the untested set, the observation trace, the remaining bootstrap queue and
+the random-generator state — so a restored session continues *bit-identically*
+to one that never stopped.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.core.extensions import ConstrainedLynceusOptimizer, MetricConstraint
+from repro.core.lynceus import LynceusOptimizer
+from repro.service.session import SessionStatus, TuningSession
+
+
+def make_lynceus() -> LynceusOptimizer:
+    return LynceusOptimizer(
+        lookahead=1, gh_order=3, lookahead_pool_size=6,
+        speculation="believer", n_estimators=5,
+    )
+
+
+def run_to_completion(session: TuningSession):
+    while session.step():
+        pass
+    return session.result()
+
+
+class TestRoundTrip:
+    def test_state_survives_serialisation(self, synthetic_job):
+        session = TuningSession("s1", synthetic_job, make_lynceus(), seed=5)
+        for _ in range(5):
+            session.step()
+        payload = json.loads(json.dumps(session.checkpoint()))
+        restored = TuningSession.restore(payload, synthetic_job, make_lynceus())
+
+        original = session.state
+        copy = restored.state
+        assert copy.budget == original.budget
+        assert copy.budget_remaining == original.budget_remaining
+        assert copy.n_bootstrap == original.n_bootstrap
+        assert copy.tmax == original.tmax
+        assert list(copy.bootstrap_queue) == list(original.bootstrap_queue)
+        assert copy.optimizer_state.untested == original.optimizer_state.untested
+        assert copy.optimizer_state.observations == original.optimizer_state.observations
+        assert copy.decision_seconds == original.decision_seconds
+        assert restored.status == session.status
+
+    def test_resumed_session_continues_bit_identically(self, synthetic_job, tmp_path):
+        reference = TuningSession("s", synthetic_job, make_lynceus(), seed=5)
+        golden = run_to_completion(reference)
+
+        session = TuningSession("s", synthetic_job, make_lynceus(), seed=5)
+        for _ in range(4):
+            session.step()
+        path = session.save(tmp_path / "ckpt.json")
+        resumed = TuningSession.load(path, synthetic_job, make_lynceus())
+        result = run_to_completion(resumed)
+
+        assert [o.config for o in result.observations] == [
+            o.config for o in golden.observations
+        ]
+        assert result.best_cost == golden.best_cost
+        assert result.budget_spent == golden.budget_spent
+
+    def test_checkpoint_mid_bootstrap_keeps_the_queue(self, synthetic_job, tmp_path):
+        session = TuningSession("s", synthetic_job, RandomSearchOptimizer(), seed=2)
+        session.step()  # one bootstrap config profiled, the rest still queued
+        assert session.status == SessionStatus.BOOTSTRAPPING
+        path = session.save(tmp_path / "boot.json")
+        resumed = TuningSession.load(path, synthetic_job, RandomSearchOptimizer())
+        assert resumed.status == SessionStatus.BOOTSTRAPPING
+        assert list(resumed.state.bootstrap_queue) == list(session.state.bootstrap_queue)
+        result = run_to_completion(resumed)
+        assert result.n_bootstrap == session.state.n_bootstrap
+        assert all(o.bootstrap for o in result.observations[: result.n_bootstrap])
+
+    def test_unstarted_session_round_trips_with_options(self, synthetic_job):
+        initial = synthetic_job.configurations[:3]
+        session = TuningSession(
+            "fresh", synthetic_job, RandomSearchOptimizer(),
+            seed=42, budget=5.0, budget_multiplier=2.0, initial_configs=initial,
+        )
+        payload = json.loads(json.dumps(session.checkpoint()))
+        restored = TuningSession.restore(
+            payload, synthetic_job, RandomSearchOptimizer()
+        )
+        assert restored.status == SessionStatus.PENDING
+        assert restored.state is None
+        # The submission options survive, so the resumed run reproduces the
+        # original one rather than falling back to defaults.
+        assert restored.options["seed"] == 42
+        assert restored.options["budget"] == 5.0
+        assert restored.options["budget_multiplier"] == 2.0
+        assert restored.options["initial_configs"] == initial
+        golden = run_to_completion(session)
+        result = run_to_completion(restored)
+        assert [o.config for o in result.observations] == [
+            o.config for o in golden.observations
+        ]
+
+    def test_terminal_session_round_trips(self, synthetic_job):
+        session = TuningSession("done", synthetic_job, RandomSearchOptimizer(), seed=1)
+        golden = run_to_completion(session)
+        restored = TuningSession.restore(
+            session.checkpoint(), synthetic_job, RandomSearchOptimizer()
+        )
+        assert restored.status.terminal
+        assert restored.result().best_cost == golden.best_cost
+
+    def test_constrained_optimizer_metrics_are_replayed(self, synthetic_job, tmp_path):
+        def make_constrained():
+            return ConstrainedLynceusOptimizer(
+                constraints=[
+                    MetricConstraint(
+                        name="runtime2",
+                        threshold=1e9,
+                        metric=lambda config, outcome: outcome.runtime_seconds,
+                    )
+                ],
+                lookahead=0, n_estimators=5,
+            )
+
+        session = TuningSession("c", synthetic_job, make_constrained(), seed=4)
+        for _ in range(5):
+            session.step()
+        path = session.save(tmp_path / "constrained.json")
+        optimizer = make_constrained()
+        resumed = TuningSession.load(path, synthetic_job, optimizer)
+        # The recording hook was replayed: one metric value per observation.
+        assert len(optimizer._metric_values["runtime2"]) == len(
+            resumed.state.optimizer_state.observations
+        )
+
+
+class TestGuards:
+    def test_checkpoint_refuses_in_flight_runs(self, synthetic_job):
+        session = TuningSession("s", synthetic_job, RandomSearchOptimizer(), seed=0)
+        session.ask()
+        with pytest.raises(RuntimeError, match="in flight"):
+            session.checkpoint()
+
+    def test_restore_rejects_wrong_job(self, synthetic_job, quadratic_job):
+        session = TuningSession("s", synthetic_job, RandomSearchOptimizer(), seed=0)
+        with pytest.raises(ValueError, match="job"):
+            TuningSession.restore(
+                session.checkpoint(), quadratic_job, RandomSearchOptimizer()
+            )
+
+    def test_restore_rejects_wrong_optimizer(self, synthetic_job):
+        session = TuningSession("s", synthetic_job, make_lynceus(), seed=0)
+        with pytest.raises(ValueError, match="optimizer"):
+            TuningSession.restore(
+                session.checkpoint(), synthetic_job, RandomSearchOptimizer()
+            )
+
+    def test_restore_rejects_unknown_version(self, synthetic_job):
+        payload = TuningSession("s", synthetic_job, RandomSearchOptimizer()).checkpoint()
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            TuningSession.restore(payload, synthetic_job, RandomSearchOptimizer())
+
+    def test_result_requires_terminal_state(self, synthetic_job):
+        session = TuningSession("s", synthetic_job, RandomSearchOptimizer(), seed=0)
+        with pytest.raises(RuntimeError, match="terminal"):
+            session.result()

@@ -1,0 +1,72 @@
+"""Sweep front-end: job expansion, optimizer factory and end-to-end runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.service.sweep import expand_job_names, make_optimizer, run_sweep
+from repro.workloads import available_jobs
+
+
+class TestExpandJobNames:
+    def test_passes_through_qualified_names(self):
+        assert expand_job_names(["scout-spark-kmeans"]) == ["scout-spark-kmeans"]
+
+    def test_expands_suite_aliases(self):
+        assert expand_job_names(["cherrypick"]) == [
+            n for n in available_jobs() if n.startswith("cherrypick-")
+        ]
+        assert expand_job_names(["all"]) == available_jobs()
+
+    def test_deduplicates_overlapping_specs(self):
+        # A job mentioned directly and again via its suite alias must yield
+        # one session per trial, not a duplicate-session-id crash.
+        names = expand_job_names(["scout-spark-kmeans", "scout"])
+        assert names.count("scout-spark-kmeans") == 1
+
+    def test_rejects_empty_selection(self):
+        with pytest.raises(ValueError, match="no jobs"):
+            expand_job_names(["", "  "])
+
+
+class TestMakeOptimizer:
+    def test_builds_each_family(self):
+        assert isinstance(make_optimizer("rnd"), RandomSearchOptimizer)
+        assert isinstance(make_optimizer("bo"), BayesianOptimizer)
+        assert isinstance(make_optimizer("lynceus"), LynceusOptimizer)
+
+    def test_fast_settings_enable_the_approximation(self):
+        fast = make_optimizer("lynceus", fast=True)
+        assert fast.speculation == "believer"
+        assert fast.lookahead_pool_size is not None
+        full = make_optimizer("lynceus")
+        assert full.speculation == "refit"
+        assert full.lookahead_pool_size is None
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            make_optimizer("grid")
+
+
+class TestRunSweep:
+    def test_overlapping_specs_complete(self):
+        report = run_sweep(
+            ["cherrypick-tpch", "cherrypick-tpch"], optimizer="rnd", trials=2
+        )
+        assert report.n_sessions == 2  # one per trial after deduplication
+        assert all(row.status in ("done", "exhausted") for row in report.rows)
+
+    def test_report_is_json_safe_and_seeded_per_trial(self):
+        report = run_sweep(
+            ["scout-spark-kmeans"], optimizer="rnd", trials=2, base_seed=10
+        )
+        payload = report.as_dict()
+        assert payload["n_sessions"] == 2
+        assert [s["seed"] for s in payload["sessions"]] == [10, 11]
+        assert payload["mean_cno"] >= 1.0
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_sweep(["cherrypick-tpch"], optimizer="rnd", trials=0)
