@@ -54,15 +54,27 @@ def run_once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
+#: Result files already (re)written during this pytest session.  The first
+#: write of each name truncates the file, so results never accumulate
+#: duplicated blocks across runs; later writes within the same session
+#: append (for benchmarks that report several blocks under one name).
+#: Every result name is written by exactly one test, so partial runs
+#: (``-k``) rewrite only the files of the tests they select.
+_written_this_session: set[str] = set()
+
+
 def report(name: str, text: str) -> None:
     """Print a result block and persist it under ``benchmarks/results/``.
 
     pytest captures stdout by default, so the regenerated tables are also
-    written to per-experiment text files that survive the run.
+    written to per-experiment text files that survive the run.  Each file is
+    truncated on its first write of the session and rewritten from scratch.
     """
     print(text)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{name}.txt")
-    with open(path, "a", encoding="utf-8") as handle:
+    mode = "a" if name in _written_this_session else "w"
+    _written_this_session.add(name)
+    with open(path, mode, encoding="utf-8") as handle:
         handle.write(text + "\n")

@@ -1,0 +1,207 @@
+"""Optimizer hot-path latency — the step-time trajectory of the Lynceus stack.
+
+This benchmark tracks the per-step decision latency of ``lynceus-la{0,1,2}``
+on a Scout grid (the paper's headline LA=2 configuration is the expensive
+one: every step simulates ``O(candidates * K^LA)`` speculative sub-paths),
+plus microbenchmarks of the cost-model substrate (ensemble fit, full-grid
+predict, speculative conditioning).  Results are written as JSON to
+``benchmarks/results/BENCH_optimizer.json`` so successive PRs can track the
+speedup trajectory of the hot path.
+
+Reading ``BENCH_optimizer.json``:
+
+* ``lynceus.laN.step_seconds`` — wall-clock seconds of each post-bootstrap
+  next-configuration decision, in step order (the trajectory, not just the
+  mean: later steps fit on more observations and prune more candidates).
+* ``lynceus.laN.trace`` — the canonical grid index of every profiled
+  configuration.  Traces are seed-pinned: any perf change that alters them
+  broke the determinism invariant (see tests/core/test_index_golden.py).
+* ``model.*`` — substrate microbenchmarks (seconds per call).
+* ``baseline`` / ``speedup_vs_baseline`` — comparison against the committed
+  pre-optimisation run (``BENCH_optimizer_baseline.json``), measured by this
+  same benchmark on the same machine class.
+
+Environment knobs:
+
+* ``REPRO_BENCH_OPT_JOB`` — workload name (default ``scout-hadoop-wordcount``).
+* ``REPRO_BENCH_OPT_BUDGET_MULT`` — budget multiplier (default 6.0; CI smoke
+  runs use a smaller value to bound the number of steps).
+* ``REPRO_BENCH_OPT_SPECULATION`` — ``believer`` (default) or ``refit``.
+* ``REPRO_BENCH_OPT_BASELINE=1`` — write ``BENCH_optimizer_baseline.json``
+  instead (used once, before a perf PR, to pin the comparison point).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.model import CostModel
+from repro.workloads import load_job
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_RESULT_PATH = os.path.join(_RESULTS_DIR, "BENCH_optimizer.json")
+_BASELINE_PATH = os.path.join(_RESULTS_DIR, "BENCH_optimizer_baseline.json")
+
+_LOOKAHEADS = (0, 1, 2)
+_SEED = 0
+_GH_ORDER = 5
+
+
+def _params() -> dict:
+    return {
+        "job": os.environ.get("REPRO_BENCH_OPT_JOB", "scout-hadoop-wordcount"),
+        "budget_multiplier": float(os.environ.get("REPRO_BENCH_OPT_BUDGET_MULT", "6.0")),
+        "speculation": os.environ.get("REPRO_BENCH_OPT_SPECULATION", "believer"),
+        "seed": _SEED,
+        "gh_order": _GH_ORDER,
+        "n_estimators": 10,
+    }
+
+
+def _run_lynceus(job, params: dict) -> dict:
+    out = {}
+    for la in _LOOKAHEADS:
+        optimizer = LynceusOptimizer(
+            lookahead=la,
+            gh_order=params["gh_order"],
+            speculation=params["speculation"],
+            n_estimators=params["n_estimators"],
+            seed=params["seed"],
+        )
+        started = time.perf_counter()
+        result = optimizer.optimize(
+            job, budget_multiplier=params["budget_multiplier"], seed=params["seed"]
+        )
+        wall = time.perf_counter() - started
+        out[f"la{la}"] = {
+            "n_steps": len(result.next_config_seconds),
+            "step_seconds": [round(s, 6) for s in result.next_config_seconds],
+            "mean_step_seconds": round(result.mean_decision_seconds(), 6),
+            "total_seconds": round(wall, 6),
+            "trace": [job.space.index_of(o.config) for o in result.observations],
+        }
+    return out
+
+
+def _time_call(func, *, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _run_model_micro(job, params: dict) -> dict:
+    """Microbenchmarks of the cost-model substrate on the benchmark grid."""
+    configs = job.configurations
+    train = configs[:: max(1, len(configs) // 20)][:20]
+    targets = np.array([job.run(c).cost for c in train])
+
+    def fresh_model() -> CostModel:
+        return CostModel(
+            job.space, "bagging", seed=params["seed"], n_estimators=params["n_estimators"]
+        )
+
+    fit_seconds = _time_call(lambda: fresh_model().fit(train, targets))
+    model = fresh_model().fit(train, targets)
+    predict_grid_seconds = _time_call(lambda: model.predict(configs))
+    believer_seconds = _time_call(
+        lambda: model.condition_on(configs[0], 1.0, mode="believer").predict(configs[1:])
+    )
+    refit_seconds = _time_call(
+        lambda: model.condition_on(configs[0], 1.0, mode="refit"), repeat=3
+    )
+    return {
+        "n_train": len(train),
+        "n_grid": len(configs),
+        "fit_seconds": round(fit_seconds, 6),
+        "predict_full_grid_seconds": round(predict_grid_seconds, 6),
+        "believer_condition_predict_seconds": round(believer_seconds, 6),
+        "refit_condition_seconds": round(refit_seconds, 6),
+    }
+
+
+def _load_baseline() -> dict | None:
+    if not os.path.exists(_BASELINE_PATH):
+        return None
+    with open(_BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _speedups(current: dict, baseline: dict | None) -> dict:
+    if baseline is None:
+        return {}
+    out = {}
+    for la, data in current.items():
+        base = baseline.get("lynceus", {}).get(la)
+        if not base or not data["mean_step_seconds"]:
+            continue
+        out[f"{la}_mean_step"] = round(
+            base["mean_step_seconds"] / data["mean_step_seconds"], 2
+        )
+    return out
+
+
+def test_optimizer_step_latency(benchmark):
+    params = _params()
+    job = load_job(params["job"])
+
+    def measure():
+        return _run_lynceus(job, params), _run_model_micro(job, params)
+
+    lynceus, model = run_once(benchmark, measure)
+
+    baseline = _load_baseline()
+    payload = {
+        "params": params,
+        "lynceus": lynceus,
+        "model": model,
+    }
+    if os.environ.get("REPRO_BENCH_OPT_BASELINE") == "1":
+        path = _BASELINE_PATH
+    else:
+        path = _RESULT_PATH
+        if baseline is not None:
+            payload["baseline"] = {
+                "params": baseline.get("params"),
+                "lynceus": {
+                    la: {
+                        "mean_step_seconds": d["mean_step_seconds"],
+                        "n_steps": d["n_steps"],
+                    }
+                    for la, d in baseline.get("lynceus", {}).items()
+                },
+                "model": baseline.get("model"),
+            }
+            payload["speedup_vs_baseline"] = _speedups(lynceus, baseline)
+
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps({k: payload[k] for k in payload if k != "lynceus"}, indent=2))
+    for la, data in lynceus.items():
+        print(f"{la}: {data['n_steps']} steps, mean {data['mean_step_seconds']*1000:.1f} ms")
+
+    # Structural assertions (the smoke contract for CI).
+    for la in _LOOKAHEADS:
+        data = lynceus[f"la{la}"]
+        assert data["n_steps"] == len(data["step_seconds"])
+        assert len(data["trace"]) > 0
+        assert all(s >= 0.0 for s in data["step_seconds"])
+
+    # Determinism: when a baseline captured with identical parameters exists,
+    # the exploration traces must match it bit for bit — speed may change,
+    # decisions may not.
+    if baseline is not None and baseline.get("params") == params:
+        for la in _LOOKAHEADS:
+            assert lynceus[f"la{la}"]["trace"] == baseline["lynceus"][f"la{la}"]["trace"], (
+                f"lynceus-la{la} exploration trace diverged from the pinned baseline"
+            )

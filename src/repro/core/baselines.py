@@ -52,28 +52,28 @@ class BayesianOptimizer(BaseOptimizer):
     def _next_config(
         self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
     ) -> Configuration | None:
-        if not state.untested:
+        rows = state.untested_rows
+        if rows.size == 0:
             return None
+        grid = state.grid
         model = CostModel(
             job.space,
             self.model_name,
             seed=int(rng.integers(0, 2**31 - 1)),
             n_estimators=self.n_estimators,
+            grid=grid,
         )
-        configs, costs = state.explored_configs, [o.cost for o in state.observations]
-        model.fit(configs, np.asarray(costs))
-        prediction = model.predict(state.untested)
+        model.fit_rows(state.explored_rows, state.observed_costs())
+        prediction = model.predict_rows(rows)
         incumbent = estimate_incumbent(state, tmax, prediction.std)
-        unit_prices = np.array(
-            [job.unit_price_per_hour(c) for c in state.untested], dtype=float
-        )
+        unit_prices = grid.ensure_unit_prices(job)[rows]
         constraint_prob = probability_below(
             prediction.mean, prediction.std, tmax * unit_prices / 3600.0
         )
         eic = constrained_expected_improvement(
             prediction.mean, prediction.std, incumbent, constraint_prob
         )
-        return state.untested[int(np.argmax(eic))]
+        return grid.config_at(int(rows[int(np.argmax(eic))]))
 
 
 class RandomSearchOptimizer(BaseOptimizer):
@@ -84,9 +84,10 @@ class RandomSearchOptimizer(BaseOptimizer):
     def _next_config(
         self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
     ) -> Configuration | None:
-        if not state.untested:
+        rows = state.untested_rows
+        if rows.size == 0:
             return None
-        return state.untested[int(rng.integers(0, len(state.untested)))]
+        return state.grid.config_at(int(rows[int(rng.integers(0, rows.size))]))
 
 
 @dataclass(frozen=True)

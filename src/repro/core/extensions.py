@@ -107,12 +107,15 @@ class ConstrainedLynceusOptimizer(LynceusOptimizer):
             )
 
     # -- acquisition hook -------------------------------------------------------
-    def _refresh_constraint_models(self) -> None:
+    def _refresh_constraint_models(self, grid=None) -> None:
         """(Re)fit one model per constrained metric on the observations so far.
 
         The models are cached by the number of profiled configurations, so the
         many acquisition evaluations performed within one iteration (one per
         candidate and per speculated lookahead state) reuse the same fits.
+        Constraint models are bound to the state's encoded grid when
+        available, so their (repeated) predictions are row slices of one
+        memoised full-grid pass.
         """
         n_profiled = max(len(v) for v in self._metric_values.values())
         if n_profiled == self._constraint_models_size:
@@ -126,7 +129,7 @@ class ConstrainedLynceusOptimizer(LynceusOptimizer):
             values = np.array([observed[c] for c in train_configs], dtype=float)
             model = CostModel(
                 self._space_for_constraints, self.model_name, seed=0,
-                n_estimators=self.n_estimators,
+                n_estimators=self.n_estimators, grid=grid,
             )
             model.fit(train_configs, values)
             self._constraint_models[constraint.name] = model
@@ -143,6 +146,25 @@ class ConstrainedLynceusOptimizer(LynceusOptimizer):
             if model is None:
                 continue
             prediction = model.predict(configs)
+            joint *= probability_below(prediction.mean, prediction.std, constraint.threshold)
+        return joint
+
+    def _extra_constraint_probability_rows(
+        self, state: OptimizerState, rows: np.ndarray
+    ) -> np.ndarray | None:
+        self._space_for_constraints = state.space
+        self._refresh_constraint_models(grid=state.grid)
+        joint = np.ones(rows.size, dtype=float)
+        for constraint in self.constraints:
+            model = self._constraint_models.get(constraint.name)
+            if model is None:
+                continue
+            if model.grid is state.grid:
+                prediction = model.predict_rows(rows)
+            else:
+                prediction = model.predict(
+                    [state.grid.config_at(int(r)) for r in rows]
+                )
             joint *= probability_below(prediction.mean, prediction.std, constraint.threshold)
         return joint
 

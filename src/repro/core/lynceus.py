@@ -33,6 +33,14 @@ multi-threading are exposed explicitly here (and documented in DESIGN.md):
   to the most promising candidates by one-step reward/cost ratio; the
   remaining candidates keep their one-step values.  ``None`` (the default)
   reproduces the paper's full in-breadth first step.
+
+Hot path.  The whole decision loop runs on the index representation of
+:class:`~repro.core.state.OptimizerState`: candidates are integer rows into
+the job's :class:`~repro.core.space.EncodedSpace`, speculation is an index
+mask, model queries are row slices, and the per-state EIc vector is computed
+exactly once and handed down the recursion (the seed implementation
+recomputed it at every node).  The resulting exploration traces are pinned
+bit-identical to the seed implementation by tests/core/test_index_golden.py.
 """
 
 from __future__ import annotations
@@ -124,13 +132,39 @@ class LynceusOptimizer(BaseOptimizer):
         self.setup_cost_estimator = setup_cost_estimator
         self.quadrature = GaussHermiteQuadrature(order=gh_order)
         self.name = f"lynceus-la{lookahead}"
-        self._price_cache: dict[Configuration, float] = {}
+        self._grid = None
+        self._thresholds: np.ndarray | None = None
+        self._thresholds_key: tuple[object, float] | None = None
 
     # -- hooks -------------------------------------------------------------
     def _prepare(
         self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
     ) -> None:
-        self._price_cache = {c: job.unit_price_per_hour(c) for c in job.configurations}
+        grid = state.grid
+        grid.ensure_unit_prices(job)
+        self._grid = grid
+        self._grid_thresholds(state, tmax)
+
+    def _grid_thresholds(self, state: OptimizerState, tmax: float) -> np.ndarray:
+        """The constraint thresholds ``Tmax·U(x)/3600`` of the state's grid.
+
+        Static per (grid, tmax) pair — the seed implementation re-derived
+        them at every acquisition call — but cached by key rather than baked
+        in at ``_prepare`` time, so an optimizer serving several sessions
+        (different tmax or job) never reads another session's thresholds.
+        """
+        # The grid object itself keys the cache (EncodedSpace compares by
+        # identity), so a recycled id can never alias another session's grid.
+        key = (state.grid, tmax)
+        if self._thresholds_key != key:
+            prices = state.grid.unit_prices
+            if prices is None:
+                raise RuntimeError(
+                    "state grid carries no unit prices; call _prepare(job, ...) first"
+                )
+            self._thresholds = tmax * prices / 3600.0
+            self._thresholds_key = key
+        return self._thresholds
 
     def _extra_constraint_probability(
         self, state: OptimizerState, configs: list[Configuration]
@@ -139,13 +173,32 @@ class LynceusOptimizer(BaseOptimizer):
 
         The base implementation has no additional constraints and returns 1
         for every candidate; :class:`repro.core.extensions.ConstrainedLynceusOptimizer`
-        overrides it.
+        overrides it (or its row-based twin, :meth:`_extra_constraint_probability_rows`).
         """
         return np.ones(len(configs), dtype=float)
 
+    def _extra_constraint_probability_rows(
+        self, state: OptimizerState, rows: np.ndarray
+    ) -> np.ndarray | None:
+        """Row-based twin of :meth:`_extra_constraint_probability`.
+
+        Returns ``None`` when there are no additional constraints, so the hot
+        path can skip the multiply.  Subclasses overriding only the legacy
+        config-list hook are still honoured (the rows are materialised into
+        configurations for them).
+        """
+        legacy = type(self)._extra_constraint_probability
+        if legacy is not LynceusOptimizer._extra_constraint_probability:
+            grid = state.grid
+            return legacy(self, state, [grid.config_at(int(r)) for r in rows])
+        return None
+
     # -- acquisition helpers ---------------------------------------------------
     def _unit_prices(self, configs: list[Configuration]) -> np.ndarray:
-        return np.array([self._price_cache[c] for c in configs], dtype=float)
+        grid = self._grid
+        return np.array(
+            [grid.unit_prices[grid.row_of(c)] for c in configs], dtype=float
+        )
 
     def _eic(
         self,
@@ -162,6 +215,22 @@ class LynceusOptimizer(BaseOptimizer):
         constraint_prob = constraint_prob * self._extra_constraint_probability(state, configs)
         return constrained_expected_improvement(means, stds, incumbent, constraint_prob)
 
+    def _eic_rows(
+        self,
+        state: OptimizerState,
+        rows: np.ndarray,
+        means: np.ndarray,
+        stds: np.ndarray,
+        tmax: float,
+    ) -> np.ndarray:
+        """Constrained EI for grid rows (thresholds sliced, never recomputed)."""
+        incumbent = estimate_incumbent(state, tmax, stds)
+        constraint_prob = probability_below(means, stds, self._grid_thresholds(state, tmax)[rows])
+        extra = self._extra_constraint_probability_rows(state, rows)
+        if extra is not None:
+            constraint_prob = constraint_prob * extra
+        return constrained_expected_improvement(means, stds, incumbent, constraint_prob)
+
     def _setup_cost(self, current: Configuration | None, candidate: Configuration) -> float:
         if self.setup_cost_estimator is None:
             return 0.0
@@ -171,19 +240,22 @@ class LynceusOptimizer(BaseOptimizer):
     def _next_config(
         self, job: Job, state: OptimizerState, tmax: float, rng: np.random.Generator
     ) -> Configuration | None:
-        if not state.untested:
+        rows = state.untested_rows
+        if rows.size == 0:
             return None
+        grid = state.grid
         model = CostModel(
             job.space,
             self.model_name,
             seed=int(rng.integers(0, 2**31 - 1)),
             n_estimators=self.n_estimators,
+            grid=grid,
         )
-        model.fit(state.explored_configs, [o.cost for o in state.observations])
+        model.fit_rows(state.explored_rows, state.observed_costs())
 
-        prediction = model.predict(state.untested)
+        prediction = model.predict_rows(rows)
         means, stds = prediction.mean, prediction.std
-        unit_prices = self._unit_prices(state.untested)
+        unit_prices = grid.unit_prices[rows]
 
         viable = budget_viable_mask(
             means, stds, state.budget_remaining, self.viability_confidence
@@ -191,17 +263,22 @@ class LynceusOptimizer(BaseOptimizer):
         if not np.any(viable):
             return None
 
-        eic = self._eic(state, state.untested, means, stds, unit_prices, tmax)
-        setup = np.array(
-            [self._setup_cost(state.current_config, c) for c in state.untested], dtype=float
-        )
-        step_costs = np.maximum(means, _EPS) + setup
+        eic = self._eic_rows(state, rows, means, stds, tmax)
+        step_costs = np.maximum(means, _EPS)
+        if self.setup_cost_estimator is not None:
+            step_costs = step_costs + np.array(
+                [
+                    self._setup_cost(state.current_config, grid.config_at(int(r)))
+                    for r in rows
+                ],
+                dtype=float,
+            )
         one_step_ratio = eic / step_costs
 
         viable_indices = np.flatnonzero(viable)
         if self.lookahead == 0:
             best = viable_indices[int(np.argmax(one_step_ratio[viable_indices]))]
-            return state.untested[int(best)]
+            return grid.config_at(int(rows[int(best)]))
 
         # Select which candidates receive a full path simulation.
         ranked = viable_indices[np.argsort(-one_step_ratio[viable_indices])]
@@ -216,7 +293,7 @@ class LynceusOptimizer(BaseOptimizer):
             idx = int(idx)
             if idx in pool:
                 reward, cost = self._explore_path(
-                    model, state, idx, means, stds, unit_prices, tmax, self.lookahead
+                    model, state, idx, eic, means, stds, unit_prices, tmax, self.lookahead
                 )
             else:
                 reward, cost = float(eic[idx]), float(step_costs[idx])
@@ -226,7 +303,7 @@ class LynceusOptimizer(BaseOptimizer):
                 best_index = idx
         if best_index is None:
             return None
-        return state.untested[best_index]
+        return grid.config_at(int(rows[best_index]))
 
     # -- Algorithm 2: ExplorePaths -------------------------------------------------
     def _explore_path(
@@ -234,48 +311,81 @@ class LynceusOptimizer(BaseOptimizer):
         model: CostModel,
         state: OptimizerState,
         index: int,
+        eic: np.ndarray,
         means: np.ndarray,
         stds: np.ndarray,
         unit_prices: np.ndarray,
         tmax: float,
         depth: int,
     ) -> tuple[float, float]:
-        """Expected reward and cost of the path starting by exploring ``untested[index]``."""
-        config = state.untested[index]
-        eic = self._eic(state, state.untested, means, stds, unit_prices, tmax)
+        """Expected reward and cost of the path starting by exploring ``untested[index]``.
+
+        ``eic`` is the constrained-EI vector of the state's untested set —
+        computed once by the caller and shared across every candidate rooted
+        in the same (speculative) state.
+        """
+        rows = state.untested_rows
+        row = int(rows[index])
         reward = float(eic[index])
-        cost = float(max(means[index], _EPS)) + self._setup_cost(state.current_config, config)
+        cost = float(max(means[index], _EPS))
+        if self.setup_cost_estimator is not None:
+            cost += self._setup_cost(state.current_config, state.grid.config_at(row))
         if depth == 0:
             return reward, cost
 
         mean_x, std_x = float(means[index]), float(stds[index])
         unit_price_x = float(unit_prices[index])
+        grid_bound = model.grid is not None
         for node in self.quadrature.discretise(mean_x, std_x):
             speculated_cost, weight = node.value, node.weight
             # Speculated runtime is implied by C = T * U with U known.
             speculated_runtime = speculated_cost / max(unit_price_x, _EPS) * 3600.0
-            child_state = state.speculate(
-                config, speculated_cost, runtime_seconds=speculated_runtime
+            child_state = state.speculate_row(
+                row, speculated_cost, runtime_seconds=speculated_runtime
             )
-            child_model = model.condition_on(config, speculated_cost, mode=self.speculation)
+            if grid_bound:
+                child_model = model.condition_on_row(
+                    row, speculated_cost, mode=self.speculation
+                )
+            else:
+                child_model = model.condition_on(
+                    state.grid.config_at(row), speculated_cost, mode=self.speculation
+                )
             if self.speculation == "believer":
                 child_means = np.delete(means, index)
                 child_stds = np.delete(stds, index)
+            elif child_model.grid is not None:
+                child_prediction = child_model.predict_rows(child_state.untested_rows)
+                child_means = child_prediction.mean
+                child_stds = child_prediction.std
             else:
                 child_prediction = child_model.predict(child_state.untested)
                 child_means = child_prediction.mean
                 child_stds = child_prediction.std
             child_prices = np.delete(unit_prices, index)
 
-            next_index = self._next_step(
-                child_state, child_means, child_stds, child_prices, tmax
-            )
-            if next_index is None:
+            # Viability first (as in NextStep), then one EIc evaluation
+            # shared by the greedy choice and the recursive path value.
+            child_rows = child_state.untested_rows
+            if child_rows.size == 0:
                 continue
+            child_viable = budget_viable_mask(
+                child_means, child_stds, child_state.budget_remaining,
+                self.viability_confidence,
+            )
+            if not np.any(child_viable):
+                continue
+            child_eic = self._eic_rows(
+                child_state, child_rows, child_means, child_stds, tmax
+            )
+            viable_indices = np.flatnonzero(child_viable)
+            next_index = int(viable_indices[int(np.argmax(child_eic[viable_indices]))])
+
             sub_reward, sub_cost = self._explore_path(
                 child_model,
                 child_state,
                 next_index,
+                child_eic,
                 child_means,
                 child_stds,
                 child_prices,
@@ -295,14 +405,27 @@ class LynceusOptimizer(BaseOptimizer):
         unit_prices: np.ndarray,
         tmax: float,
     ) -> int | None:
-        """Greedy EIc choice among the budget-viable candidates of a speculative state."""
-        if not state.untested:
+        """Greedy EIc choice among the budget-viable candidates of a speculative state.
+
+        Kept as the standalone entry point for tests and extensions; the
+        lookahead recursion inlines the same logic so the EIc vector is
+        computed once per speculative state.  Thresholds are derived from the
+        ``unit_prices`` argument (as in the seed implementation), so the
+        method works without ``_prepare`` and honours caller-supplied prices.
+        """
+        rows = state.untested_rows
+        if rows.size == 0:
             return None
         viable = budget_viable_mask(
             means, stds, state.budget_remaining, self.viability_confidence
         )
         if not np.any(viable):
             return None
-        eic = self._eic(state, state.untested, means, stds, unit_prices, tmax)
+        incumbent = estimate_incumbent(state, tmax, stds)
+        constraint_prob = probability_below(means, stds, tmax * unit_prices / 3600.0)
+        extra = self._extra_constraint_probability_rows(state, rows)
+        if extra is not None:
+            constraint_prob = constraint_prob * extra
+        eic = constrained_expected_improvement(means, stds, incumbent, constraint_prob)
         viable_indices = np.flatnonzero(viable)
         return int(viable_indices[int(np.argmax(eic[viable_indices]))])

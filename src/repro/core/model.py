@@ -18,15 +18,28 @@ conditioning* used by the lookahead simulation:
   uncertainty away from x.  The experiment harness uses it to keep the large
   multi-seed sweeps tractable in pure Python; DESIGN.md discusses the
   trade-off.
+
+Index-based fast path.  A model may be bound to an
+:class:`~repro.core.space.EncodedSpace` (the job's grid, encoded once) —
+:meth:`fit_rows` / :meth:`predict_rows` then move integer row indices
+instead of configuration objects, and no encoding happens after grid
+construction.  For backends whose predictions are *row-stable* (each query
+row's output is independent of which other rows share the batch — true for
+the tree ensemble, not for the GP's BLAS-backed kernels), the full-grid
+prediction is additionally memoised per fit, so every later prediction is a
+row slice.  Believer clones share the memo with their parent, which makes
+believer-mode lookahead prediction-free.  Both paths are bit-identical to
+encoding and predicting the configurations directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.space import ConfigSpace, Configuration
+from repro.core.space import ConfigSpace, Configuration, EncodedSpace
 from repro.learning import GaussianPrediction, Regressor, make_model
 
 __all__ = ["CostModel", "SPECULATION_MODES"]
@@ -40,6 +53,7 @@ class _Override:
 
     features: np.ndarray
     value: float
+    row: int | None = None
 
 
 class CostModel:
@@ -56,6 +70,9 @@ class CostModel:
         Seed forwarded to stochastic backends.
     n_estimators:
         Ensemble size for the bagging backend.
+    grid:
+        Optional encoded grid enabling the index-based fast path
+        (:meth:`fit_rows` / :meth:`predict_rows`).
     """
 
     def __init__(
@@ -65,18 +82,24 @@ class CostModel:
         *,
         seed: int | None = None,
         n_estimators: int = 10,
+        grid: EncodedSpace | None = None,
     ) -> None:
         self.space = space
         self.backend_name = backend if isinstance(backend, str) else type(backend).__name__
         self._seed = seed
         self._n_estimators = n_estimators
+        self.grid = grid
         if isinstance(backend, str):
             self._model = make_model(backend, seed=seed, n_estimators=n_estimators)
         else:
             self._model = backend
         self._train_configs: list[Configuration] = []
+        self._train_rows: list[int] = []
         self._train_targets: np.ndarray = np.empty(0)
         self._overrides: list[_Override] = []
+        # One-element box so believer clones (which share the fitted backend)
+        # also share the memoised full-grid prediction.
+        self._grid_pred_box: list[GaussianPrediction | None] = [None]
 
     # -- fitting -----------------------------------------------------------
     def fit(self, configs: list[Configuration], targets: np.ndarray | list[float]) -> "CostModel":
@@ -86,11 +109,39 @@ class CostModel:
             raise ValueError("configs and targets must have the same length")
         if len(configs) == 0:
             raise ValueError("cannot fit the cost model on zero observations")
-        X = self.space.encode_many(configs)
+        if self.grid is not None:
+            rows = [self.grid.ensure_row(c) for c in configs]
+            return self._fit_matrix(self.grid.X[rows], targets, configs=list(configs), rows=rows)
+        return self._fit_matrix(self.space.encode_many(configs), targets, configs=list(configs))
+
+    def fit_rows(
+        self, rows: Sequence[int], targets: np.ndarray | list[float]
+    ) -> "CostModel":
+        """Fit on grid rows — the index-based fast path (requires ``grid``)."""
+        if self.grid is None:
+            raise RuntimeError("fit_rows requires a model bound to an EncodedSpace")
+        rows = list(rows)
+        targets = np.asarray(targets, dtype=float)
+        if len(rows) != targets.shape[0]:
+            raise ValueError("rows and targets must have the same length")
+        if len(rows) == 0:
+            raise ValueError("cannot fit the cost model on zero observations")
+        return self._fit_matrix(self.grid.X[rows], targets, rows=rows)
+
+    def _fit_matrix(
+        self,
+        X: np.ndarray,
+        targets: np.ndarray,
+        *,
+        rows: list[int] | None = None,
+        configs: list[Configuration] | None = None,
+    ) -> "CostModel":
         self._model.fit(X, targets)
-        self._train_configs = list(configs)
+        self._train_rows = rows if rows is not None else []
+        self._train_configs = configs if configs is not None else []
         self._train_targets = targets.copy()
         self._overrides = []
+        self._grid_pred_box = [None]
         return self
 
     @property
@@ -101,13 +152,15 @@ class CostModel:
     @property
     def n_training_points(self) -> int:
         """Size of the (possibly speculatively augmented) training set."""
-        return len(self._train_configs)
+        return int(self._train_targets.shape[0])
 
     # -- prediction ----------------------------------------------------------
     def predict(self, configs: list[Configuration]) -> GaussianPrediction:
         """Gaussian predictive cost distribution for each configuration."""
         if not configs:
             return GaussianPrediction(mean=np.empty(0), std=np.empty(0))
+        if self.grid is not None:
+            return self.predict_rows(self.grid.rows_of(configs))
         X = self.space.encode_many(configs)
         prediction = self._model.predict_distribution(X)
         if not self._overrides:
@@ -118,6 +171,40 @@ class CostModel:
             matches = np.all(np.isclose(X, override.features), axis=1)
             mean[matches] = override.value
             std[matches] = 1e-9
+        return GaussianPrediction(mean=mean, std=std)
+
+    def predict_rows(self, rows: np.ndarray | Sequence[int]) -> GaussianPrediction:
+        """Predictive distribution for grid rows (requires ``grid``).
+
+        Row-stable backends answer from the memoised full-grid prediction;
+        others predict exactly the sliced feature rows.  Either way the
+        result is bit-identical to :meth:`predict` on the configurations.
+        """
+        if self.grid is None:
+            raise RuntimeError("predict_rows requires a model bound to an EncodedSpace")
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            return GaussianPrediction(mean=np.empty(0), std=np.empty(0))
+        if getattr(self._model, "row_stable_predictions", False):
+            grid_pred = self._grid_pred_box[0]
+            if grid_pred is None or grid_pred.mean.shape[0] != len(self.grid):
+                grid_pred = self._model.predict_distribution(self.grid.X)
+                self._grid_pred_box[0] = grid_pred
+            mean = grid_pred.mean[rows]
+            std = grid_pred.std[rows]
+        else:
+            prediction = self._model.predict_distribution(self.grid.X[rows])
+            mean, std = prediction.mean, prediction.std
+        if self._overrides:
+            # ``mean``/``std`` are fresh arrays (fancy-indexed copies or a
+            # fresh backend prediction), so in-place masking is safe.
+            for override in self._overrides:
+                if override.row is not None:
+                    matches = rows == override.row
+                else:
+                    matches = np.all(np.isclose(self.grid.X[rows], override.features), axis=1)
+                mean[matches] = override.value
+                std[matches] = 1e-9
         return GaussianPrediction(mean=mean, std=std)
 
     def predict_one(self, config: Configuration) -> tuple[float, float]:
@@ -135,6 +222,8 @@ class CostModel:
         lookahead tree can each condition the same parent model on their own
         speculated cost.
         """
+        if self.grid is not None:
+            return self.condition_on_row(self.grid.ensure_row(config), cost, mode=mode)
         if mode not in SPECULATION_MODES:
             raise ValueError(f"unknown speculation mode {mode!r}; expected one of {SPECULATION_MODES}")
         if not self.is_fitted:
@@ -142,7 +231,7 @@ class CostModel:
         if mode == "refit":
             clone = CostModel(
                 self.space,
-                self.backend_name if isinstance(self.backend_name, str) else "bagging",
+                self.backend_name,
                 seed=self._seed,
                 n_estimators=self._n_estimators,
             )
@@ -153,15 +242,52 @@ class CostModel:
             clone._overrides = list(self._overrides)
             return clone
         # believer: share the fitted backend, add an override.
+        clone = self._believer_clone(cost)
+        clone._train_configs = self._train_configs + [config]
+        clone._overrides = self._overrides + [
+            _Override(features=self.space.encode(config), value=float(cost))
+        ]
+        return clone
+
+    def condition_on_row(self, row: int, cost: float, *, mode: str = "refit") -> "CostModel":
+        """:meth:`condition_on` for a grid row — the lookahead's fast path."""
+        if self.grid is None:
+            raise RuntimeError("condition_on_row requires a model bound to an EncodedSpace")
+        if mode not in SPECULATION_MODES:
+            raise ValueError(f"unknown speculation mode {mode!r}; expected one of {SPECULATION_MODES}")
+        if not self.is_fitted:
+            raise RuntimeError("cannot condition an unfitted model")
+        if mode == "refit":
+            clone = CostModel(
+                self.space,
+                self.backend_name,
+                seed=self._seed,
+                n_estimators=self._n_estimators,
+                grid=self.grid,
+            )
+            clone.fit_rows(self._train_rows + [row], np.append(self._train_targets, cost))
+            # Propagate any existing overrides (nested believer + refit mixes).
+            clone._overrides = list(self._overrides)
+            return clone
+        # believer: share the fitted backend (and its grid-prediction memo).
+        clone = self._believer_clone(cost)
+        clone._train_rows = self._train_rows + [row]
+        clone._overrides = self._overrides + [
+            _Override(features=self.grid.X[row], value=float(cost), row=int(row))
+        ]
+        return clone
+
+    def _believer_clone(self, cost: float) -> "CostModel":
         clone = CostModel.__new__(CostModel)
         clone.space = self.space
         clone.backend_name = self.backend_name
         clone._seed = self._seed
         clone._n_estimators = self._n_estimators
+        clone.grid = self.grid
         clone._model = self._model  # shared, never re-fitted through the clone
-        clone._train_configs = self._train_configs + [config]
+        clone._train_configs = self._train_configs
+        clone._train_rows = self._train_rows
         clone._train_targets = np.append(self._train_targets, cost)
-        clone._overrides = self._overrides + [
-            _Override(features=self.space.encode(config), value=float(cost))
-        ]
+        clone._overrides = self._overrides
+        clone._grid_pred_box = self._grid_pred_box
         return clone

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.space import ConfigSpace, Configuration
+from repro.core.space import ConfigSpace, Configuration, EncodedSpace
 from repro.core.state import Observation, OptimizerState
 from repro.sampling.lhs import latin_hypercube_sample
 from repro.workloads.base import Job, JobOutcome
@@ -310,10 +310,15 @@ class BaseOptimizer:
             else default_budget(job, n_boot, budget_multiplier)
         )
 
+        # Encode the whole grid (features + unit prices) exactly once per
+        # run: every optimizer decision afterwards moves row indices into
+        # these tensors instead of configuration objects.
+        grid = EncodedSpace.for_job(job)
         state = OptimizerState(
             space=job.space,
-            untested=list(job.configurations),
             budget_remaining=total_budget,
+            grid=grid,
+            untested_rows=np.arange(len(grid), dtype=np.intp),
         )
         self._prepare(job, state, tmax, rng)
         return SessionState(
@@ -349,9 +354,9 @@ class BaseOptimizer:
                 extra_cost=self._charge_extra(session.job, state, config),
             )
             return config
-        if state.budget_remaining <= 0 or not state.untested:
+        if state.budget_remaining <= 0 or state.n_untested == 0:
             session.finished = True
-            session.finish_reason = "budget" if state.untested else "space"
+            session.finish_reason = "budget" if state.n_untested else "space"
             return None
         started = time.perf_counter()
         config = self._next_config(session.job, state, session.tmax, session.rng)

@@ -32,6 +32,7 @@ __all__ = [
     "ContinuousParameter",
     "Configuration",
     "ConfigSpace",
+    "EncodedSpace",
 ]
 
 
@@ -215,6 +216,13 @@ class Configuration:
 
     values: tuple[tuple[str, Any], ...]
 
+    def __post_init__(self) -> None:
+        # Value lookup is on the optimizer's hot path (feature encoding,
+        # price tables, setup-cost estimators), so back the tuple with a dict
+        # for O(1) access.  The dict is derived state: it takes no part in
+        # equality or hashing, which stay defined by ``values``.
+        object.__setattr__(self, "_lookup", dict(self.values))
+
     @classmethod
     def from_dict(cls, mapping: Mapping[str, Any]) -> "Configuration":
         """Build a configuration from a ``{parameter name: value}`` mapping."""
@@ -225,13 +233,10 @@ class Configuration:
         return dict(self.values)
 
     def __getitem__(self, name: str) -> Any:
-        for key, value in self.values:
-            if key == name:
-                return value
-        raise KeyError(name)
+        return self._lookup[name]
 
     def __contains__(self, name: str) -> bool:
-        return any(key == name for key, _ in self.values)
+        return name in self._lookup
 
     def get(self, name: str, default: Any = None) -> Any:
         """Dictionary-style ``get``."""
@@ -356,3 +361,119 @@ class ConfigSpace:
                 ) from None
             index = index * len(values) + pos
         return index
+
+    def grid_tensors(
+        self,
+        configs: Sequence[Configuration] | None = None,
+        unit_prices: Sequence[float] | None = None,
+    ) -> "EncodedSpace":
+        """Encode a finite grid (default: the full Cartesian product) once.
+
+        Returns an :class:`EncodedSpace` whose feature matrix / price vector
+        back the optimizer's index-based hot path.
+        """
+        if configs is None:
+            configs = self.enumerate()
+        return EncodedSpace(self, configs, unit_prices=unit_prices)
+
+
+class EncodedSpace:
+    """A finite configuration grid encoded once into dense tensors.
+
+    The paper's grids are static per job, so the optimise hot path never
+    needs to re-encode configurations: it carries integer row indices into
+    :attr:`X` (the feature matrix of the whole grid, one row per
+    configuration) and :attr:`unit_prices` (the a-priori known hourly price
+    of each row).  Row *i* of :attr:`X` is exactly
+    ``space.encode(configs[i])``, so slicing rows is bit-identical to
+    re-encoding the corresponding configurations.
+
+    The grid may grow (``ensure_row``) when an off-grid configuration is
+    observed — e.g. a checkpoint restored against a shrunken job table —
+    but rows are never removed or reordered, so indices held by optimizer
+    states stay valid.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        configs: Sequence[Configuration],
+        unit_prices: Sequence[float] | None = None,
+    ) -> None:
+        self.space = space
+        self._configs = list(configs)
+        self.X = space.encode_many(self._configs)
+        self.unit_prices: np.ndarray | None = (
+            None if unit_prices is None else np.asarray(unit_prices, dtype=float)
+        )
+        if self.unit_prices is not None and self.unit_prices.shape[0] != len(self._configs):
+            raise ValueError("unit_prices must have one entry per configuration")
+        self._row_of = {config: row for row, config in enumerate(self._configs)}
+        if len(self._row_of) != len(self._configs):
+            raise ValueError("duplicate configurations in encoded grid")
+
+    @classmethod
+    def for_job(cls, job) -> "EncodedSpace":
+        """Encode a job's grid plus its (a-priori known) unit prices."""
+        configs = job.configurations
+        return cls(
+            job.space, configs, unit_prices=[job.unit_price_per_hour(c) for c in configs]
+        )
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def configs(self) -> list[Configuration]:
+        """The grid's configurations, in row order."""
+        return list(self._configs)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def config_at(self, row: int) -> Configuration:
+        """The configuration stored at ``row``."""
+        return self._configs[row]
+
+    def row_of(self, config: Configuration) -> int:
+        """Row index of ``config``; raises ``KeyError`` when off-grid."""
+        return self._row_of[config]
+
+    def ensure_row(self, config: Configuration) -> int:
+        """Row index of ``config``, appending a new row when off-grid."""
+        row = self._row_of.get(config)
+        if row is not None:
+            return row
+        row = len(self._configs)
+        self._configs.append(config)
+        self._row_of[config] = row
+        self.X = np.vstack([self.X, self.space.encode(config)])
+        if self.unit_prices is not None:
+            self.unit_prices = np.append(self.unit_prices, np.nan)
+        return row
+
+    def rows_of(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Row indices of many configurations (appending off-grid ones)."""
+        return np.array([self.ensure_row(c) for c in configs], dtype=np.intp)
+
+    def ensure_unit_prices(self, job) -> np.ndarray:
+        """Fill the missing entries of the price vector from ``job``.
+
+        Grids built without a job (e.g. directly from a configuration list)
+        carry no prices; optimizers that need them call this once per run.
+        Rows the job cannot price — off-grid configurations appended by
+        :meth:`ensure_row`, e.g. restored observations of a shrunken job
+        table — keep their NaN sentinel: they are never candidates, so their
+        price is never read.
+        """
+        prices = self.unit_prices
+        n = len(self._configs)
+        if prices is None:
+            prices = np.full(n, np.nan)
+        elif prices.shape[0] != n:
+            prices = np.append(prices, np.full(n - prices.shape[0], np.nan))
+        for row in np.flatnonzero(np.isnan(prices)):
+            try:
+                prices[row] = job.unit_price_per_hour(self._configs[row])
+            except KeyError:
+                pass
+        self.unit_prices = prices
+        return prices

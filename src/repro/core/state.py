@@ -6,15 +6,27 @@ budget and the currently deployed configuration.  :class:`OptimizerState`
 is exactly that, plus the bookkeeping the rest of the library needs (feature
 matrices for the model, the best feasible incumbent, copies for speculative
 lookahead states).
+
+Representation.  The untested set ``T`` is stored as an **integer index
+array** into an :class:`~repro.core.space.EncodedSpace` — the job's grid,
+encoded into tensors once per run — rather than as a list of configuration
+objects.  The speculation step of the lookahead simulation (Algorithm 2)
+clones thousands of states per decision, so cloning must be an ``O(n)``
+numpy mask over machine integers, not a python-object scan; likewise the
+training features of the explored set are row slices of the grid matrix,
+never re-encoded.  ``untested`` is still exposed as a list of
+configurations for callers outside the hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import math
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.space import ConfigSpace, Configuration
+from repro.core.space import ConfigSpace, Configuration, EncodedSpace
 
 __all__ = ["Observation", "OptimizerState"]
 
@@ -49,28 +61,98 @@ class Observation:
         return not self.timed_out and self.runtime_seconds <= tmax
 
 
-@dataclass
 class OptimizerState:
     """The state Σ = ⟨S, T, β, χ⟩ of Algorithm 1.
 
     The class is deliberately lightweight: it knows nothing about models or
     acquisition functions, only about which configurations were observed at
     what cost, which remain untested and how much budget is left.
+
+    Parameters
+    ----------
+    space:
+        The configuration space (used for feature encoding).
+    untested:
+        The untested configurations.  May be omitted when ``grid`` and
+        ``untested_rows`` are given instead.
+    budget_remaining:
+        Remaining search budget β.
+    observations / current_config:
+        Pre-existing trace (used when restoring checkpoints).
+    grid:
+        The encoded grid the index representation points into.  Built from
+        ``untested`` (plus any observed configurations) when omitted.
+    untested_rows:
+        Integer rows of ``grid`` that are untested, in canonical order.
+        Only meaningful together with ``grid``.
     """
 
-    space: ConfigSpace
-    untested: list[Configuration]
-    budget_remaining: float
-    observations: list[Observation] = field(default_factory=list)
-    current_config: Configuration | None = None
+    def __init__(
+        self,
+        space: ConfigSpace,
+        untested: Sequence[Configuration] | None = None,
+        budget_remaining: float = 0.0,
+        observations: list[Observation] | None = None,
+        current_config: Configuration | None = None,
+        *,
+        grid: EncodedSpace | None = None,
+        untested_rows: np.ndarray | None = None,
+    ) -> None:
+        self.space = space
+        self.observations: list[Observation] = list(observations) if observations else []
+        if grid is None:
+            base = list(untested) if untested is not None else []
+            grid = EncodedSpace(space, base)
+            rows = np.arange(len(base), dtype=np.intp)
+        elif untested_rows is not None:
+            rows = np.asarray(untested_rows, dtype=np.intp)
+        else:
+            rows = grid.rows_of(list(untested) if untested is not None else [])
+        self.grid = grid
+        self._untested_rows = rows
+        self.budget_remaining = budget_remaining
+        self.current_config = current_config
+        # Derived caches (explored grid rows, incumbent aggregates).  They
+        # are maintained incrementally by add_observation/speculate and
+        # rebuilt from scratch whenever the observation list was touched
+        # behind our back (``_sync``).
+        self._cache_len = -1
+        self._explored_rows: list[int] = []
+        self._max_cost = -math.inf
+        self._best_feasible: dict[float, Observation | None] = {}
+
+    # -- cache maintenance ---------------------------------------------------
+    def _sync(self) -> None:
+        """Rebuild the derived caches if ``observations`` changed externally.
+
+        Detection is by list length: the public ``observations`` list is
+        append-only by contract (observations themselves are frozen).
+        Replacing elements in place without changing the length is not
+        supported and would leave the incumbent caches stale.
+        """
+        if self._cache_len == len(self.observations):
+            return
+        self._explored_rows = [self.grid.ensure_row(o.config) for o in self.observations]
+        self._max_cost = max((o.cost for o in self.observations), default=-math.inf)
+        self._best_feasible = {}
+        self._cache_len = len(self.observations)
 
     # -- updates -------------------------------------------------------------
     def add_observation(self, observation: Observation) -> None:
         """Record a (real or speculated) profiling run and update Σ."""
+        self._sync()
+        row = self.grid.ensure_row(observation.config)
         self.observations.append(observation)
-        self.untested = [c for c in self.untested if c != observation.config]
+        self._explored_rows.append(row)
+        rows = self._untested_rows
+        self._untested_rows = rows[rows != row]
         self.budget_remaining -= observation.cost
         self.current_config = observation.config
+        self._max_cost = max(self._max_cost, observation.cost)
+        for tmax, best in self._best_feasible.items():
+            if observation.is_feasible(tmax) and (best is None or observation.cost < best.cost):
+                self._best_feasible[tmax] = observation
+        self._cache_len = len(self.observations)
 
     def speculate(
         self, config: Configuration, cost: float, *, runtime_seconds: float | None = None
@@ -83,24 +165,64 @@ class OptimizerState:
         state is left untouched.  ``runtime_seconds`` may carry the runtime
         implied by the speculated cost (``T = C / U``); it defaults to zero.
         """
-        clone = OptimizerState(
-            space=self.space,
-            untested=list(self.untested),
-            budget_remaining=self.budget_remaining,
-            observations=list(self.observations),
-            current_config=self.current_config,
+        return self.speculate_row(
+            self.grid.ensure_row(config), cost, runtime_seconds=runtime_seconds
         )
-        clone.add_observation(
-            Observation(
-                config=config,
-                cost=cost,
-                runtime_seconds=runtime_seconds if runtime_seconds is not None else 0.0,
-                timed_out=False,
-            )
+
+    def speculate_row(
+        self, row: int, cost: float, *, runtime_seconds: float | None = None
+    ) -> "OptimizerState":
+        """:meth:`speculate` for a grid row — the lookahead's no-copy fast path.
+
+        The clone shares the (immutable-by-index) grid with its parent; only
+        the untested index array and the incumbent aggregates are copied.
+        """
+        self._sync()
+        observation = Observation(
+            config=self.grid.config_at(row),
+            cost=cost,
+            runtime_seconds=runtime_seconds if runtime_seconds is not None else 0.0,
+            timed_out=False,
         )
+        clone = OptimizerState.__new__(OptimizerState)
+        clone.space = self.space
+        clone.grid = self.grid
+        rows = self._untested_rows
+        clone._untested_rows = rows[rows != row]
+        clone.observations = self.observations + [observation]
+        clone.budget_remaining = self.budget_remaining - cost
+        clone.current_config = observation.config
+        clone._explored_rows = self._explored_rows + [row]
+        clone._max_cost = max(self._max_cost, cost)
+        clone._best_feasible = {}
+        for tmax, best in self._best_feasible.items():
+            if observation.is_feasible(tmax) and (best is None or observation.cost < best.cost):
+                clone._best_feasible[tmax] = observation
+            else:
+                clone._best_feasible[tmax] = best
+        clone._cache_len = len(clone.observations)
         return clone
 
     # -- views --------------------------------------------------------------
+    @property
+    def untested(self) -> list[Configuration]:
+        """Untested configurations as objects (compatibility view)."""
+        return [self.grid.config_at(int(r)) for r in self._untested_rows]
+
+    @property
+    def untested_rows(self) -> np.ndarray:
+        """Grid rows of the untested configurations (the hot-path view).
+
+        Treat the returned array as read-only; it is the state's own buffer.
+        """
+        return self._untested_rows
+
+    @property
+    def explored_rows(self) -> list[int]:
+        """Grid rows of the profiled configurations, in exploration order."""
+        self._sync()
+        return list(self._explored_rows)
+
     @property
     def n_observations(self) -> int:
         """Number of profiling runs performed so far (bootstrap included)."""
@@ -109,25 +231,37 @@ class OptimizerState:
     @property
     def n_untested(self) -> int:
         """Number of configurations not yet profiled."""
-        return len(self.untested)
+        return int(self._untested_rows.size)
 
     @property
     def explored_configs(self) -> list[Configuration]:
         """Configurations profiled so far, in exploration order."""
         return [obs.config for obs in self.observations]
 
+    def observed_costs(self) -> list[float]:
+        """Costs observed so far, in exploration order."""
+        return [obs.cost for obs in self.observations]
+
     def training_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         """Encoded features and observed costs, ready to fit the model."""
-        X = self.space.encode_many(self.explored_configs)
+        self._sync()
+        if self._explored_rows:
+            X = self.grid.X[self._explored_rows]
+        else:
+            X = np.empty((0, self.space.dimensions), dtype=float)
         y = np.array([obs.cost for obs in self.observations], dtype=float)
         return X, y
 
     def best_feasible(self, tmax: float) -> Observation | None:
         """Cheapest observation whose runtime satisfied the constraint, if any."""
-        feasible = [obs for obs in self.observations if obs.is_feasible(tmax)]
-        if not feasible:
-            return None
-        return min(feasible, key=lambda obs: obs.cost)
+        self._sync()
+        if tmax not in self._best_feasible:
+            best: Observation | None = None
+            for obs in self.observations:
+                if obs.is_feasible(tmax) and (best is None or obs.cost < best.cost):
+                    best = obs
+            self._best_feasible[tmax] = best
+        return self._best_feasible[tmax]
 
     def best_observation(self) -> Observation:
         """Cheapest observation regardless of feasibility."""
@@ -139,7 +273,8 @@ class OptimizerState:
         """Largest cost observed so far (used by the y* fallback rule)."""
         if not self.observations:
             raise ValueError("no observations recorded yet")
-        return max(obs.cost for obs in self.observations)
+        self._sync()
+        return self._max_cost
 
     def budget_spent(self, initial_budget: float) -> float:
         """Money spent so far, given the initial budget."""

@@ -10,6 +10,15 @@ predictions — the same device used by SMAC and Auto-WEKA.
 A small uncertainty floor (``min_std``) keeps the acquisition function
 well-defined when every tree agrees exactly, which happens routinely on tiny
 bootstrap training sets.
+
+Prediction routes all queries through **all members in one vectorised
+pass**: the members' flattened node tables are concatenated (child pointers
+shifted by each tree's offset) at fit time, and one level-by-level loop then
+advances an ``(n_estimators × n_queries)`` pointer matrix, instead of
+re-entering a python routing loop per tree.  The stacked pass produces the
+exact same per-tree leaf values as routing each member separately, so the
+ensemble's mean/std are bit-identical to the naive loop (which is kept as
+the fallback for exotic ``base_factory`` members).
 """
 
 from __future__ import annotations
@@ -67,6 +76,10 @@ class BaggingEnsemble(Regressor):
         self._base_factory = base_factory if base_factory is not None else self._default_factory
         self._estimators: list[Regressor] = []
         self._train_std: float = 1.0
+        self._stacked: dict[str, np.ndarray] | None = None
+        #: Whether per-row predictions are independent of the query batch
+        #: (true when every member is a RegressionTree); set at fit time.
+        self.row_stable_predictions = False
 
     @staticmethod
     def _default_factory(rng: np.random.Generator) -> Regressor:
@@ -85,7 +98,36 @@ class BaggingEnsemble(Regressor):
             estimator = self._base_factory(child_rng)
             estimator.fit(X[idx], y[idx])
             self._estimators.append(estimator)
+        self._build_stack()
         return self
+
+    def _build_stack(self) -> None:
+        """Concatenate the members' flattened node tables for one-pass routing."""
+        self._stacked = None
+        self.row_stable_predictions = all(
+            isinstance(est, RegressionTree) for est in self._estimators
+        )
+        if not self.row_stable_predictions:
+            return
+        flats = [est.flat for est in self._estimators]
+        sizes = np.array([flat.shape[0] for flat in flats], dtype=np.intp)
+        offsets = np.concatenate([[0], np.cumsum(sizes[:-1])]).astype(np.intp)
+        table = np.vstack(flats)
+        features = table[:, 0].astype(np.intp)
+        left = table[:, 2].astype(np.intp)
+        right = table[:, 3].astype(np.intp)
+        shift = np.repeat(offsets, sizes)
+        internal = features >= 0
+        left[internal] += shift[internal]
+        right[internal] += shift[internal]
+        self._stacked = {
+            "offsets": offsets,
+            "features": features,
+            "thresholds": table[:, 1].copy(),
+            "left": left,
+            "right": right,
+            "values": table[:, 4].copy(),
+        }
 
     # -- prediction ----------------------------------------------------------
     @property
@@ -103,11 +145,38 @@ class BaggingEnsemble(Regressor):
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        predictions = np.vstack(
-            [estimator.predict_distribution(X).mean for estimator in self._estimators]
-        )
+        if self._stacked is not None:
+            predictions = self._route_stacked(X)
+        else:
+            predictions = np.vstack(
+                [estimator.predict_distribution(X).mean for estimator in self._estimators]
+            )
         mean = predictions.mean(axis=0)
         std = predictions.std(axis=0)
         floor = self.min_std * max(self._train_std, 1e-12)
         std = np.maximum(std, floor)
         return GaussianPrediction(mean=mean, std=std)
+
+    def _route_stacked(self, X: np.ndarray) -> np.ndarray:
+        """Route every query through every member in one level-by-level loop.
+
+        Returns the ``(n_estimators, n_queries)`` matrix of per-tree leaf
+        values — the same matrix the per-tree loop stacks, one python loop
+        per *ensemble level* instead of per tree.
+        """
+        stacked = self._stacked
+        features = stacked["features"]
+        thresholds = stacked["thresholds"]
+        left, right = stacked["left"], stacked["right"]
+        n = X.shape[0]
+        # Tree-major layout: slot t*n + q routes query q through member t.
+        node = np.repeat(stacked["offsets"], n)
+        query = np.tile(np.arange(n, dtype=np.intp), len(self._estimators))
+        active = np.flatnonzero(features[node] >= 0)
+        while active.size:
+            nodes = node[active]
+            feat = features[nodes]
+            go_left = X[query[active], feat] <= thresholds[nodes]
+            node[active] = np.where(go_left, left[nodes], right[nodes])
+            active = active[features[node[active]] >= 0]
+        return stacked["values"][node].reshape(len(self._estimators), n)

@@ -19,6 +19,7 @@ prediction path are fully vectorised with numpy:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -212,12 +213,11 @@ class RegressionTree(Regressor):
     def _flatten(root: TreeNode) -> np.ndarray:
         """Breadth-first flattening: [feature, threshold, left, right, value, spread]."""
         rows: list[list[float]] = []
-        stack = [root]
         indices = {id(root): 0}
         rows.append([-1.0, 0.0, -1.0, -1.0, root.value, root.spread])
-        queue = [root]
+        queue: deque[TreeNode] = deque([root])
         while queue:
-            node = queue.pop(0)
+            node = queue.popleft()
             idx = indices[id(node)]
             if node.is_leaf:
                 continue
@@ -230,10 +230,14 @@ class RegressionTree(Regressor):
             rows[idx][1] = float(node.threshold)  # type: ignore[arg-type]
             rows[idx][2] = float(indices[id(node.left)])
             rows[idx][3] = float(indices[id(node.right)])
-        del stack
         return np.asarray(rows, dtype=float)
 
     # -- prediction ----------------------------------------------------------
+    #: Tree routing is pure indexing: each query row's prediction is
+    #: independent of which other rows share the batch, so full-grid
+    #: predictions can be memoised and sliced (see CostModel.predict_rows).
+    row_stable_predictions = True
+
     @property
     def is_fitted(self) -> bool:
         return self._root is not None
@@ -244,6 +248,13 @@ class RegressionTree(Regressor):
         if self._root is None:
             raise RuntimeError("tree is not fitted")
         return self._root
+
+    @property
+    def flat(self) -> np.ndarray:
+        """The flattened node table used by the vectorised predictor."""
+        if self._flat is None:
+            raise RuntimeError("tree is not fitted")
+        return self._flat
 
     def predict_distribution(self, X: np.ndarray) -> GaussianPrediction:
         if not self.is_fitted:

@@ -27,7 +27,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.optimizer import BaseOptimizer, OptimizationResult, SessionState
-from repro.core.space import Configuration
+from repro.core.space import Configuration, EncodedSpace
 from repro.core.state import Observation, OptimizerState
 from repro.workloads.base import Job, JobOutcome
 
@@ -278,12 +278,21 @@ class TuningSession:
 
         observations = [observation_from_dict(o) for o in saved["observations"]]
         observed = set(o.config for o in observations)
+        # Rebuild the encoded grid tensors exactly as a fresh start() would,
+        # so the restored state's row indices line up with the job's
+        # canonical configuration order.
+        grid = EncodedSpace.for_job(job)
+        untested_rows = np.array(
+            [i for i, c in enumerate(job.configurations) if c not in observed],
+            dtype=np.intp,
+        )
         optimizer_state = OptimizerState(
             space=job.space,
-            untested=[c for c in job.configurations if c not in observed],
             budget_remaining=saved["budget_remaining"],
             observations=list(observations),
             current_config=observations[-1].config if observations else None,
+            grid=grid,
+            untested_rows=untested_rows,
         )
         rng = np.random.default_rng()
         rng.bit_generator.state = saved["rng_state"]

@@ -1,0 +1,497 @@
+"""Bit-identity of the index-based fast path against the seed implementation.
+
+The optimise hot path was rewritten onto precomputed grid tensors: untested
+sets are integer row indices, model fits/predictions are row slices (with a
+memoised full-grid prediction for row-stable backends), the bagging ensemble
+routes all members in one stacked pass, and the per-state EIc vector is
+hoisted out of the lookahead recursion.  None of that may change a single
+decision: this module keeps the **seed implementation verbatim** (config
+lists, per-call encoding, scipy.stats acquisition, per-tree routing via the
+grid-less CostModel path) as an executable reference and asserts that the
+fast path reproduces its exploration traces bit for bit across every
+backend, speculation mode and lookahead depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.baselines import BayesianOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.model import CostModel
+from repro.core.space import Configuration, EncodedSpace
+from repro.core.state import OptimizerState
+from repro.workloads import make_synthetic_job
+
+_EPS = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Seed acquisition machinery, kept verbatim (scipy.stats based, with copies).
+# ---------------------------------------------------------------------------
+
+def _seed_expected_improvement(mean, std, incumbent):
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = incumbent - mean
+    ei = np.maximum(improvement, 0.0)
+    positive = std > 0
+    if np.any(positive):
+        z = improvement[positive] / std[positive]
+        ei_pos = improvement[positive] * norm.cdf(z) + std[positive] * norm.pdf(z)
+        ei = ei.copy()
+        ei[positive] = np.maximum(ei_pos, 0.0)
+    return ei
+
+
+def _seed_probability_below(mean, std, threshold):
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    threshold = np.broadcast_to(np.asarray(threshold, dtype=float), mean.shape)
+    prob = np.where(mean <= threshold, 1.0, 0.0)
+    positive = std > 0
+    if np.any(positive):
+        z = (threshold[positive] - mean[positive]) / std[positive]
+        prob = prob.copy()
+        prob[positive] = norm.cdf(z)
+    return prob
+
+
+def _seed_estimate_incumbent(state, tmax, untested_std=None):
+    best = None
+    for obs in state.observations:
+        if obs.is_feasible(tmax) and (best is None or obs.cost < best.cost):
+            best = obs
+    if best is not None:
+        return float(best.cost)
+    fallback = max(obs.cost for obs in state.observations)
+    if untested_std is not None and untested_std.size > 0:
+        fallback += 3.0 * float(np.max(untested_std))
+    return float(fallback)
+
+
+def _seed_budget_viable_mask(mean, std, budget_remaining, confidence):
+    prob = _seed_probability_below(mean, std, budget_remaining)
+    return prob >= confidence
+
+
+# ---------------------------------------------------------------------------
+# The seed optimizers, verbatim, on top of the grid-less CostModel path.
+# ---------------------------------------------------------------------------
+
+class ReferenceLynceus(LynceusOptimizer):
+    """The pre-index-rework Lynceus decision procedure, kept as the reference."""
+
+    def _prepare(self, job, state, tmax, rng):
+        self._ref_prices = {c: job.unit_price_per_hour(c) for c in job.configurations}
+
+    def _ref_unit_prices(self, configs):
+        return np.array([self._ref_prices[c] for c in configs], dtype=float)
+
+    def _ref_eic(self, state, configs, means, stds, unit_prices, tmax):
+        incumbent = _seed_estimate_incumbent(state, tmax, stds)
+        constraint_prob = _seed_probability_below(
+            means, stds, tmax * unit_prices / 3600.0
+        )
+        constraint_prob = constraint_prob * np.ones(len(configs), dtype=float)
+        return _seed_expected_improvement(means, stds, incumbent) * constraint_prob
+
+    def _next_config(self, job, state, tmax, rng):
+        if not state.untested:
+            return None
+        model = CostModel(
+            job.space,
+            self.model_name,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            n_estimators=self.n_estimators,
+        )
+        model.fit(state.explored_configs, [o.cost for o in state.observations])
+
+        prediction = model.predict(state.untested)
+        means, stds = prediction.mean, prediction.std
+        unit_prices = self._ref_unit_prices(state.untested)
+
+        viable = _seed_budget_viable_mask(
+            means, stds, state.budget_remaining, self.viability_confidence
+        )
+        if not np.any(viable):
+            return None
+
+        eic = self._ref_eic(state, state.untested, means, stds, unit_prices, tmax)
+        setup = np.array(
+            [self._setup_cost(state.current_config, c) for c in state.untested],
+            dtype=float,
+        )
+        step_costs = np.maximum(means, _EPS) + setup
+        one_step_ratio = eic / step_costs
+
+        viable_indices = np.flatnonzero(viable)
+        if self.lookahead == 0:
+            best = viable_indices[int(np.argmax(one_step_ratio[viable_indices]))]
+            return state.untested[int(best)]
+
+        ranked = viable_indices[np.argsort(-one_step_ratio[viable_indices])]
+        if self.lookahead_pool_size is not None:
+            pool = set(int(i) for i in ranked[: self.lookahead_pool_size])
+        else:
+            pool = set(int(i) for i in ranked)
+
+        best_index = None
+        best_ratio = -np.inf
+        for idx in viable_indices:
+            idx = int(idx)
+            if idx in pool:
+                reward, cost = self._explore_path(
+                    model, state, idx, means, stds, unit_prices, tmax, self.lookahead
+                )
+            else:
+                reward, cost = float(eic[idx]), float(step_costs[idx])
+            ratio = reward / max(cost, _EPS)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_index = idx
+        if best_index is None:
+            return None
+        return state.untested[best_index]
+
+    def _explore_path(self, model, state, index, means, stds, unit_prices, tmax, depth):
+        config = state.untested[index]
+        eic = self._ref_eic(state, state.untested, means, stds, unit_prices, tmax)
+        reward = float(eic[index])
+        cost = float(max(means[index], _EPS)) + self._setup_cost(
+            state.current_config, config
+        )
+        if depth == 0:
+            return reward, cost
+
+        mean_x, std_x = float(means[index]), float(stds[index])
+        unit_price_x = float(unit_prices[index])
+        for node in self.quadrature.discretise(mean_x, std_x):
+            speculated_cost, weight = node.value, node.weight
+            speculated_runtime = speculated_cost / max(unit_price_x, _EPS) * 3600.0
+            child_state = state.speculate(
+                config, speculated_cost, runtime_seconds=speculated_runtime
+            )
+            child_model = model.condition_on(config, speculated_cost, mode=self.speculation)
+            if self.speculation == "believer":
+                child_means = np.delete(means, index)
+                child_stds = np.delete(stds, index)
+            else:
+                child_prediction = child_model.predict(child_state.untested)
+                child_means = child_prediction.mean
+                child_stds = child_prediction.std
+            child_prices = np.delete(unit_prices, index)
+
+            next_index = self._next_step(
+                child_state, child_means, child_stds, child_prices, tmax
+            )
+            if next_index is None:
+                continue
+            sub_reward, sub_cost = self._explore_path(
+                child_model,
+                child_state,
+                next_index,
+                child_means,
+                child_stds,
+                child_prices,
+                tmax,
+                depth - 1,
+            )
+            cost += weight * sub_cost
+            reward += self.discount * weight * sub_reward
+        return reward, cost
+
+    def _next_step(self, state, means, stds, unit_prices, tmax):
+        if not state.untested:
+            return None
+        viable = _seed_budget_viable_mask(
+            means, stds, state.budget_remaining, self.viability_confidence
+        )
+        if not np.any(viable):
+            return None
+        eic = self._ref_eic(state, state.untested, means, stds, unit_prices, tmax)
+        viable_indices = np.flatnonzero(viable)
+        return int(viable_indices[int(np.argmax(eic[viable_indices]))])
+
+
+class ReferenceBO(BayesianOptimizer):
+    """The pre-index-rework CherryPick-style BO decision procedure."""
+
+    def _next_config(self, job, state, tmax, rng):
+        if not state.untested:
+            return None
+        model = CostModel(
+            job.space,
+            self.model_name,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            n_estimators=self.n_estimators,
+        )
+        configs, costs = state.explored_configs, [o.cost for o in state.observations]
+        model.fit(configs, np.asarray(costs))
+        prediction = model.predict(state.untested)
+        incumbent = _seed_estimate_incumbent(state, tmax, prediction.std)
+        unit_prices = np.array(
+            [job.unit_price_per_hour(c) for c in state.untested], dtype=float
+        )
+        constraint_prob = _seed_probability_below(
+            prediction.mean, prediction.std, tmax * unit_prices / 3600.0
+        )
+        eic = _seed_expected_improvement(
+            prediction.mean, prediction.std, incumbent
+        ) * constraint_prob
+        return state.untested[int(np.argmax(eic))]
+
+
+# ---------------------------------------------------------------------------
+# The golden comparisons.
+# ---------------------------------------------------------------------------
+
+def _golden_job(n_configs=20):
+    job = make_synthetic_job(seed=7)
+    return job.subset(job.configurations[:n_configs])
+
+
+def _trace(result):
+    return [
+        (o.config, o.cost, o.runtime_seconds, o.timed_out, o.bootstrap)
+        for o in result.observations
+    ]
+
+
+_LYNCEUS_CASES = [
+    # (lookahead, speculation, pool_size)
+    (0, "believer", None),
+    (1, "believer", None),
+    (1, "refit", None),
+    (2, "believer", 6),
+    (2, "refit", 4),
+]
+
+
+@pytest.mark.parametrize("backend", ["bagging", "gp", "gp-rbf"])
+@pytest.mark.parametrize("lookahead,speculation,pool", _LYNCEUS_CASES)
+def test_lynceus_fast_path_matches_seed_path(backend, lookahead, speculation, pool):
+    job = _golden_job()
+    kwargs = dict(
+        lookahead=lookahead,
+        speculation=speculation,
+        lookahead_pool_size=pool,
+        gh_order=3,
+        model=backend,
+        n_estimators=4,
+        seed=0,
+    )
+    fast = LynceusOptimizer(**kwargs).optimize(job, budget_multiplier=6.0, seed=13)
+    golden = ReferenceLynceus(**kwargs).optimize(job, budget_multiplier=6.0, seed=13)
+
+    # The comparison must exercise real post-bootstrap decisions.
+    assert golden.n_explorations > golden.n_bootstrap
+    assert _trace(fast) == _trace(golden)
+    assert fast.best_config == golden.best_config
+    assert fast.best_cost == golden.best_cost
+    assert fast.budget_spent == golden.budget_spent
+
+
+@pytest.mark.parametrize("backend", ["bagging", "gp"])
+def test_bo_fast_path_matches_seed_path(backend, synthetic_job):
+    fast = BayesianOptimizer(model=backend, n_estimators=5, seed=0).optimize(
+        synthetic_job, budget_multiplier=3.0, seed=21
+    )
+    golden = ReferenceBO(model=backend, n_estimators=5, seed=0).optimize(
+        synthetic_job, budget_multiplier=3.0, seed=21
+    )
+    assert golden.n_explorations > golden.n_bootstrap
+    assert _trace(fast) == _trace(golden)
+    assert fast.best_config == golden.best_config
+
+
+def test_setup_cost_estimator_traces_match():
+    job = _golden_job()
+
+    def estimator(current, candidate):
+        if current is None:
+            return 0.05
+        return 0.0 if current == candidate else 0.02
+
+    kwargs = dict(
+        lookahead=1, speculation="believer", gh_order=3, n_estimators=4,
+        seed=0, setup_cost_estimator=estimator,
+    )
+    fast = LynceusOptimizer(**kwargs).optimize(job, budget_multiplier=6.0, seed=5)
+    golden = ReferenceLynceus(**kwargs).optimize(job, budget_multiplier=6.0, seed=5)
+    assert golden.n_explorations > golden.n_bootstrap
+    assert _trace(fast) == _trace(golden)
+
+
+# ---------------------------------------------------------------------------
+# Substrate invariants the golden traces rely on.
+# ---------------------------------------------------------------------------
+
+def test_encoded_space_rows_match_direct_encoding(synthetic_job):
+    grid = EncodedSpace.for_job(synthetic_job)
+    configs = synthetic_job.configurations
+    assert np.array_equal(grid.X, synthetic_job.space.encode_many(configs))
+    assert np.array_equal(
+        grid.unit_prices,
+        np.array([synthetic_job.unit_price_per_hour(c) for c in configs]),
+    )
+    for row, config in enumerate(configs):
+        assert grid.row_of(config) == row
+        assert grid.config_at(row) == config
+
+
+def test_encoded_space_ensure_row_appends(synthetic_job):
+    grid = EncodedSpace.for_job(synthetic_job)
+    n = len(grid)
+    off_grid = synthetic_job.configurations[0].replace()
+    assert grid.ensure_row(off_grid) == 0  # same config -> same row
+    fresh = Configuration.from_dict(
+        {**synthetic_job.configurations[0].as_dict()}
+    )
+    assert grid.ensure_row(fresh) == 0
+    assert len(grid) == n
+
+
+def test_shared_optimizer_thresholds_are_per_session(synthetic_job):
+    """Interleaved sessions with different tmax must each see their own
+    constraint thresholds (they are cached by (grid, tmax), not baked in)."""
+    opt = LynceusOptimizer(lookahead=0, seed=0)
+    rng = np.random.default_rng(0)
+
+    def fresh_state():
+        grid = EncodedSpace.for_job(synthetic_job)
+        return OptimizerState(
+            space=synthetic_job.space,
+            budget_remaining=100.0,
+            grid=grid,
+            untested_rows=np.arange(len(grid), dtype=np.intp),
+        )
+
+    state_a, state_b = fresh_state(), fresh_state()
+    opt._prepare(synthetic_job, state_a, 600.0, rng)
+    thresholds_a = opt._grid_thresholds(state_a, 600.0).copy()
+    opt._prepare(synthetic_job, state_b, 60.0, rng)
+    thresholds_b = opt._grid_thresholds(state_b, 60.0).copy()
+    # Back to session A: its thresholds must be recomputed, not session B's.
+    assert np.array_equal(opt._grid_thresholds(state_a, 600.0), thresholds_a)
+    assert np.allclose(thresholds_a, 10.0 * thresholds_b)
+
+
+def test_offgrid_observations_do_not_break_pricing(synthetic_job):
+    """Restore-against-a-shrunken-table: observed configs missing from the
+    job's table get a NaN price sentinel and must not crash the optimizers."""
+    from repro.core.state import Observation
+
+    dropped = synthetic_job.configurations[0]
+    shrunken = synthetic_job.subset(synthetic_job.configurations[1:])
+    grid = EncodedSpace.for_job(shrunken)
+    state = OptimizerState(
+        space=shrunken.space,
+        budget_remaining=shrunken.mean_cost() * 20,
+        grid=grid,
+        untested_rows=np.arange(len(grid), dtype=np.intp),
+    )
+    # An observation for the dropped config appends an off-grid row.
+    state.add_observation(Observation(dropped, 1.0, 100.0))
+    for config in shrunken.configurations[:4]:
+        outcome = shrunken.run(config)
+        state.add_observation(
+            Observation(config, outcome.cost, outcome.runtime_seconds, outcome.timed_out)
+        )
+    prices = grid.ensure_unit_prices(shrunken)
+    assert np.isnan(prices[grid.row_of(dropped)])
+    assert not np.any(np.isnan(prices[state.untested_rows]))
+
+    rng = np.random.default_rng(0)
+    tmax = shrunken.default_tmax()
+    config = BayesianOptimizer(n_estimators=3, seed=0)._next_config(
+        shrunken, state, tmax, rng
+    )
+    assert config is not None and config != dropped
+
+    lyn = LynceusOptimizer(lookahead=1, speculation="believer", gh_order=3,
+                           n_estimators=3, seed=0)
+    lyn._prepare(shrunken, state, tmax, rng)
+    config = lyn._next_config(shrunken, state, tmax, rng)
+    assert config is not None and config != dropped
+
+
+def test_predict_rows_bit_identical_to_predict(synthetic_job):
+    rng = np.random.default_rng(0)
+    configs = synthetic_job.configurations
+    train = configs[:10]
+    targets = [synthetic_job.run(c).cost for c in train]
+    for backend in ("bagging", "gp"):
+        grid = EncodedSpace.for_job(synthetic_job)
+        gridless = CostModel(synthetic_job.space, backend, seed=2).fit(train, targets)
+        gridded = CostModel(synthetic_job.space, backend, seed=2, grid=grid).fit(
+            train, targets
+        )
+        for _ in range(5):
+            rows = np.sort(
+                rng.choice(len(configs), size=int(rng.integers(1, 30)), replace=False)
+            )
+            subset = [configs[int(r)] for r in rows]
+            direct = gridless.predict(subset)
+            sliced = gridded.predict_rows(rows)
+            assert np.array_equal(direct.mean, sliced.mean), backend
+            assert np.array_equal(direct.std, sliced.std), backend
+
+
+def test_stacked_ensemble_routing_matches_per_tree_loop():
+    from repro.learning.bagging import BaggingEnsemble
+
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(40, 3))
+    y = rng.normal(size=40)
+    ensemble = BaggingEnsemble(n_estimators=7, seed=9).fit(X, y)
+    assert ensemble._stacked is not None
+    queries = rng.normal(size=(25, 3))
+    stacked = ensemble._route_stacked(queries)
+    looped = np.vstack(
+        [est.predict_distribution(queries).mean for est in ensemble.estimators]
+    )
+    assert np.array_equal(stacked, looped)
+    # And the public prediction equals the naive fallback path.
+    fast = ensemble.predict_distribution(queries)
+    ensemble._stacked = None
+    slow = ensemble.predict_distribution(queries)
+    assert np.array_equal(fast.mean, slow.mean)
+    assert np.array_equal(fast.std, slow.std)
+
+
+def test_constrained_rows_hook_matches_config_hook():
+    from repro.core.extensions import ConstrainedLynceusOptimizer, MetricConstraint
+    from repro.core.state import Observation
+
+    job = _golden_job()
+    constraint = MetricConstraint(
+        name="runtime_proxy",
+        threshold=1000.0,
+        metric=lambda config, outcome: outcome.runtime_seconds,
+    )
+    optimizer = ConstrainedLynceusOptimizer(
+        constraints=[constraint], lookahead=1, gh_order=3, n_estimators=4, seed=0
+    )
+    grid = EncodedSpace.for_job(job)
+    state = OptimizerState(
+        space=job.space,
+        budget_remaining=job.mean_cost() * 20,
+        grid=grid,
+        untested_rows=np.arange(len(grid), dtype=np.intp),
+    )
+    rng = np.random.default_rng(0)
+    optimizer._prepare(job, state, job.default_tmax(), rng)
+    for config in job.configurations[:6]:
+        outcome = job.run(config)
+        obs = Observation(config, outcome.cost, outcome.runtime_seconds, outcome.timed_out)
+        state.add_observation(obs)
+        optimizer._record_observation(job, state, obs)
+
+    rows = state.untested_rows
+    via_rows = optimizer._extra_constraint_probability_rows(state, rows)
+    optimizer._constraint_models_size = -1  # force a refit on the legacy path
+    via_configs = optimizer._extra_constraint_probability(state, state.untested)
+    assert np.array_equal(via_rows, via_configs)

@@ -169,8 +169,11 @@ class TestExplorePaths:
         model.fit(state.explored_configs, [o.cost for o in state.observations])
         prediction = model.predict(state.untested)
         prices = optimizer._unit_prices(state.untested)
+        eic = optimizer._eic(
+            state, state.untested, prediction.mean, prediction.std, prices, tmax
+        )
         reward, cost = optimizer._explore_path(
-            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=2
+            model, state, 0, eic, prediction.mean, prediction.std, prices, tmax, depth=2
         )
         assert np.isfinite(reward) and np.isfinite(cost)
         assert cost > 0.0
@@ -195,11 +198,14 @@ class TestExplorePaths:
         model.fit(state.explored_configs, [o.cost for o in state.observations])
         prediction = model.predict(state.untested)
         prices = optimizer._unit_prices(state.untested)
+        eic = optimizer._eic(
+            state, state.untested, prediction.mean, prediction.std, prices, tmax
+        )
         _, cost_shallow = optimizer._explore_path(
-            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=0
+            model, state, 0, eic, prediction.mean, prediction.std, prices, tmax, depth=0
         )
         _, cost_deep = optimizer._explore_path(
-            model, state, 0, prediction.mean, prediction.std, prices, tmax, depth=2
+            model, state, 0, eic, prediction.mean, prediction.std, prices, tmax, depth=2
         )
         assert cost_deep >= cost_shallow - 1e-12
 
