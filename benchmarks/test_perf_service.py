@@ -4,7 +4,10 @@ This starts the performance trajectory of the multi-tenant service layer: the
 same 50-session sweep (scout + cherrypick jobs, two optimizer families,
 several trials each) is drained serially and over a worker pool, and the
 sessions/second plus wall-clock figures are recorded under
-``benchmarks/results/service_throughput.txt``.
+``benchmarks/results/service_throughput.txt``.  A second benchmark measures
+daemon mode — sessions submitted live into a running ``serve()`` loop — so
+the dispatch/condition-variable overhead of the long-lived scheduler is
+tracked alongside the batch numbers.
 
 Profiling runs in this reproduction are table lookups, so the worker pool
 mostly measures the scheduling/dispatch overhead rather than overlap wins;
@@ -104,3 +107,76 @@ def test_service_throughput_serial_vs_pool(benchmark):
         ], sid
         assert result.best_cost == other.best_cost
     assert serial["sessions_per_second"] > 0
+
+
+def _run_daemon_sweep(n_workers: int, *, bootstrap_parallel: bool) -> dict:
+    """Submit the whole sweep into an already-running daemon, then drain."""
+    jobs = [load_job(name) for name in _JOB_NAMES]
+    service = TuningService(
+        n_workers=n_workers,
+        policy="round-robin",
+        bootstrap_parallel=bootstrap_parallel,
+    )
+    n_sessions = _n_sessions()
+    service.serve()
+    started = time.perf_counter()
+    for index in range(n_sessions):
+        service.submit(
+            jobs[index % len(jobs)],
+            _make_optimizer(index),
+            session_id=f"s{index:03d}",
+            seed=index // len(jobs),
+        )
+    results = service.shutdown(drain=True)
+    wall = time.perf_counter() - started
+    explorations = sum(r.n_explorations for r in results.values())
+    return {
+        "n_sessions": n_sessions,
+        "n_workers": n_workers,
+        "bootstrap_parallel": bootstrap_parallel,
+        "wall_seconds": wall,
+        "sessions_per_second": n_sessions / wall,
+        "explorations_per_second": explorations / wall,
+        "results": results,
+    }
+
+
+def test_daemon_live_submission_throughput(benchmark):
+    def sweep_daemon():
+        return (
+            _run_daemon_sweep(4, bootstrap_parallel=False),
+            _run_daemon_sweep(4, bootstrap_parallel=True),
+        )
+
+    plain, batched = run_once(benchmark, sweep_daemon)
+
+    rows = [
+        [
+            f"{mode['n_workers']}",
+            "yes" if mode["bootstrap_parallel"] else "no",
+            f"{mode['n_sessions']}",
+            f"{mode['wall_seconds']:.2f} s",
+            f"{mode['sessions_per_second']:.1f}",
+            f"{mode['explorations_per_second']:.0f}",
+        ]
+        for mode in (plain, batched)
+    ]
+    report(
+        "service_throughput",
+        f"\nDaemon mode — {plain['n_sessions']} sessions submitted live into "
+        "serve(), shutdown(drain=True)\n"
+        + format_table(
+            ["workers", "boot-par", "sessions", "wall", "sessions/s",
+             "explorations/s"],
+            rows,
+        ),
+    )
+
+    # Daemon scheduling and bootstrap batching must not change any result.
+    assert set(plain["results"]) == set(batched["results"])
+    for sid, result in plain["results"].items():
+        other = batched["results"][sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+    assert plain["sessions_per_second"] > 0

@@ -39,7 +39,9 @@ The package is organised as follows:
     The multi-tenant layer above the ask/tell optimizer core: tuning
     sessions with lifecycle and JSON checkpoint/resume, pluggable scheduling
     policies, and a :class:`~repro.service.service.TuningService` that
-    drives many sessions concurrently over a worker pool.
+    drives many sessions concurrently over a thread or process pool —
+    batch (``drain``) or as a long-lived daemon (``serve``/``submit``/
+    ``cancel``/``shutdown``).
 """
 
 from repro._version import __version__

@@ -39,6 +39,7 @@ from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.core.lynceus import LynceusOptimizer
 from repro.experiments.reporting import format_summary_table, format_table
 from repro.experiments.runner import compare_optimizers
+from repro.service.scheduler import available_policies
 from repro.service.sweep import make_optimizer, run_sweep
 from repro.workloads import available_jobs, load_job
 
@@ -109,9 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--policy",
-        choices=("fifo", "round-robin", "cost-aware"),
+        choices=available_policies(),
         default="fifo",
         help="scheduling policy deciding which session advances next",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind; 'process' suits CPU-heavy picklable jobs",
+    )
+    sweep.add_argument(
+        "--bootstrap-parallel",
+        action="store_true",
+        help="profile each session's pre-declared bootstrap sample in parallel",
     )
     sweep.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
     sweep.add_argument("--seed", type=int, default=0, help="seed of the first trial")
@@ -238,6 +250,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trials=args.trials,
         n_workers=args.workers,
         policy=args.policy,
+        executor=args.executor,
+        bootstrap_parallel=args.bootstrap_parallel,
         budget_multiplier=args.budget_multiplier,
         base_seed=args.seed,
         fast=args.fast,
@@ -260,7 +274,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"{report.n_sessions} sessions in {report.wall_seconds:.2f}s "
         f"({report.sessions_per_second:.1f}/s, workers={report.n_workers}, "
-        f"policy={report.policy}); mean CNO {report.mean_cno:.3f}, "
+        f"policy={report.policy}, executor={report.executor}); "
+        f"mean CNO {report.mean_cno:.3f}, "
         f"total spend {report.total_budget_spent:.2f}"
     )
     return 0

@@ -91,6 +91,7 @@ def compare_optimizers(
     n_bootstrap: int | None = None,
     base_seed: int = 0,
     n_workers: int = 1,
+    executor: str = "thread",
 ) -> ComparisonResult:
     """Run every optimizer ``n_trials`` times against ``job``.
 
@@ -104,7 +105,10 @@ def compare_optimizers(
     bit-for-bit; ``n_workers > 1`` runs up to that many profiling runs
     concurrently with identical per-trial results (sessions are independent
     given their shared bootstrap sample and seed), so figure benchmarks can
-    opt into parallelism without changing their numbers.
+    opt into parallelism without changing their numbers.  ``executor``
+    selects the pool kind (``"thread"`` or ``"process"``); the process pool
+    only pays off when the job's ``run()`` is CPU-heavy python, and requires
+    the job to be picklable.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
@@ -129,7 +133,7 @@ def compare_optimizers(
         outcomes={name: [] for name in optimizers},
     )
 
-    service = TuningService(n_workers=n_workers)
+    service = TuningService(n_workers=n_workers, executor=executor)
     submitted: list[tuple[str, int, str]] = []  # (optimizer name, trial, session id)
     for trial in range(n_trials):
         seed = base_seed + trial

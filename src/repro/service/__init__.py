@@ -6,17 +6,19 @@ sessions concurrently:
 
 ``repro.service.session``
     :class:`TuningSession` — one job + optimizer + budget with an explicit
-    lifecycle (PENDING → BOOTSTRAPPING → RUNNING → DONE/EXHAUSTED), live
-    metrics and JSON checkpoint/resume.
+    lifecycle (PENDING → BOOTSTRAPPING → RUNNING →
+    DONE/EXHAUSTED/CANCELLED), live metrics and JSON checkpoint/resume.
 
 ``repro.service.scheduler``
     Pluggable scheduling policies (FIFO, round-robin, cost-aware priority)
     deciding which session advances next.
 
 ``repro.service.service``
-    :class:`TuningService` — multiplexes N sessions over a worker pool so
-    decision-making and (simulated) profiling runs overlap, and exposes
-    ``submit`` / ``poll`` / ``result`` / ``drain``.
+    :class:`TuningService` — multiplexes N sessions over a worker pool
+    (threads or processes) so decision-making and profiling runs overlap.
+    Batch mode exposes ``submit`` / ``poll`` / ``result`` / ``drain``;
+    daemon mode (``serve`` / ``shutdown``) keeps scheduling on a background
+    thread while ``submit`` and ``cancel`` arrive live.
 
 ``repro.service.sweep``
     :func:`run_sweep` — a mixed-suite convenience front-end used by the
@@ -28,6 +30,7 @@ from repro.service.scheduler import (
     FifoPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
+    available_policies,
     make_policy,
 )
 from repro.service.service import TuningService
@@ -44,6 +47,7 @@ __all__ = [
     "SweepRow",
     "TuningService",
     "TuningSession",
+    "available_policies",
     "make_optimizer",
     "make_policy",
     "run_sweep",

@@ -10,10 +10,18 @@ Three built-ins cover the obvious operating points:
 * :class:`FifoPolicy` — run each session to completion in submission order;
   minimises per-session latency for early tenants.
 * :class:`RoundRobinPolicy` — one step per session in turn; fair progress
-  across tenants.
+  across tenants.  Starvation-free even when the ready set changes between
+  calls (sessions finish, new ones are submitted to a live daemon): a
+  session that stays ready is selected at least once every ``N`` selections,
+  ``N`` being the number of sessions the policy has seen.
 * :class:`CostAwarePolicy` — advance the session that has spent the least of
   its budget so far; cheap sessions finish first, which maximises completed
   sessions per dollar when the service itself is budget-bound.
+
+Concurrency contract: the service calls :meth:`SchedulingPolicy.select`
+while holding its internal lock, so implementations must be fast and must
+not call back into the service; they may keep private memory (the built-ins
+never share state across service instances).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ __all__ = [
     "FifoPolicy",
     "RoundRobinPolicy",
     "CostAwarePolicy",
+    "available_policies",
     "make_policy",
 ]
 
@@ -53,16 +62,48 @@ class FifoPolicy(SchedulingPolicy):
 
 
 class RoundRobinPolicy(SchedulingPolicy):
-    """Advance sessions in turn, one step each, cycling over the ready set."""
+    """Advance sessions in turn, one step each, cycling over the ready set.
+
+    A cursor walks a fixed total order of sessions (first-seen order, which
+    matches submission order because ready sets are presented in submission
+    order); each call picks the first ready session strictly after the
+    cursor, wrapping to the earliest ready session when none follows.  The
+    cursor advances monotonically between wraps, so a continuously-ready
+    session can be skipped at most once per other session per cycle — no
+    ready session starves, no matter how the ready set changes between calls.
+
+    The order map is compacted whenever it grows well past the live ready
+    set, so a long-lived daemon that churns through many sessions does not
+    retain one entry per session ever seen.  Compaction preserves the
+    relative order of surviving ids, so the fairness bound is unaffected for
+    any continuously-ready session.
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._turn = 0
+        self._order: dict[str, int] = {}
+        self._last: str | None = None
 
     def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
-        chosen = ready[self._turn % len(ready)]
-        self._turn += 1
+        for session in ready:
+            if session.session_id not in self._order:
+                self._order[session.session_id] = len(self._order)
+        if len(self._order) > max(32, 4 * len(ready)):
+            keep = {session.session_id for session in ready}
+            self._order = {
+                sid: rank
+                for rank, sid in enumerate(
+                    sorted(keep, key=self._order.__getitem__)
+                )
+            }
+        cursor = self._order.get(self._last, -1) if self._last is not None else -1
+        ranked = sorted(ready, key=lambda s: self._order[s.session_id])
+        chosen = next(
+            (s for s in ranked if self._order[s.session_id] > cursor),
+            ranked[0],
+        )
+        self._last = chosen.session_id
         return chosen
 
 
@@ -87,6 +128,11 @@ _POLICIES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     CostAwarePolicy.name: CostAwarePolicy,
 }
+
+
+def available_policies() -> list[str]:
+    """Names of the built-in scheduling policies, sorted."""
+    return sorted(_POLICIES)
 
 
 def make_policy(name: str) -> SchedulingPolicy:

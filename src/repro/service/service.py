@@ -4,46 +4,138 @@
 objects.  Each session is strictly serial internally (ask → run → tell — every
 decision conditions on all previous observations), so the service extracts
 parallelism *across* sessions: while one session's profiling run executes on
-the worker pool, the scheduler keeps advancing other sessions' decision-making
-in the submitting thread.
+the worker pool, the scheduler keeps advancing other sessions' decision-making.
+The one sanctioned intra-session exception is the bootstrap sample, which is
+declared in full at session start and therefore embarrassingly parallel (see
+``bootstrap_parallel`` below).
 
-With ``n_workers <= 1`` the service runs every profiling run inline, in pure
-scheduling order, with no pool — execution is then fully deterministic and a
-session produces exactly the result a bare ``optimizer.optimize()`` call
-would.  With ``n_workers > 1`` a thread pool runs up to that many profiling
-runs concurrently; per-session results are unchanged (each session still sees
-its own serial history), only wall-clock time and the interleaving differ.
+Operating modes
+---------------
+
+*Batch* — :meth:`TuningService.drain` blocks until every submitted session is
+terminal.  With ``n_workers <= 1`` and the default thread executor everything
+runs inline in pure scheduling order, with no pool and no threads; execution
+is then fully deterministic and a session produces exactly the result a bare
+``optimizer.optimize()`` call would.
+
+*Daemon* — :meth:`TuningService.serve` starts a background scheduler thread
+and returns immediately.  :meth:`submit` keeps working while the daemon runs
+(a condition variable wakes it on every submission), sessions can be
+cancelled mid-flight with :meth:`cancel`, and :meth:`shutdown` stops the
+daemon either gracefully (``drain=True``: finish all submitted work first) or
+promptly (``drain=False``: let in-flight profiling runs finish and be told —
+so every session is left at a checkpointable step boundary — but start
+nothing new).
+
+In either mode, per-session results are **bit-identical** for any worker
+count, executor kind, scheduling policy and ``bootstrap_parallel`` setting:
+each session still observes its own serial history, so parallelism changes
+only wall-clock time and interleaving.
+
+Executors
+---------
+
+``executor="thread"`` (default) runs profiling jobs on a
+:class:`~concurrent.futures.ThreadPoolExecutor` — right for the simulated /
+IO-bound jobs of this reproduction, whose ``run()`` is a table lookup.
+``executor="process"`` runs them on a
+:class:`~concurrent.futures.ProcessPoolExecutor` for jobs whose ``run()`` is
+CPU-heavy python: the job and configuration are pickled to the worker, the
+:class:`~repro.workloads.base.JobOutcome` is marshalled back and told on the
+scheduler thread.  Process-pool jobs must therefore be picklable (the
+tabulated jobs are; wrappers holding lambdas or live cluster handles are
+not), and they must not rely on shared in-process state — the worker mutates
+a *copy* of the job.  The pool defaults to the ``spawn`` start method: the
+daemon thread makes forking from a multi-threaded parent unsafe.
 
 Jobs are expected to be safe to run concurrently with each other; the
 tabulated replay jobs of this reproduction are pure lookups and qualify.
 Stateful wrappers (e.g. ``SetupCostAwareJob``, whose provisioner tracks the
 deployed cluster) should be multiplexed only with ``n_workers=1`` and one
 wrapper instance per session.
+
+Locking discipline
+------------------
+
+One reentrant lock (wrapped by a condition variable) guards *all* mutable
+service state: the session registry, per-session runtime records, the
+in-flight counter and the daemon control flags.  Every public method acquires
+it, and the daemon thread holds it for each scheduling iteration — including
+``ask``/``tell`` calls, which mutate session state — releasing it only while
+blocked in ``Condition.wait`` for a completion or a submission.  Status
+transitions are therefore atomic as seen by :meth:`poll`/:meth:`statuses`:
+a snapshot can never observe a session mid-mutation.  Worker threads never
+touch session state; completion callbacks only append to a queue under the
+lock and notify.
 """
 
 from __future__ import annotations
 
 import copy
 import itertools
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+import multiprocessing
+import threading
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
 from repro.core.optimizer import BaseOptimizer, OptimizationResult
+from repro.core.space import Configuration
 from repro.service.scheduler import SchedulingPolicy, make_policy
 from repro.service.session import SessionStatus, TuningSession
-from repro.workloads.base import Job
+from repro.workloads.base import Job, JobOutcome
 
 __all__ = ["TuningService"]
 
+_EXECUTOR_KINDS = ("thread", "process")
+
+
+def _run_job(job: Job, config: Configuration) -> JobOutcome:
+    """Run ``job`` on ``config``; module-level so process pools can pickle it."""
+    return job.run(config)
+
+
+class _Dispatch:
+    """One profiling run in flight on the pool."""
+
+    __slots__ = ("record", "config", "batched", "future", "outcome", "error")
+
+    def __init__(self, record: "_SessionRecord", config: Configuration, batched: bool) -> None:
+        self.record = record
+        self.config = config
+        self.batched = batched
+        self.future: Future | None = None
+        self.outcome: JobOutcome | None = None
+        self.error: BaseException | None = None
+
+
+class _SessionRecord:
+    """Service-side runtime bookkeeping for one registered session.
+
+    ``batch`` holds the in-flight *bootstrap* dispatches in queue order
+    (``bootstrap_parallel`` mode only); outcomes may complete out of order
+    but are told strictly in order, so the observation trace stays identical
+    to a serial run.  ``inflight`` is the single outstanding post-ask
+    dispatch of the normal path.
+    """
+
+    __slots__ = ("session", "batch", "inflight")
+
+    def __init__(self, session: TuningSession) -> None:
+        self.session = session
+        self.batch: deque[_Dispatch] = deque()
+        self.inflight: _Dispatch | None = None
+
 
 class TuningService:
-    """Drive many tuning sessions to completion.
+    """Drive many tuning sessions to completion, in batch or daemon mode.
 
     Parameters
     ----------
     n_workers:
         Maximum number of profiling runs in flight.  ``1`` (the default)
-        disables the pool entirely and runs everything inline.
+        with the thread executor disables the pool entirely in
+        :meth:`drain` and runs everything inline.
     policy:
         A :class:`~repro.service.scheduler.SchedulingPolicy` instance or the
         name of a built-in one (``"fifo"``, ``"round-robin"``,
@@ -52,6 +144,19 @@ class TuningService:
         When true (the default) :meth:`submit` deep-copies the optimizer so
         every session owns its instance; per-run mutable state (price caches,
         constraint metrics) must not be shared across concurrent sessions.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — what kind of pool runs the
+        profiling jobs.  See the module docstring for the picklability
+        contract of process pools.
+    bootstrap_parallel:
+        When true, a session's pre-declared bootstrap queue is dispatched to
+        the pool in parallel (outcomes are told back in queue order, so
+        results are unchanged); when false (default) every session has at
+        most one run in flight.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process pool;
+        defaults to the ``spawn`` context, which is safe to start from the
+        daemon thread.
     """
 
     def __init__(
@@ -60,14 +165,39 @@ class TuningService:
         n_workers: int = 1,
         policy: SchedulingPolicy | str = "fifo",
         copy_optimizers: bool = True,
+        executor: str = "thread",
+        bootstrap_parallel: bool = False,
+        mp_context: Any | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        if executor not in _EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; available: {_EXECUTOR_KINDS}"
+            )
         self.n_workers = n_workers
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.copy_optimizers = copy_optimizers
-        self._sessions: dict[str, TuningSession] = {}
+        self.executor_kind = executor
+        self.bootstrap_parallel = bootstrap_parallel
+        self.mp_context = mp_context
+
+        # One lock for everything mutable (see "Locking discipline" above).
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._records: dict[str, _SessionRecord] = {}
         self._ids = itertools.count()
+
+        # Daemon state, guarded by the lock.
+        self._thread: threading.Thread | None = None
+        self._executor: Executor | None = None
+        self._serving = False
+        self._stop = False
+        self._drain_on_stop = True
+        self._n_inflight = 0
+        self._completed: deque[_Dispatch] = deque()
+        self._errors: dict[str, BaseException] = {}
+        self._serve_error: BaseException | None = None
 
     # -- submission and inspection ------------------------------------------
     def submit(
@@ -83,105 +213,360 @@ class TuningService:
         ``options`` are forwarded to
         :meth:`~repro.core.optimizer.BaseOptimizer.start` (``tmax``,
         ``budget``, ``budget_multiplier``, ``n_bootstrap``,
-        ``initial_configs``, ``seed``).
+        ``initial_configs``, ``seed``).  Works both before :meth:`drain` and
+        while a daemon started by :meth:`serve` is running — the daemon picks
+        the new session up immediately.
         """
-        if session_id is None:
-            session_id = f"session-{next(self._ids)}"
-        if session_id in self._sessions:
-            raise ValueError(f"duplicate session id {session_id!r}")
+        # The deepcopy touches no shared state — keep it off the lock so
+        # concurrent submitters never stall the daemon's scheduling.
         if self.copy_optimizers:
             optimizer = copy.deepcopy(optimizer)
-        self._sessions[session_id] = TuningSession(
-            session_id, job, optimizer, **options
-        )
-        return session_id
+        with self._wakeup:
+            if session_id is None:
+                session_id = f"session-{next(self._ids)}"
+            if session_id in self._records:
+                raise ValueError(f"duplicate session id {session_id!r}")
+            session = TuningSession(session_id, job, optimizer, **options)
+            self._records[session_id] = _SessionRecord(session)
+            self._wakeup.notify_all()
+            return session_id
 
     def add_session(self, session: TuningSession) -> str:
         """Register an existing session object (e.g. one restored from a checkpoint)."""
-        if session.session_id in self._sessions:
-            raise ValueError(f"duplicate session id {session.session_id!r}")
-        self._sessions[session.session_id] = session
-        return session.session_id
+        with self._wakeup:
+            if session.session_id in self._records:
+                raise ValueError(f"duplicate session id {session.session_id!r}")
+            self._records[session.session_id] = _SessionRecord(session)
+            self._wakeup.notify_all()
+            return session.session_id
 
     def get(self, session_id: str) -> TuningSession:
         """The session object behind ``session_id``."""
-        try:
-            return self._sessions[session_id]
-        except KeyError:
-            raise KeyError(f"unknown session {session_id!r}") from None
+        with self._lock:
+            try:
+                return self._records[session_id].session
+            except KeyError:
+                raise KeyError(f"unknown session {session_id!r}") from None
 
     def poll(self, session_id: str) -> dict[str, Any]:
-        """A JSON-safe progress snapshot of one session."""
-        return self.get(session_id).metrics()
+        """A JSON-safe progress snapshot of one session (atomic vs. the daemon)."""
+        with self._lock:
+            return self.get(session_id).metrics()
 
     def result(self, session_id: str) -> OptimizationResult:
         """The final result of a terminal session."""
-        return self.get(session_id).result()
+        with self._lock:
+            return self.get(session_id).result()
+
+    def results(self) -> dict[str, OptimizationResult]:
+        """Results of every *completed* session (cancelled ones excluded)."""
+        with self._lock:
+            return {
+                sid: record.session.result()
+                for sid, record in self._records.items()
+                if record.session.status
+                in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
+            }
 
     @property
     def session_ids(self) -> list[str]:
         """All registered session ids, in submission order."""
-        return list(self._sessions)
+        with self._lock:
+            return list(self._records)
 
     def statuses(self) -> dict[str, SessionStatus]:
-        """Status of every registered session."""
-        return {sid: session.status for sid, session in self._sessions.items()}
+        """Status of every registered session (one atomic snapshot)."""
+        with self._lock:
+            return {
+                sid: record.session.status
+                for sid, record in self._records.items()
+            }
 
-    # -- execution ----------------------------------------------------------
+    @property
+    def serving(self) -> bool:
+        """Whether a daemon thread started by :meth:`serve` is running."""
+        with self._lock:
+            return self._serving
+
+    def cancel(self, session_id: str) -> bool:
+        """Cancel a session; returns whether the call changed anything.
+
+        A cancelled session goes terminal (``CANCELLED``), produces no
+        result, and is skipped by the scheduler.  In-flight profiling runs
+        are revoked where the pool still allows it; an outcome that arrives
+        anyway is discarded without charging the session's budget.
+        """
+        with self._wakeup:
+            record = self._records.get(session_id)
+            if record is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            changed = record.session.cancel()
+            if changed:
+                for dispatch in [record.inflight, *record.batch]:
+                    if dispatch is not None and dispatch.future is not None:
+                        dispatch.future.cancel()
+                self._wakeup.notify_all()
+            return changed
+
+    # -- serial execution ----------------------------------------------------
     def _ready(self) -> list[TuningSession]:
         return [
-            session
-            for session in self._sessions.values()
-            if not session.status.terminal
-            and (session.state is None or session.state.pending is None)
+            record.session
+            for record in self._records.values()
+            if not record.session.status.terminal
+            and (
+                record.session.state is None
+                or record.session.state.pending is None
+            )
         ]
 
     def step(self) -> bool:
         """Advance one scheduling decision inline (always serial).
 
-        Returns ``False`` when every session is terminal.
+        Returns ``False`` when every session is terminal.  Not available
+        while a daemon is serving — the daemon owns the schedule then.
         """
-        ready = self._ready()
-        if not ready:
-            return False
-        session = self.policy.select(ready)
-        session.step()
-        return True
+        with self._lock:
+            if self._serving:
+                raise RuntimeError("step() is unavailable while serve() is running")
+            ready = self._ready()
+            if not ready:
+                return False
+            session = self.policy.select(ready)
+            session.step()
+            return True
 
     def drain(self) -> dict[str, OptimizationResult]:
-        """Run every session to completion and return ``{session_id: result}``."""
-        if self.n_workers == 1:
+        """Run every submitted session to completion and return ``{session_id: result}``.
+
+        With ``n_workers == 1``, the thread executor and no bootstrap
+        batching this is a pure inline loop; any other combination runs the
+        daemon machinery to completion (``serve()`` + ``shutdown(drain=True)``).
+        """
+        with self._lock:
+            if self._serving:
+                raise RuntimeError(
+                    "drain() is unavailable while serve() is running; "
+                    "use shutdown(drain=True)"
+                )
+            pooled = (
+                self.n_workers > 1
+                or self.executor_kind != "thread"
+                or self.bootstrap_parallel
+            )
+        if not pooled:
             while self.step():
                 pass
-        else:
-            self._drain_pool()
-        return {
-            sid: session.result()
-            for sid, session in self._sessions.items()
-            if session.status.terminal
-        }
+            return self.results()
+        self.serve()
+        return self.shutdown(drain=True)
 
-    def _drain_pool(self) -> None:
-        """Overlap profiling runs (pool) with decision-making (this thread)."""
-        with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
-            in_flight: dict[Future, TuningSession] = {}
-            while True:
-                # Dispatch while there is pool capacity and a ready session.
-                while len(in_flight) < self.n_workers:
-                    ready = self._ready()
-                    if not ready:
+    # -- daemon execution ----------------------------------------------------
+    def serve(self) -> None:
+        """Start the daemon: a background thread that schedules until shutdown.
+
+        Returns immediately.  The daemon sleeps on a condition variable when
+        idle, wakes on every :meth:`submit`/:meth:`cancel`/:meth:`shutdown`,
+        and keeps up to ``n_workers`` profiling runs in flight on the
+        configured executor.
+        """
+        with self._lock:
+            if self._serving:
+                raise RuntimeError("serve() called while already serving")
+            self._stop = False
+            self._drain_on_stop = True
+            self._serve_error = None
+            self._executor = self._make_executor()
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-tuning-service", daemon=True
+            )
+            self._serving = True
+            self._thread.start()
+
+    def shutdown(
+        self, drain: bool = True, timeout: float | None = None
+    ) -> dict[str, OptimizationResult]:
+        """Stop the daemon and return the completed results so far.
+
+        ``drain=True`` finishes every submitted session first; ``drain=False``
+        stops dispatching immediately but still waits for (and tells) the
+        outcomes already in flight, so every surviving session is left at a
+        clean step boundary — checkpointable with
+        :meth:`~repro.service.session.TuningSession.save`.  ``timeout`` bounds
+        the join; on expiry a :class:`TimeoutError` is raised and the daemon
+        keeps winding down in the background.
+        """
+        with self._wakeup:
+            if self._thread is None:
+                raise RuntimeError("shutdown() called but serve() was never started")
+            self._stop = True
+            self._drain_on_stop = drain
+            thread = self._thread
+            self._wakeup.notify_all()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise TimeoutError(f"daemon did not stop within {timeout} seconds")
+        with self._lock:
+            self._thread = None
+            if self._serve_error is not None:
+                error = self._serve_error
+                self._serve_error = None
+                raise RuntimeError("the service daemon crashed") from error
+            if self._errors:
+                errors = dict(self._errors)
+                self._errors.clear()
+                failures = ", ".join(sorted(errors))
+                raise RuntimeError(
+                    f"{len(errors)} session(s) failed: {failures}"
+                ) from next(iter(errors.values()))
+            return self.results()
+
+    # -- daemon internals ----------------------------------------------------
+    def _make_executor(self) -> Executor:
+        if self.executor_kind == "process":
+            context = self.mp_context or multiprocessing.get_context("spawn")
+            return ProcessPoolExecutor(max_workers=self.n_workers, mp_context=context)
+        return ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-service-worker"
+        )
+
+    def _serve_loop(self) -> None:
+        try:
+            with self._wakeup:
+                while True:
+                    self._process_completions_locked()
+                    if not (self._stop and not self._drain_on_stop):
+                        self._dispatch_ready_locked()
+                    if self._completed:
+                        continue  # outcomes arrived while dispatching
+                    if self._n_inflight:
+                        self._wakeup.wait()  # a completion callback will notify
+                    elif self._stop:
                         break
-                    session = self.policy.select(ready)
-                    config = session.ask()
-                    if config is None:
-                        continue  # session just went terminal
-                    future = executor.submit(session.job.run, config)
-                    in_flight[future] = session
-                if not in_flight:
-                    if not self._ready():
-                        break
-                    continue
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    session = in_flight.pop(future)
-                    session.tell(future.result())
+                    else:
+                        self._wakeup.wait()  # idle: wait for submit/cancel/shutdown
+        except BaseException as error:  # pragma: no cover - defensive
+            with self._lock:
+                self._serve_error = error
+        finally:
+            executor = self._executor
+            self._executor = None
+            if executor is not None:
+                executor.shutdown(wait=True)
+            with self._wakeup:
+                self._serving = False
+                self._wakeup.notify_all()
+
+    def _dispatchable_locked(self) -> list[_SessionRecord]:
+        dispatchable = []
+        for record in self._records.values():
+            session = record.session
+            if session.status.terminal:
+                continue
+            if record.inflight is not None:
+                continue
+            if session.state is not None and session.state.pending is not None:
+                continue
+            if record.batch and len(record.batch) >= len(session.state.bootstrap_queue):
+                continue  # bootstrap fully dispatched; wait for in-order tells
+            dispatchable.append(record)
+        return dispatchable
+
+    def _dispatch_ready_locked(self) -> None:
+        while self._n_inflight < self.n_workers:
+            dispatchable = self._dispatchable_locked()
+            if not dispatchable:
+                break
+            by_id = {record.session.session_id: record for record in dispatchable}
+            session = self.policy.select([record.session for record in dispatchable])
+            self._dispatch_one_locked(by_id[session.session_id])
+
+    def _fail_session_locked(self, record: _SessionRecord, error: BaseException) -> None:
+        """One session's failure must not take down the daemon or its peers."""
+        self._errors[record.session.session_id] = error
+        record.session.cancel()
+        record.session.discard_pending()
+
+    def _dispatch_one_locked(self, record: _SessionRecord) -> None:
+        try:
+            self._dispatch_one_inner_locked(record)
+        except Exception as error:
+            self._fail_session_locked(record, error)
+
+    def _dispatch_one_inner_locked(self, record: _SessionRecord) -> None:
+        session = record.session
+        if self.bootstrap_parallel:
+            batch = session.bootstrap_batch()
+            if len(record.batch) < len(batch):
+                dispatch = _Dispatch(record, batch[len(record.batch)], batched=True)
+                record.batch.append(dispatch)
+                self._submit_run_locked(dispatch)
+                return
+            # A fully-dispatched batch is filtered out by _dispatchable_locked;
+            # falling through to ask() here would double-dispatch a bootstrap
+            # config, so guard the invariant loudly.
+            assert not record.batch, "dispatch requested while bootstrap batch in flight"
+        config = session.ask()
+        if config is None:
+            return  # the session just went terminal; the ready set re-evaluates
+        dispatch = _Dispatch(record, config, batched=False)
+        record.inflight = dispatch
+        self._submit_run_locked(dispatch)
+
+    def _submit_run_locked(self, dispatch: _Dispatch) -> None:
+        job = dispatch.record.session.job
+        if self.executor_kind == "process":
+            future = self._executor.submit(_run_job, job, dispatch.config)
+        else:
+            future = self._executor.submit(job.run, dispatch.config)
+        dispatch.future = future
+        self._n_inflight += 1
+        future.add_done_callback(
+            lambda done, dispatch=dispatch: self._on_run_done(dispatch, done)
+        )
+
+    def _on_run_done(self, dispatch: _Dispatch, future: Future) -> None:
+        # Runs on a pool/callback thread (or synchronously under the lock for
+        # revoked futures — the lock is reentrant): no session state here,
+        # just marshal the outcome and wake the scheduler.
+        try:
+            dispatch.outcome = future.result()
+        except BaseException as error:
+            dispatch.error = error
+        with self._wakeup:
+            self._completed.append(dispatch)
+            self._wakeup.notify_all()
+
+    def _process_completions_locked(self) -> None:
+        while self._completed:
+            dispatch = self._completed.popleft()
+            self._n_inflight -= 1
+            record = dispatch.record
+            session = record.session
+            if not dispatch.batched:
+                record.inflight = None
+            if session.status == SessionStatus.CANCELLED:
+                # Outcome of a revoked run: drop it without charging budget.
+                if not dispatch.batched:
+                    session.discard_pending()
+                continue
+            if dispatch.error is not None:
+                self._fail_session_locked(record, dispatch.error)
+                continue
+            try:
+                if dispatch.batched:
+                    self._drain_batch_locked(record)
+                else:
+                    session.tell(dispatch.outcome)
+            except Exception as error:
+                self._fail_session_locked(record, error)
+
+    def _drain_batch_locked(self, record: _SessionRecord) -> None:
+        # Bootstrap outcomes may complete out of order; tell them strictly in
+        # queue order so the trace matches a serial run bit-for-bit.
+        session = record.session
+        while record.batch and record.batch[0].outcome is not None:
+            slot = record.batch.popleft()
+            config = session.ask()  # pops the queue head == slot.config
+            assert config == slot.config, "bootstrap queue desynchronised"
+            session.tell(slot.outcome)

@@ -49,6 +49,9 @@ class SessionStatus(Enum):
         Terminal: the optimizer converged or profiled the whole space.
     EXHAUSTED
         Terminal: the search budget ran out before the optimizer stopped.
+    CANCELLED
+        Terminal: the tenant (or the service) cancelled the session before it
+        finished; no recommendation is produced.
     """
 
     PENDING = "pending"
@@ -56,10 +59,15 @@ class SessionStatus(Enum):
     RUNNING = "running"
     DONE = "done"
     EXHAUSTED = "exhausted"
+    CANCELLED = "cancelled"
 
     @property
     def terminal(self) -> bool:
-        return self in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
+        return self in (
+            SessionStatus.DONE,
+            SessionStatus.EXHAUSTED,
+            SessionStatus.CANCELLED,
+        )
 
 
 class TuningSession:
@@ -103,10 +111,13 @@ class TuningSession:
         }
         self.state: SessionState | None = None
         self._result: OptimizationResult | None = None
+        self._cancelled = False
 
     # -- lifecycle ----------------------------------------------------------
     @property
     def status(self) -> SessionStatus:
+        if self._cancelled:
+            return SessionStatus.CANCELLED
         if self.state is None:
             return SessionStatus.PENDING
         if self.state.finished:
@@ -128,8 +139,22 @@ class TuningSession:
 
     def ask(self) -> Configuration | None:
         """Next configuration to profile (starting the session if needed)."""
+        if self._cancelled:
+            return None
         self.start()
         return self.optimizer.ask(self.state)
+
+    def bootstrap_batch(self) -> list[Configuration]:
+        """The remaining pre-declared bootstrap configurations, in ask order.
+
+        The bootstrap sample is fixed at :meth:`start` time and independent of
+        any observation, so a pool may profile all of it concurrently — as
+        long as outcomes are still *told* in queue order, which keeps the
+        observation trace bit-identical to a serial run.  The service's
+        ``bootstrap_parallel`` mode builds on exactly this contract.
+        """
+        self.start()
+        return list(self.state.bootstrap_queue)
 
     def tell(self, outcome: JobOutcome) -> Observation:
         """Report the outcome of the configuration handed out by :meth:`ask`."""
@@ -142,14 +167,41 @@ class TuningSession:
 
         Returns ``False`` once the session is terminal.
         """
+        if self.status.terminal:
+            return False
         config = self.ask()
         if config is None:
             return False
         self.tell(self.job.run(config))
         return True
 
+    def cancel(self) -> bool:
+        """Cancel the session; returns whether the call changed anything.
+
+        Cancelling an already-terminal session is a no-op.  A cancelled
+        session keeps its state (observations so far stay inspectable and
+        checkpointable) but produces no recommendation: :meth:`result` raises
+        and :meth:`step`/:meth:`ask` refuse to advance it.
+        """
+        if self.status.terminal:
+            return False
+        self._cancelled = True
+        return True
+
+    def discard_pending(self) -> None:
+        """Drop the in-flight run handed out by :meth:`ask` without a tell.
+
+        Only the service uses this, for runs whose outcome must be thrown
+        away (the session was cancelled while the run executed); the budget
+        is not charged and the session becomes checkpointable again.
+        """
+        if self.state is not None:
+            self.state.pending = None
+
     def result(self) -> OptimizationResult:
-        """The final result; raises unless the session is terminal."""
+        """The final result; raises unless the session completed."""
+        if self.status == SessionStatus.CANCELLED:
+            raise RuntimeError(f"session {self.session_id!r} was cancelled")
         if not self.status.terminal:
             raise RuntimeError(
                 f"session {self.session_id!r} is {self.status.value}, not terminal"
@@ -272,6 +324,7 @@ class TuningSession:
                 Configuration.from_dict(c) for c in options["initial_configs"]
             ]
         session = cls(data["session_id"], job, optimizer, **options)
+        session._cancelled = data["status"] == SessionStatus.CANCELLED.value
         saved = data["state"]
         if saved is None:
             return session

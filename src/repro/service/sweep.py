@@ -94,6 +94,7 @@ class SweepReport:
     rows: list[SweepRow] = field(default_factory=list)
     n_workers: int = 1
     policy: str = "fifo"
+    executor: str = "thread"
     wall_seconds: float = 0.0
 
     @property
@@ -122,6 +123,7 @@ class SweepReport:
             "n_sessions": self.n_sessions,
             "n_workers": self.n_workers,
             "policy": self.policy,
+            "executor": self.executor,
             "wall_seconds": self.wall_seconds,
             "sessions_per_second": self.sessions_per_second,
             "total_budget_spent": self.total_budget_spent,
@@ -152,6 +154,8 @@ def run_sweep(
     trials: int = 1,
     n_workers: int = 1,
     policy: SchedulingPolicy | str = "fifo",
+    executor: str = "thread",
+    bootstrap_parallel: bool = False,
     budget_multiplier: float = 3.0,
     base_seed: int = 0,
     fast: bool = False,
@@ -160,8 +164,10 @@ def run_sweep(
     """Tune every selected job ``trials`` times through the service.
 
     Session ``(job, trial)`` uses seed ``base_seed + trial``, so a sweep's
-    results are independent of ``n_workers`` and of the scheduling policy:
-    parallelism and ordering change only wall-clock time.
+    results are independent of ``n_workers``, of the scheduling policy, of
+    the ``executor`` kind (``"thread"`` or ``"process"``) and of
+    ``bootstrap_parallel``: parallelism and ordering change only wall-clock
+    time.
     """
     if trials < 1:
         raise ValueError("trials must be positive")
@@ -171,7 +177,12 @@ def run_sweep(
     if isinstance(optimizer, str):
         optimizer = make_optimizer(optimizer, lookahead=lookahead, fast=fast)
 
-    service = TuningService(n_workers=n_workers, policy=policy)
+    service = TuningService(
+        n_workers=n_workers,
+        policy=policy,
+        executor=executor,
+        bootstrap_parallel=bootstrap_parallel,
+    )
     submitted: list[tuple[str, str, int, int]] = []  # (session_id, job, trial, seed)
     for trial in range(trials):
         seed = base_seed + trial
@@ -197,6 +208,7 @@ def run_sweep(
     report = SweepReport(
         n_workers=n_workers,
         policy=service.policy.name,
+        executor=service.executor_kind,
         wall_seconds=wall_seconds,
     )
     for session_id, name, trial, seed in submitted:

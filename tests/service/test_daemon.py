@@ -1,0 +1,361 @@
+"""Daemon-mode service: live submission, executors, cancellation, shutdown.
+
+The contract under test: a daemon started with ``serve()`` accepts
+``submit()`` while running, completes every session, joins cleanly on
+``shutdown(drain=True)``, stops promptly-but-checkpointably on
+``shutdown(drain=False)`` — and none of it changes a single per-session
+decision, whatever the executor kind or the degree of parallelism.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus
+from repro.workloads import make_synthetic_job
+from repro.workloads.base import Job, JobOutcome
+
+
+def wait_until(predicate, timeout: float = 20.0) -> bool:
+    """Poll ``predicate`` until it is truthy or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class SlowJob(Job):
+    """Delegates to a tabulated job but sleeps per run, to force overlap.
+
+    Same name and same outcomes as the wrapped job, so traces (and
+    checkpoints) are interchangeable with the fast original.
+    """
+
+    def __init__(self, inner: Job, delay_seconds: float = 0.01) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.delay_seconds = delay_seconds
+
+    @property
+    def space(self):
+        return self.inner.space
+
+    @property
+    def configurations(self):
+        return self.inner.configurations
+
+    def unit_price_per_hour(self, config):
+        return self.inner.unit_price_per_hour(config)
+
+    def run(self, config) -> JobOutcome:
+        time.sleep(self.delay_seconds)
+        return self.inner.run(config)
+
+
+class FailingJob(SlowJob):
+    """A job whose profiling runs raise (table-derived quantities still work)."""
+
+    def default_tmax(self) -> float:
+        return self.inner.default_tmax()
+
+    def mean_cost(self) -> float:
+        return self.inner.mean_cost()
+
+    def run(self, config) -> JobOutcome:
+        raise RuntimeError("profiling infrastructure down")
+
+
+def serial_reference(job, n_sessions: int) -> dict:
+    service = TuningService()
+    for seed in range(n_sessions):
+        service.submit(
+            job, RandomSearchOptimizer(), session_id=f"s{seed}", seed=seed
+        )
+    return service.drain()
+
+
+def assert_results_identical(results, golden) -> None:
+    assert set(results) == set(golden)
+    for sid, result in golden.items():
+        other = results[sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+        assert result.best_cost == other.best_cost
+        assert result.budget_spent == other.budget_spent
+
+
+class TestDaemonLifecycle:
+    def test_submit_after_serve_completes_everything(self, synthetic_job):
+        golden = serial_reference(synthetic_job, 4)
+
+        service = TuningService(n_workers=2, policy="round-robin")
+        service.serve()
+        assert service.serving
+        for seed in range(2):
+            service.submit(
+                synthetic_job, RandomSearchOptimizer(),
+                session_id=f"s{seed}", seed=seed,
+            )
+        # Late arrivals while the daemon is already draining the first two.
+        for seed in range(2, 4):
+            service.submit(
+                synthetic_job, RandomSearchOptimizer(),
+                session_id=f"s{seed}", seed=seed,
+            )
+        results = service.shutdown(drain=True)
+        assert not service.serving
+        assert all(status.terminal for status in service.statuses().values())
+        assert_results_identical(results, golden)
+
+    def test_idle_daemon_accepts_work_then_shuts_down(self, synthetic_job):
+        service = TuningService()
+        service.serve()
+        time.sleep(0.02)  # the daemon parks on its condition variable
+        sid = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        assert wait_until(lambda: service.poll(sid)["status"] != "pending")
+        results = service.shutdown(drain=True)
+        assert sid in results
+
+    def test_serve_after_shutdown_restarts(self, synthetic_job):
+        service = TuningService()
+        service.serve()
+        service.shutdown(drain=True)
+        a = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        service.serve()
+        results = service.shutdown(drain=True)
+        assert a in results
+
+    def test_shutdown_without_drain_stops_at_a_step_boundary(self, synthetic_job):
+        slow = SlowJob(synthetic_job, delay_seconds=0.02)
+        service = TuningService(n_workers=2, policy="round-robin")
+        ids = [
+            service.submit(slow, RandomSearchOptimizer(), session_id=f"s{i}", seed=i)
+            for i in range(3)
+        ]
+        service.serve()
+        assert wait_until(
+            lambda: any(
+                service.poll(sid).get("n_explorations", 0) >= 1 for sid in ids
+            )
+        )
+        service.shutdown(drain=False)
+        # Prompt stop: with 20 ms runs and ~45 runs of total work, a drain
+        # would take ~1 s; the no-drain path must leave work unfinished.
+        statuses = service.statuses()
+        assert any(not status.terminal for status in statuses.values())
+        # ...but at a clean boundary: no orphaned in-flight run anywhere, so
+        # every surviving session is checkpointable.
+        for sid in ids:
+            session = service.get(sid)
+            if session.state is not None:
+                assert session.state.pending is None
+                session.checkpoint()  # must not raise
+
+    def test_shutdown_drain_false_then_drain_finishes_the_rest(self, synthetic_job):
+        golden = serial_reference(synthetic_job, 3)
+        slow = SlowJob(synthetic_job, delay_seconds=0.005)
+        service = TuningService(n_workers=2)
+        for seed in range(3):
+            service.submit(
+                slow, RandomSearchOptimizer(), session_id=f"s{seed}", seed=seed
+            )
+        service.serve()
+        assert wait_until(
+            lambda: any(
+                s.get("n_explorations", 0) >= 2
+                for s in (service.poll(f"s{i}") for i in range(3))
+            )
+        )
+        service.shutdown(drain=False)
+        # Interruption is invisible in the final traces: resume and finish.
+        service.serve()
+        results = service.shutdown(drain=True)
+        assert_results_identical(results, golden)
+
+
+class TestExecutors:
+    def test_process_pool_sweep_matches_serial(self, synthetic_job):
+        # Acceptance criterion: a 4-session sweep with executor="process"
+        # produces results identical to serial mode for the same seeds.
+        golden = serial_reference(synthetic_job, 4)
+        service = TuningService(n_workers=2, executor="process")
+        for seed in range(4):
+            service.submit(
+                synthetic_job, RandomSearchOptimizer(),
+                session_id=f"s{seed}", seed=seed,
+            )
+        results = service.drain()
+        assert_results_identical(results, golden)
+
+    def test_bootstrap_parallel_matches_serial(self, synthetic_job):
+        golden = serial_reference(synthetic_job, 4)
+        service = TuningService(
+            n_workers=4, bootstrap_parallel=True, policy="fifo"
+        )
+        for seed in range(4):
+            service.submit(
+                synthetic_job, RandomSearchOptimizer(),
+                session_id=f"s{seed}", seed=seed,
+            )
+        results = service.drain()
+        assert_results_identical(results, golden)
+
+    def test_bootstrap_parallel_daemon_with_mixed_optimizers(self):
+        jobs = [make_synthetic_job(seed=s) for s in (3, 11)]
+
+        def submit_all(service):
+            for trial, job in enumerate(jobs):
+                for opt in (BayesianOptimizer(n_estimators=5), RandomSearchOptimizer()):
+                    service.submit(
+                        job, opt, seed=trial,
+                        session_id=f"{job.name}/{opt.name}/{trial}",
+                    )
+
+        serial = TuningService()
+        submit_all(serial)
+        golden = serial.drain()
+
+        service = TuningService(
+            n_workers=3, bootstrap_parallel=True, policy="round-robin"
+        )
+        service.serve()
+        submit_all(service)
+        results = service.shutdown(drain=True)
+        assert_results_identical(results, golden)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            TuningService(executor="fiber")
+
+
+class TestCancellation:
+    def test_cancel_pending_session_is_skipped(self, synthetic_job):
+        service = TuningService()
+        keep = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        drop = service.submit(synthetic_job, RandomSearchOptimizer(), seed=1)
+        assert service.cancel(drop)
+        results = service.drain()
+        assert keep in results and drop not in results
+        assert service.statuses()[drop] == SessionStatus.CANCELLED
+        with pytest.raises(RuntimeError, match="cancelled"):
+            service.result(drop)
+
+    def test_cancel_mid_run_under_daemon(self, synthetic_job):
+        slow = SlowJob(synthetic_job, delay_seconds=0.01)
+        service = TuningService(n_workers=2, policy="round-robin")
+        keep = service.submit(slow, RandomSearchOptimizer(), session_id="keep", seed=0)
+        drop = service.submit(slow, RandomSearchOptimizer(), session_id="drop", seed=1)
+        service.serve()
+        assert wait_until(lambda: service.poll(drop)["status"] != "pending")
+        assert service.cancel(drop)
+        spent_at_cancel = service.poll(drop).get("budget_spent", 0.0)
+        results = service.shutdown(drain=True)
+        assert keep in results and drop not in results
+        # A revoked run's outcome is discarded: no budget charged after cancel.
+        assert service.poll(drop).get("budget_spent", 0.0) == spent_at_cancel
+
+    def test_cancel_is_idempotent_and_terminal_is_noop(self, synthetic_job):
+        service = TuningService()
+        sid = service.submit(synthetic_job, RandomSearchOptimizer(), seed=0)
+        assert service.cancel(sid)
+        assert not service.cancel(sid)
+        done = service.submit(synthetic_job, RandomSearchOptimizer(), seed=1)
+        service.drain()
+        assert not service.cancel(done)
+
+    def test_cancel_unknown_session_raises(self):
+        with pytest.raises(KeyError, match="unknown session"):
+            TuningService().cancel("nope")
+
+
+class TestFailures:
+    def test_failed_run_surfaces_on_shutdown_and_spares_others(self, synthetic_job):
+        service = TuningService(n_workers=2)
+        good = service.submit(
+            synthetic_job, RandomSearchOptimizer(), session_id="good", seed=0
+        )
+        service.submit(
+            FailingJob(synthetic_job), RandomSearchOptimizer(),
+            session_id="bad", seed=1,
+        )
+        with pytest.raises(RuntimeError, match="bad"):
+            service.drain()
+        assert service.statuses()["bad"] == SessionStatus.CANCELLED
+        assert service.get(good).status in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
+
+
+class TestGuards:
+    def test_serve_twice_raises(self, synthetic_job):
+        service = TuningService()
+        service.serve()
+        try:
+            with pytest.raises(RuntimeError, match="already serving"):
+                service.serve()
+        finally:
+            service.shutdown(drain=True)
+
+    def test_shutdown_without_serve_raises(self):
+        with pytest.raises(RuntimeError, match="never started"):
+            TuningService().shutdown()
+
+    def test_step_and_drain_refused_while_serving(self, synthetic_job):
+        service = TuningService()
+        service.serve()
+        try:
+            with pytest.raises(RuntimeError, match="serve"):
+                service.step()
+            with pytest.raises(RuntimeError, match="serve"):
+                service.drain()
+        finally:
+            service.shutdown(drain=True)
+
+
+class TestPollRaces:
+    def test_hammering_poll_during_execution_sees_consistent_snapshots(self, synthetic_job):
+        # Regression test for the step()/drain race audit: concurrent
+        # poll()/statuses() against the daemon must never crash, and every
+        # snapshot must be internally consistent (monotone exploration
+        # counts, valid lifecycle states).
+        import threading
+
+        slow = SlowJob(synthetic_job, delay_seconds=0.002)
+        service = TuningService(n_workers=2, policy="round-robin")
+        ids = [
+            service.submit(slow, RandomSearchOptimizer(), session_id=f"s{i}", seed=i)
+            for i in range(6)
+        ]
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer():
+            last = {sid: 0 for sid in ids}
+            try:
+                while not stop.is_set():
+                    for sid in ids:
+                        snapshot = service.poll(sid)
+                        SessionStatus(snapshot["status"])  # valid state
+                        count = snapshot.get("n_explorations", 0)
+                        assert count >= last[sid], sid
+                        last[sid] = count
+                    statuses = service.statuses()
+                    assert set(statuses) == set(ids)
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        pollers = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in pollers:
+            thread.start()
+        service.serve()
+        results = service.shutdown(drain=True)
+        stop.set()
+        for thread in pollers:
+            thread.join(timeout=10)
+        assert not errors, errors
+        assert set(results) == set(ids)

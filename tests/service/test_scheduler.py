@@ -56,6 +56,21 @@ class TestRoundRobin:
         policy.select(sessions)
         assert policy.select(sessions[:2]).session_id in {"s0", "s1"}
 
+    def test_order_memory_stays_bounded_over_session_churn(self):
+        # A long-lived daemon churns through many short-lived sessions; the
+        # policy must not retain one order entry per session ever seen.
+        from types import SimpleNamespace
+
+        policy = RoundRobinPolicy()
+        for wave in range(200):
+            ready = [
+                SimpleNamespace(session_id=f"w{wave}/s{i}", state=None)
+                for i in range(3)
+            ]
+            for _ in range(3):
+                policy.select(ready)
+        assert len(policy._order) <= 32
+
 
 class TestCostAware:
     def test_prefers_the_cheapest_session_so_far(self, sessions):

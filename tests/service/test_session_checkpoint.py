@@ -15,6 +15,7 @@ import pytest
 from repro.core.baselines import RandomSearchOptimizer
 from repro.core.extensions import ConstrainedLynceusOptimizer, MetricConstraint
 from repro.core.lynceus import LynceusOptimizer
+from repro.service.service import TuningService
 from repro.service.session import SessionStatus, TuningSession
 
 
@@ -136,6 +137,97 @@ class TestRoundTrip:
         assert len(optimizer._metric_values["runtime2"]) == len(
             resumed.state.optimizer_state.observations
         )
+
+
+class TestDaemonInterrupt:
+    """Kill a live daemon mid-run, restore from JSON, finish bit-identically.
+
+    Extends the ask/tell determinism invariant to the daemon: wherever the
+    shutdown lands, ``shutdown(drain=False)`` leaves every session at a
+    clean step boundary, and the resumed trace is indistinguishable from an
+    uninterrupted run.
+    """
+
+    def _interrupt_restore_and_finish(self, service, job, tmp_path, sid):
+        from test_daemon import wait_until
+
+        service.serve()
+        assert wait_until(
+            lambda: service.poll(sid).get("n_explorations", 0) >= 1
+            or service.get(sid).status.terminal
+        )
+        service.shutdown(drain=False)
+        session = service.get(sid)
+        path = session.save(tmp_path / f"{sid}.json")
+
+        restored = TuningSession.load(path, job, RandomSearchOptimizer())
+        fresh = TuningService()
+        fresh.add_session(restored)
+        return fresh.drain()[sid]
+
+    def test_interrupted_daemon_session_resumes_bit_identically(
+        self, synthetic_job, tmp_path
+    ):
+        from test_daemon import SlowJob
+
+        golden = run_to_completion(
+            TuningSession("live", synthetic_job, RandomSearchOptimizer(), seed=7)
+        )
+        # The slow wrapper (same name, same outcomes) guarantees the daemon
+        # is interrupted mid-run rather than after completion.
+        slow = SlowJob(synthetic_job, delay_seconds=0.01)
+        service = TuningService(n_workers=2, policy="round-robin")
+        sid = service.submit(slow, RandomSearchOptimizer(), session_id="live", seed=7)
+        service.submit(slow, RandomSearchOptimizer(), session_id="decoy", seed=8)
+
+        result = self._interrupt_restore_and_finish(
+            service, synthetic_job, tmp_path, sid
+        )
+        assert [o.config for o in result.observations] == [
+            o.config for o in golden.observations
+        ]
+        assert [o.cost for o in result.observations] == [
+            o.cost for o in golden.observations
+        ]
+        assert result.best_cost == golden.best_cost
+        assert result.budget_spent == golden.budget_spent
+
+    def test_interrupted_parallel_bootstrap_checkpoints_cleanly(
+        self, synthetic_job, tmp_path
+    ):
+        from test_daemon import SlowJob
+
+        golden = run_to_completion(
+            TuningSession("boot", synthetic_job, RandomSearchOptimizer(), seed=9)
+        )
+        slow = SlowJob(synthetic_job, delay_seconds=0.01)
+        # All bootstrap runs of one session in flight at once: the in-order
+        # tell contract must leave a checkpointable queue behind.
+        service = TuningService(n_workers=4, bootstrap_parallel=True)
+        sid = service.submit(slow, RandomSearchOptimizer(), session_id="boot", seed=9)
+
+        result = self._interrupt_restore_and_finish(
+            service, synthetic_job, tmp_path, sid
+        )
+        assert [o.config for o in result.observations] == [
+            o.config for o in golden.observations
+        ]
+        assert result.budget_spent == golden.budget_spent
+        assert all(o.bootstrap for o in result.observations[: result.n_bootstrap])
+
+
+class TestCancelledSessions:
+    def test_cancelled_session_round_trips(self, synthetic_job):
+        session = TuningSession("c", synthetic_job, RandomSearchOptimizer(), seed=0)
+        for _ in range(2):
+            session.step()
+        assert session.cancel()
+        payload = json.loads(json.dumps(session.checkpoint()))
+        restored = TuningSession.restore(payload, synthetic_job, RandomSearchOptimizer())
+        assert restored.status == SessionStatus.CANCELLED
+        assert not restored.step()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            restored.result()
 
 
 class TestGuards:

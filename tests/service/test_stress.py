@@ -1,0 +1,80 @@
+"""Concurrency stress: many producer threads feeding a draining daemon.
+
+Satellite of the daemon PR: N producer threads race ``submit()`` against a
+live daemon that is simultaneously dispatching, telling and completing
+sessions.  Every submitted session must reach a terminal completed state, and
+— the determinism invariant — each session's trace must be bit-identical to a
+serial ``optimize()`` run with the same job and seed, no matter how the
+submissions interleaved with the drain.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus
+from repro.workloads import make_synthetic_job
+
+N_PRODUCERS = 4
+SESSIONS_PER_PRODUCER = 3
+
+
+def test_producer_threads_submitting_into_a_running_daemon():
+    jobs = {seed: make_synthetic_job(seed=seed) for seed in (3, 11)}
+    service = TuningService(n_workers=3, policy="round-robin")
+    service.serve()
+
+    submitted: dict[str, tuple[int, int]] = {}  # session id -> (job seed, run seed)
+    submitted_lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def produce(producer: int) -> None:
+        try:
+            for index in range(SESSIONS_PER_PRODUCER):
+                job_seed = (3, 11)[(producer + index) % 2]
+                run_seed = producer * SESSIONS_PER_PRODUCER + index
+                session_id = f"p{producer}/s{index}"
+                service.submit(
+                    jobs[job_seed],
+                    RandomSearchOptimizer(),
+                    session_id=session_id,
+                    seed=run_seed,
+                )
+                with submitted_lock:
+                    submitted[session_id] = (job_seed, run_seed)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    producers = [
+        threading.Thread(target=produce, args=(producer,))
+        for producer in range(N_PRODUCERS)
+    ]
+    for thread in producers:
+        thread.start()
+    for thread in producers:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert len(submitted) == N_PRODUCERS * SESSIONS_PER_PRODUCER
+
+    results = service.shutdown(drain=True)
+
+    # Every session reached a terminal completed state.
+    statuses = service.statuses()
+    assert set(statuses) == set(submitted)
+    assert all(
+        status in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
+        for status in statuses.values()
+    ), statuses
+    assert set(results) == set(submitted)
+
+    # And matches the serial reference run for its (job, seed) bit-for-bit.
+    for session_id, (job_seed, run_seed) in submitted.items():
+        reference = RandomSearchOptimizer().optimize(jobs[job_seed], seed=run_seed)
+        result = results[session_id]
+        assert [o.config for o in result.observations] == [
+            o.config for o in reference.observations
+        ], session_id
+        assert result.best_cost == reference.best_cost
+        assert result.budget_spent == reference.budget_spent

@@ -105,3 +105,41 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {"lynceus", "bo", "rnd"}
         assert payload["lynceus"]["cno"]["n"] == 1.0
+
+
+class TestSweepCommand:
+    def test_sweep_json_reports_executor_and_policy(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--jobs",
+                "scout-hadoop-scan",
+                "--optimizer",
+                "rnd",
+                "--trials",
+                "2",
+                "--workers",
+                "2",
+                "--policy",
+                "round-robin",
+                "--bootstrap-parallel",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "thread"
+        assert payload["policy"] == "round-robin"
+        assert payload["n_sessions"] == 2
+        assert all(
+            row["status"] in ("done", "exhausted") for row in payload["sessions"]
+        )
+
+    def test_sweep_text_summary_names_the_executor(self, capsys):
+        code = main(
+            ["sweep", "--jobs", "scout-hadoop-scan", "--optimizer", "rnd", "--trials", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor=thread" in out
+        assert "policy=fifo" in out
