@@ -54,27 +54,28 @@ def run_once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-#: Result files already (re)written during this pytest session.  The first
-#: write of each name truncates the file, so results never accumulate
-#: duplicated blocks across runs; later writes within the same session
-#: append (for benchmarks that report several blocks under one name).
-#: Every result name is written by exactly one test, so partial runs
-#: (``-k``) rewrite only the files of the tests they select.
-_written_this_session: set[str] = set()
+#: Result blocks reported during this pytest session, per result name.
+#: Every ``report`` call rewrites its whole target file from these blocks —
+#: never appends to what a previous run left behind — so repeated local runs
+#: are idempotent and can never leave duplicated blocks in the diff.
+#: Partial runs (``-k``) rewrite only the files of the tests they select.
+_session_blocks: dict[str, list[str]] = {}
 
 
 def report(name: str, text: str) -> None:
     """Print a result block and persist it under ``benchmarks/results/``.
 
     pytest captures stdout by default, so the regenerated tables are also
-    written to per-experiment text files that survive the run.  Each file is
-    truncated on its first write of the session and rewritten from scratch.
+    written to per-experiment text files that survive the run.  The target
+    file is truncated and rewritten from this session's blocks on every
+    call: benchmarks that report several blocks under one name still end up
+    with all of them, in report order, exactly once.
     """
     print(text)
+    blocks = _session_blocks.setdefault(name, [])
+    blocks.append(text)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{name}.txt")
-    mode = "a" if name in _written_this_session else "w"
-    _written_this_session.add(name)
-    with open(path, mode, encoding="utf-8") as handle:
-        handle.write(text + "\n")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("".join(block + "\n" for block in blocks))

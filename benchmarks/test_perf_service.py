@@ -7,7 +7,9 @@ sessions/second plus wall-clock figures are recorded under
 ``benchmarks/results/service_throughput.txt``.  A second benchmark measures
 daemon mode — sessions submitted live into a running ``serve()`` loop — so
 the dispatch/condition-variable overhead of the long-lived scheduler is
-tracked alongside the batch numbers.
+tracked alongside the batch numbers.  A third runs the identical sweep as
+declarative JobSpecs over the REST gateway (HttpClient → TuningGateway →
+daemon), bounding the full protocol + HTTP round-trip cost.
 
 Profiling runs in this reproduction are table lookups, so the worker pool
 mostly measures the scheduling/dispatch overhead rather than overlap wins;
@@ -24,6 +26,9 @@ import time
 from conftest import report, run_once
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.experiments.reporting import format_table
+from repro.service.api import JobSpec, optimizer_to_spec
+from repro.service.client import HttpClient
+from repro.service.http import TuningGateway
 from repro.service.service import TuningService
 from repro.workloads import load_job
 
@@ -180,3 +185,66 @@ def test_daemon_live_submission_throughput(benchmark):
             o.config for o in other.observations
         ], sid
     assert plain["sessions_per_second"] > 0
+
+
+def _run_gateway_sweep(n_workers: int) -> dict:
+    """The same sweep, submitted as JobSpecs over HTTP to a live gateway."""
+    service = TuningService(n_workers=n_workers, policy="round-robin")
+    n_sessions = _n_sessions()
+    service.serve()
+    gateway = TuningGateway(service, port=0).start()
+    client = HttpClient(gateway.url)
+    try:
+        started = time.perf_counter()
+        ids = []
+        for index in range(n_sessions):
+            spec = JobSpec(
+                job=_JOB_NAMES[index % len(_JOB_NAMES)],
+                optimizer=optimizer_to_spec(_make_optimizer(index)),
+                seed=index // len(_JOB_NAMES),
+            )
+            ids.append(client.submit(spec, session_id=f"s{index:03d}").session_id)
+        responses = client.wait(ids, poll_interval=0.02)
+        wall = time.perf_counter() - started
+    finally:
+        gateway.close()
+        service.shutdown(drain=True)
+    results = {sid: resp.optimization_result() for sid, resp in responses.items()}
+    explorations = sum(r.n_explorations for r in results.values())
+    return {
+        "n_sessions": n_sessions,
+        "n_workers": n_workers,
+        "wall_seconds": wall,
+        "sessions_per_second": n_sessions / wall,
+        "explorations_per_second": explorations / wall,
+        "results": results,
+    }
+
+
+def test_http_gateway_throughput(benchmark):
+    """The REST gateway leg: submit + poll + fetch everything over HTTP."""
+    gw = run_once(benchmark, _run_gateway_sweep, 4)
+
+    # Own result file: service_throughput is shared by the two in-process
+    # legs above, and a partial `-k` run of this test must not truncate
+    # their committed tables.
+    report(
+        "service_gateway_throughput",
+        f"\nHTTP gateway — {gw['n_sessions']} JobSpecs over REST "
+        "(submit/poll/result via HttpClient, 4 workers)\n"
+        + format_table(
+            ["workers", "sessions", "wall", "sessions/s", "explorations/s"],
+            [[
+                f"{gw['n_workers']}",
+                f"{gw['n_sessions']}",
+                f"{gw['wall_seconds']:.2f} s",
+                f"{gw['sessions_per_second']:.1f}",
+                f"{gw['explorations_per_second']:.0f}",
+            ]],
+        ),
+    )
+
+    # Every session crossed the wire and completed with a usable result.
+    assert len(gw["results"]) == gw["n_sessions"]
+    assert all(r.best_config is not None for r in gw["results"].values())
+    assert gw["sessions_per_second"] > 0

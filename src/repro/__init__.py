@@ -41,7 +41,13 @@ The package is organised as follows:
     policies, and a :class:`~repro.service.service.TuningService` that
     drives many sessions concurrently over a thread or process pool —
     batch (``drain``) or as a long-lived daemon (``serve``/``submit``/
-    ``cancel``/``shutdown``).
+    ``cancel``/``shutdown``).  Its public surface is a versioned wire
+    protocol (``repro.service.api``): declarative
+    :class:`~repro.service.api.JobSpec` submissions through a
+    transport-agnostic :class:`~repro.service.client.TuningClient` — either
+    in-process (:class:`~repro.service.client.LocalClient`) or over the REST
+    gateway of ``python -m repro serve``
+    (:class:`~repro.service.client.HttpClient`).
 """
 
 from repro._version import __version__
@@ -54,7 +60,13 @@ from repro.core import (
     RandomSearchOptimizer,
 )
 from repro.service import (
+    HttpClient,
+    JobSpec,
+    LocalClient,
+    OptimizerSpec,
     SessionStatus,
+    TuningClient,
+    TuningGateway,
     TuningService,
     TuningSession,
     run_sweep,
@@ -71,10 +83,16 @@ __all__ = [
     "BayesianOptimizer",
     "ConfigSpace",
     "Configuration",
+    "HttpClient",
+    "JobSpec",
+    "LocalClient",
     "LynceusOptimizer",
     "OptimizationResult",
+    "OptimizerSpec",
     "RandomSearchOptimizer",
     "SessionStatus",
+    "TuningClient",
+    "TuningGateway",
     "TuningService",
     "TuningSession",
     "cherrypick_suite",

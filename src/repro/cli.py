@@ -20,7 +20,15 @@ The CLI exposes the library's day-to-day operations without writing Python:
     Submit one tuning session per (job, trial) pair to the multi-tenant
     service and drain them, optionally over a worker pool.  ``--jobs``
     accepts fully-qualified names and the suite aliases ``tensorflow``,
-    ``scout``, ``cherrypick`` and ``all``.
+    ``scout``, ``cherrypick`` and ``all``.  With ``--server
+    http://host:port`` the same sweep runs against a remote gateway
+    instead of an in-process service.
+
+``python -m repro serve --port 8080 --workers 4``
+    Run the HTTP tuning gateway over a daemon service: remote tenants
+    submit declarative job specs to ``/v1/sessions`` and poll/fetch/cancel
+    them over REST.  ``--state`` points at a service-level checkpoint file
+    that is restored on boot and written on shutdown.
 
 All commands print plain text; machine-readable output is available with
 ``--json``.
@@ -127,7 +135,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--budget-multiplier", type=float, default=3.0, help="budget parameter b")
     sweep.add_argument("--seed", type=int, default=0, help="seed of the first trial")
+    sweep.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="run the sweep against a remote gateway (e.g. http://127.0.0.1:8080) "
+        "instead of an in-process service; the worker/policy/executor flags "
+        "then belong to the server",
+    )
     sweep.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    serve = subparsers.add_parser(
+        "serve", help="expose a daemon tuning service over HTTP (REST gateway)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers", type=int, default=1, help="profiling runs in flight (1 = serial)"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=available_policies(),
+        default="fifo",
+        help="scheduling policy deciding which session advances next",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind; 'process' suits CPU-heavy picklable jobs",
+    )
+    serve.add_argument(
+        "--bootstrap-parallel",
+        action="store_true",
+        help="profile each session's pre-declared bootstrap sample in parallel",
+    )
+    serve.add_argument(
+        "--state",
+        default=None,
+        metavar="PATH",
+        help="service checkpoint file: restored on boot when it exists, "
+        "written on shutdown (all sessions + scheduler cursor in one JSON)",
+    )
     return parser
 
 
@@ -244,6 +293,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    client = None
+    if args.server:
+        from repro.service.client import HttpClient
+
+        client = HttpClient(args.server)
     report = run_sweep(
         args.jobs.split(","),
         optimizer=args.optimizer,
@@ -256,6 +310,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         fast=args.fast,
         lookahead=args.lookahead,
+        client=client,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -281,12 +336,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.http import TuningGateway
+    from repro.service.service import TuningService
+
+    service = TuningService(
+        n_workers=args.workers,
+        policy=args.policy,
+        executor=args.executor,
+        bootstrap_parallel=args.bootstrap_parallel,
+    )
+    if args.state and Path(args.state).exists():
+        restored = service.restore_registry(args.state)
+        print(f"restored {len(restored)} session(s) from {args.state}")
+    service.serve()
+    gateway = TuningGateway(service, host=args.host, port=args.port)
+    print(
+        f"tuning gateway listening on {gateway.url} "
+        f"(workers={args.workers}, policy={args.policy}, executor={args.executor}); "
+        "Ctrl-C to stop"
+    )
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down...")
+    finally:
+        gateway.close()
+        try:
+            # Raises when sessions failed mid-run; the checkpoint below must
+            # still be written — surviving sessions' progress is in it.
+            service.shutdown(drain=False)
+        finally:
+            if args.state:
+                service.save_registry(args.state)
+                print(f"saved {len(service.session_ids)} session(s) to {args.state}")
+    return 0
+
+
 _COMMANDS = {
     "list-jobs": _cmd_list_jobs,
     "describe": _cmd_describe,
     "tune": _cmd_tune,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

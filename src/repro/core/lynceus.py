@@ -132,6 +132,18 @@ class LynceusOptimizer(BaseOptimizer):
         self.setup_cost_estimator = setup_cost_estimator
         self.quadrature = GaussHermiteQuadrature(order=gh_order)
         self.name = f"lynceus-la{lookahead}"
+        if setup_cost_estimator is not None:
+            # A live callable cannot cross the protocol boundary.
+            self.spec_params = None
+        else:
+            self.spec_params.update(
+                lookahead=lookahead,
+                gh_order=gh_order,
+                discount=discount,
+                viability_confidence=viability_confidence,
+                speculation=speculation,
+                lookahead_pool_size=lookahead_pool_size,
+            )
         self._grid = None
         self._thresholds: np.ndarray | None = None
         self._thresholds_key: tuple[object, float] | None = None

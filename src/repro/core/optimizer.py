@@ -238,6 +238,15 @@ class BaseOptimizer:
         self.model_name = model
         self.n_estimators = n_estimators
         self.seed = seed
+        # JSON-safe constructor arguments, recorded so the service protocol
+        # (repro.service.api.optimizer_to_spec) can rebuild an equivalent
+        # instance across a process boundary.  Subclasses extend (or set to
+        # None when they hold non-serialisable state).
+        self.spec_params: dict | None = {
+            "model": model,
+            "n_estimators": n_estimators,
+            "seed": seed,
+        }
 
     # -- main entry point -----------------------------------------------------
     def optimize(

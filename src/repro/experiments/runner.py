@@ -11,6 +11,7 @@ per-run CNO, NEX and exploration traces, ready for the metric aggregators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from repro.core.optimizer import BaseOptimizer, OptimizationResult, default_boot
 from repro.experiments.metrics import MetricSummary, summarize
 from repro.sampling.lhs import latin_hypercube_sample
 from repro.workloads.base import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.client import TuningClient
 
 __all__ = ["TrialOutcome", "ComparisonResult", "compare_optimizers"]
 
@@ -92,6 +96,7 @@ def compare_optimizers(
     base_seed: int = 0,
     n_workers: int = 1,
     executor: str = "thread",
+    client: "TuningClient | None" = None,
 ) -> ComparisonResult:
     """Run every optimizer ``n_trials`` times against ``job``.
 
@@ -99,16 +104,21 @@ def compare_optimizers(
     optimizer receives the same bootstrap sample and the same seed, exactly
     as the paper's methodology prescribes.
 
-    Every ``(optimizer, trial)`` pair runs as one session of a
-    :class:`~repro.service.service.TuningService`.  ``n_workers=1`` (the
-    default) executes serially and reproduces the pre-service outputs
-    bit-for-bit; ``n_workers > 1`` runs up to that many profiling runs
-    concurrently with identical per-trial results (sessions are independent
-    given their shared bootstrap sample and seed), so figure benchmarks can
-    opt into parallelism without changing their numbers.  ``executor``
-    selects the pool kind (``"thread"`` or ``"process"``); the process pool
-    only pays off when the job's ``run()`` is CPU-heavy python, and requires
-    the job to be picklable.
+    Every ``(optimizer, trial)`` pair is submitted as a declarative
+    :class:`~repro.service.api.JobSpec` through a
+    :class:`~repro.service.client.TuningClient`: optimizers are converted to
+    wire specs with :func:`~repro.service.api.optimizer_to_spec` and the
+    shared bootstrap sample travels inside the spec.  With ``client=None``
+    (the default) the comparison owns an in-process service — ``n_workers=1``
+    executes serially and reproduces the pre-service outputs bit-for-bit;
+    ``n_workers > 1`` runs up to that many profiling runs concurrently with
+    identical per-trial results (sessions are independent given their shared
+    bootstrap sample and seed), so figure benchmarks can opt into
+    parallelism without changing their numbers, and ``executor`` selects the
+    pool kind (``"thread"`` or ``"process"``).  Pass a client of your own
+    (e.g. an :class:`~repro.service.client.HttpClient` pointed at a
+    ``python -m repro serve`` gateway) to run the same comparison remotely;
+    ``job.name`` must then resolve in the *server's* job registry.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
@@ -118,11 +128,30 @@ def compare_optimizers(
     # Imported here: repro.service sits above repro.core but below the
     # experiment harness, and this module is imported by repro.experiments
     # modules the service layer must stay importable without.
+    from repro.service.api import (
+        JobSpec,
+        OptimizerSpec,
+        ServiceError,
+        optimizer_to_spec,
+    )
+    from repro.service.client import LocalClient
     from repro.service.service import TuningService
+    from repro.service.sweep import submit_with_unique_id
 
     tmax = float(tmax) if tmax is not None else job.default_tmax()
     n_boot = n_bootstrap if n_bootstrap is not None else default_bootstrap_size(job)
     optimal_cost = job.optimal_cost(tmax)
+
+    # Convert optimizers to wire specs where possible; optimizers the spec
+    # cannot express (subclasses, live callables) stay usable locally via
+    # the client's optimizer overlay below.
+    specs = {}
+    live: dict[str, BaseOptimizer] = {}
+    for name, optimizer in optimizers.items():
+        try:
+            specs[name] = optimizer_to_spec(optimizer)
+        except ServiceError:
+            live[name] = optimizer
 
     comparison = ComparisonResult(
         job_name=job.name,
@@ -133,7 +162,47 @@ def compare_optimizers(
         outcomes={name: [] for name in optimizers},
     )
 
-    service = TuningService(n_workers=n_workers, executor=executor)
+    owns_client = client is None
+    if owns_client:
+        # The caller's live job object is registered on the local client so
+        # its name resolves — *except* when it is verifiably the canonical
+        # registry table, where resolving by name instead preserves the
+        # process executor's by-name job cache (an overlay hit forces
+        # per-run pickling).  A modified table under a registry name still
+        # goes in the overlay, so exactly the object passed in is tuned.
+        from repro.workloads import available_jobs, load_job
+
+        def is_canonical() -> bool:
+            # Only the process executor consults cacheability, so only it
+            # pays for the reference-table comparison.
+            if executor != "process" or job.name not in available_jobs():
+                return False
+            reference = load_job(job.name)
+            # ConfigSpace compares by identity, so compare the observable
+            # table instead: same class, same profiled runs, same timeout.
+            return (
+                type(job) is type(reference)
+                and getattr(job, "runs", None) == reference.runs
+                and getattr(job, "timeout_seconds", None) == reference.timeout_seconds
+            )
+
+        client = LocalClient(
+            TuningService(n_workers=n_workers, executor=executor),
+            jobs={} if is_canonical() else {job.name: job},
+        )
+    if live:
+        if not isinstance(client, LocalClient):
+            unspeccable = sorted(live)
+            raise ValueError(
+                f"optimizers {unspeccable} hold non-serialisable state and "
+                "cannot run through a remote client; use the default local "
+                "client or register them on the server"
+            )
+        for name, optimizer in live.items():
+            specs[name] = OptimizerSpec(
+                name=client.register_live_optimizer(name, optimizer)
+            )
+
     submitted: list[tuple[str, int, str]] = []  # (optimizer name, trial, session id)
     for trial in range(n_trials):
         seed = base_seed + trial
@@ -141,21 +210,33 @@ def compare_optimizers(
         initial = latin_hypercube_sample(
             job.space, n_boot, rng, candidates=job.configurations
         )
-        for name, optimizer in optimizers.items():
-            session_id = service.submit(
-                job,
-                optimizer,
-                session_id=f"{name}/trial-{trial}",
-                tmax=tmax,
-                budget_multiplier=budget_multiplier,
-                initial_configs=initial,
-                seed=seed,
+        for name in optimizers:
+            session_id = submit_with_unique_id(
+                client,
+                JobSpec(
+                    job=job.name,
+                    optimizer=specs[name],
+                    tmax=tmax,
+                    budget_multiplier=budget_multiplier,
+                    initial_configs=tuple(c.as_dict() for c in initial),
+                    seed=seed,
+                ),
+                f"{name}/trial-{trial}",
+                # A shared client (remote gateway) may already hold sessions
+                # from an earlier comparison; a private service cannot.
+                retry=not owns_client,
             )
             submitted.append((name, trial, session_id))
 
-    results = service.drain()
+    results = client.wait([sid for _, _, sid in submitted])
+    missing = [sid for _, _, sid in submitted if sid not in results]
+    if missing:
+        raise RuntimeError(
+            f"{len(missing)} session(s) terminated without a result "
+            f"(cancelled or failed): {missing}"
+        )
     for name, trial, session_id in submitted:
-        result = results[session_id]
+        result = results[session_id].optimization_result()
         comparison.outcomes[name].append(
             TrialOutcome(
                 trial=trial,

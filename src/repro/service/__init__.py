@@ -2,7 +2,15 @@
 
 The paper frames Lynceus as a tool an operator runs once per recurring job;
 this package turns the reproduction into a *service* that drives many tuning
-sessions concurrently:
+sessions concurrently — locally or behind an HTTP gateway:
+
+``repro.service.api``
+    The versioned wire protocol: declarative :class:`JobSpec` /
+    :class:`OptimizerSpec` (jobs and optimizers resolved through registries,
+    never passed as live objects), typed request/response messages, stable
+    error codes and :data:`PROTOCOL_VERSION`.  Every message JSON
+    round-trips, so the whole public surface crosses process and network
+    boundaries.
 
 ``repro.service.session``
     :class:`TuningSession` — one job + optimizer + budget with an explicit
@@ -18,13 +26,53 @@ sessions concurrently:
     (threads or processes) so decision-making and profiling runs overlap.
     Batch mode exposes ``submit`` / ``poll`` / ``result`` / ``drain``;
     daemon mode (``serve`` / ``shutdown``) keeps scheduling on a background
-    thread while ``submit`` and ``cancel`` arrive live.
+    thread while ``submit`` and ``cancel`` arrive live.  ``submit_spec``
+    accepts wire-level job specs, and ``save_registry`` /
+    ``restore_registry`` checkpoint every spec-submitted session plus the
+    scheduler cursor into one JSON file.
+
+``repro.service.client``
+    :class:`TuningClient` — the transport-agnostic tenant interface — with
+    :class:`LocalClient` (in-process) and :class:`HttpClient` (stdlib HTTP)
+    implementations sharing one behavioural contract.
+
+``repro.service.http``
+    :class:`TuningGateway` — a ``ThreadingHTTPServer`` REST front-end over a
+    serving :class:`TuningService` (``python -m repro serve``).
 
 ``repro.service.sweep``
-    :func:`run_sweep` — a mixed-suite convenience front-end used by the
-    ``python -m repro sweep`` CLI command.
+    :func:`run_sweep` — a mixed-suite convenience front-end over any
+    :class:`TuningClient`, used by the ``python -m repro sweep`` CLI command.
 """
 
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    BadRequestError,
+    CancelResponse,
+    ConflictError,
+    ErrorResponse,
+    JobSpec,
+    ListResponse,
+    OptimizerSpec,
+    PollResponse,
+    ProtocolMismatchError,
+    ResultNotReadyError,
+    ResultResponse,
+    ServiceError,
+    SessionCancelledError,
+    SubmitRequest,
+    SubmitResponse,
+    UnknownJobError,
+    UnknownOptimizerError,
+    UnknownSessionError,
+    available_optimizers,
+    optimizer_to_spec,
+    register_job,
+    register_optimizer,
+    unregister_job,
+)
+from repro.service.client import HttpClient, LocalClient, TuningClient
+from repro.service.http import TuningGateway
 from repro.service.scheduler import (
     CostAwarePolicy,
     FifoPolicy,
@@ -38,17 +86,45 @@ from repro.service.session import SessionStatus, TuningSession
 from repro.service.sweep import SweepReport, SweepRow, make_optimizer, run_sweep
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "BadRequestError",
+    "CancelResponse",
+    "ConflictError",
     "CostAwarePolicy",
+    "ErrorResponse",
     "FifoPolicy",
+    "HttpClient",
+    "JobSpec",
+    "ListResponse",
+    "LocalClient",
+    "OptimizerSpec",
+    "PollResponse",
+    "ProtocolMismatchError",
+    "ResultNotReadyError",
+    "ResultResponse",
     "RoundRobinPolicy",
     "SchedulingPolicy",
+    "ServiceError",
+    "SessionCancelledError",
     "SessionStatus",
+    "SubmitRequest",
+    "SubmitResponse",
     "SweepReport",
     "SweepRow",
+    "TuningClient",
+    "TuningGateway",
     "TuningService",
     "TuningSession",
+    "UnknownJobError",
+    "UnknownOptimizerError",
+    "UnknownSessionError",
+    "available_optimizers",
     "available_policies",
     "make_optimizer",
     "make_policy",
+    "optimizer_to_spec",
+    "register_job",
+    "register_optimizer",
     "run_sweep",
+    "unregister_job",
 ]

@@ -1,0 +1,731 @@
+"""The service's wire-level protocol: versioned, JSON-round-trippable messages.
+
+Everything a remote tenant exchanges with the tuning service crosses this
+layer, and nothing here holds a live Python object: jobs and optimizers are
+named and *resolved through registries*, configurations and results travel as
+plain dictionaries.  That makes every message serialisable across a process
+or network boundary — the contract the HTTP gateway
+(:mod:`repro.service.http`), the clients (:mod:`repro.service.client`) and
+the single-file service checkpoint all build on.
+
+Protocol surface
+----------------
+
+========================  ====================================================
+:data:`PROTOCOL_VERSION`  Version stamped on every message; mismatches are
+                          rejected at decode time.
+:class:`OptimizerSpec`    A registry name plus JSON-safe constructor
+                          parameters (``{"name": "lynceus", "params":
+                          {"lookahead": 2}}``).
+:class:`JobSpec`          One declarative tuning request: workload name,
+                          optimizer spec, budget/constraint options and an
+                          optional pinned bootstrap sample.
+:class:`SubmitRequest`    ``JobSpec`` + optional caller-chosen session id.
+:class:`SubmitResponse`   The assigned session id.
+:class:`PollResponse`     Status + JSON-safe progress metrics of one session.
+:class:`ListResponse`     ``PollResponse`` snapshots of every session.
+:class:`ResultResponse`   The final :class:`~repro.core.optimizer.OptimizationResult`
+                          of a terminal session, as a plain dictionary.
+:class:`CancelResponse`   Whether a cancel call changed anything.
+:class:`ErrorResponse`    A stable machine-readable error code plus message.
+========================  ====================================================
+
+Every message type round-trips through ``to_dict()`` / ``from_dict()``.
+Decoding is tolerant of *unknown* fields (a newer peer may add some) but
+rejects a mismatched ``protocol_version`` with
+:class:`ProtocolMismatchError`.
+
+Error model
+-----------
+
+Failures are :class:`ServiceError` subclasses carrying a stable ``code`` and
+the HTTP status the gateway maps it to:
+
+======================  =====================  ====
+code                    exception              HTTP
+======================  =====================  ====
+``bad_request``         BadRequestError        400
+``protocol_mismatch``   ProtocolMismatchError  400
+``unknown_job``         UnknownJobError        400
+``unknown_optimizer``   UnknownOptimizerError  400
+``unknown_session``     UnknownSessionError    404
+``conflict``            ConflictError          409
+``not_ready``           ResultNotReadyError    409
+``cancelled``           SessionCancelledError  409
+``internal``            ServiceError           500
+======================  =====================  ====
+
+Both transports raise the *same* exceptions: an ``HttpClient`` decodes the
+gateway's :class:`ErrorResponse` back into the exception a ``LocalClient``
+would have raised in-process.
+
+Registries
+----------
+
+Jobs resolve by fully-qualified workload name through
+:func:`repro.workloads.load_job`; :func:`register_job` adds custom
+factories (synthetic jobs, tests).  Optimizers resolve through
+:func:`register_optimizer`; the built-ins are ``"lynceus"``, ``"bo"`` and
+``"rnd"``.  :func:`optimizer_to_spec` converts a live built-in optimizer
+instance back into its spec, which is how the experiment harness submits
+pre-configured optimizers over the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.core.optimizer import BaseOptimizer, OptimizationResult
+from repro.core.space import Configuration
+from repro.workloads import available_jobs, load_job
+from repro.workloads.base import Job
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "COMPLETED_STATUSES",
+    "TERMINAL_STATUSES",
+    "ErrorCode",
+    "ServiceError",
+    "BadRequestError",
+    "ProtocolMismatchError",
+    "UnknownJobError",
+    "UnknownOptimizerError",
+    "UnknownSessionError",
+    "ConflictError",
+    "ResultNotReadyError",
+    "SessionCancelledError",
+    "OptimizerSpec",
+    "JobSpec",
+    "SubmitRequest",
+    "SubmitResponse",
+    "PollResponse",
+    "ListResponse",
+    "ResultResponse",
+    "CancelResponse",
+    "ErrorResponse",
+    "available_optimizers",
+    "register_optimizer",
+    "unregister_optimizer",
+    "register_job",
+    "unregister_job",
+    "resolve_job",
+    "resolve_optimizer",
+    "resolve_spec",
+    "optimizer_to_spec",
+]
+
+#: Version of the wire protocol.  Bump on any incompatible message change;
+#: peers reject mismatches instead of guessing.
+PROTOCOL_VERSION = 1
+
+#: Session statuses after which a session will never change again.
+TERMINAL_STATUSES = ("done", "exhausted", "cancelled")
+
+#: Terminal statuses that produce a result.
+COMPLETED_STATUSES = ("done", "exhausted")
+
+
+# ---------------------------------------------------------------------------
+# errors
+# ---------------------------------------------------------------------------
+
+class ErrorCode:
+    """Stable machine-readable error codes carried by :class:`ErrorResponse`."""
+
+    BAD_REQUEST = "bad_request"
+    PROTOCOL_MISMATCH = "protocol_mismatch"
+    UNKNOWN_JOB = "unknown_job"
+    UNKNOWN_OPTIMIZER = "unknown_optimizer"
+    UNKNOWN_SESSION = "unknown_session"
+    CONFLICT = "conflict"
+    NOT_READY = "not_ready"
+    CANCELLED = "cancelled"
+    INTERNAL = "internal"
+
+
+class ServiceError(Exception):
+    """Base protocol error; subclasses pin a stable code and HTTP status."""
+
+    code = ErrorCode.INTERNAL
+    http_status = 500
+
+
+class BadRequestError(ServiceError):
+    """The request is malformed (bad JSON, missing fields, invalid params)."""
+
+    code = ErrorCode.BAD_REQUEST
+    http_status = 400
+
+
+class ProtocolMismatchError(BadRequestError):
+    """The peer speaks a different :data:`PROTOCOL_VERSION`."""
+
+    code = ErrorCode.PROTOCOL_MISMATCH
+
+
+class UnknownJobError(BadRequestError):
+    """The spec names a workload no registry can resolve."""
+
+    code = ErrorCode.UNKNOWN_JOB
+
+
+class UnknownOptimizerError(BadRequestError):
+    """The spec names an optimizer no registry can resolve."""
+
+    code = ErrorCode.UNKNOWN_OPTIMIZER
+
+
+class UnknownSessionError(ServiceError):
+    """No session with the given id exists."""
+
+    code = ErrorCode.UNKNOWN_SESSION
+    http_status = 404
+
+
+class ConflictError(ServiceError):
+    """The request is valid but the session's state forbids it."""
+
+    code = ErrorCode.CONFLICT
+    http_status = 409
+
+
+class ResultNotReadyError(ConflictError):
+    """The session has not reached a terminal state yet."""
+
+    code = ErrorCode.NOT_READY
+
+
+class SessionCancelledError(ConflictError):
+    """The session was cancelled and will never produce a result."""
+
+    code = ErrorCode.CANCELLED
+
+
+_ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        BadRequestError,
+        ProtocolMismatchError,
+        UnknownJobError,
+        UnknownOptimizerError,
+        UnknownSessionError,
+        ConflictError,
+        ResultNotReadyError,
+        SessionCancelledError,
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# message machinery
+# ---------------------------------------------------------------------------
+
+def _check_version(data: Mapping[str, Any], message: str) -> None:
+    version = data.get("protocol_version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolMismatchError(
+            f"{message} carries protocol version {version!r}; "
+            f"this peer speaks {PROTOCOL_VERSION}"
+        )
+
+
+def _known_fields(cls: type, data: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop unknown keys so newer peers can add fields without breaking us."""
+    if not isinstance(data, Mapping):
+        raise BadRequestError(
+            f"{cls.__name__} payload must be a JSON object, got {type(data).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    return {key: value for key, value in data.items() if key in names}
+
+
+def _require(cls: type, data: Mapping[str, Any], key: str) -> Any:
+    """A required message field; missing ones stay inside the error model."""
+    try:
+        return data[key]
+    except KeyError:
+        raise BadRequestError(
+            f"{cls.__name__} payload is missing required field {key!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """A registry optimizer name plus JSON-safe constructor parameters."""
+
+    name: str = "lynceus"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizerSpec":
+        data = _known_fields(cls, data)
+        params = data.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise BadRequestError("OptimizerSpec 'params' must be a JSON object")
+        name = data.get("name", "lynceus")
+        if not isinstance(name, str) or not name:
+            raise BadRequestError("OptimizerSpec requires a non-empty string 'name'")
+        return cls(name=name, params=dict(params))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative tuning request.
+
+    Attributes
+    ----------
+    job:
+        Fully-qualified workload name, resolved through the job registry
+        (``"scout-spark-kmeans"``; see :func:`register_job` for customs).
+    optimizer:
+        The optimizer to run, as an :class:`OptimizerSpec`.
+    tmax / budget / budget_multiplier / n_bootstrap / seed:
+        Forwarded to :meth:`~repro.core.optimizer.BaseOptimizer.start`.
+    initial_configs:
+        Optional pinned bootstrap sample as ``{parameter: value}``
+        dictionaries; when given, ``n_bootstrap`` is implied by its length
+        (the experiment harness uses this to hand every compared optimizer
+        the same sample).
+    """
+
+    job: str
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    tmax: float | None = None
+    budget: float | None = None
+    budget_multiplier: float = 3.0
+    n_bootstrap: int | None = None
+    initial_configs: tuple[dict[str, Any], ...] | None = None
+    seed: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job": self.job,
+            "optimizer": self.optimizer.to_dict(),
+            "tmax": self.tmax,
+            "budget": self.budget,
+            "budget_multiplier": self.budget_multiplier,
+            "n_bootstrap": self.n_bootstrap,
+            "initial_configs": (
+                [dict(c) for c in self.initial_configs]
+                if self.initial_configs is not None
+                else None
+            ),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        data = _known_fields(cls, data)
+        job = data.get("job")
+        if not isinstance(job, str) or not job:
+            raise BadRequestError("JobSpec requires a non-empty string 'job'")
+        optimizer = data.get("optimizer")
+        initial = data.get("initial_configs")
+        if initial is not None:
+            if not isinstance(initial, (list, tuple)) or not all(
+                isinstance(c, Mapping) for c in initial
+            ):
+                raise BadRequestError(
+                    "JobSpec 'initial_configs' must be a list of JSON objects"
+                )
+            initial = tuple(dict(c) for c in initial)
+        return cls(
+            job=job,
+            optimizer=(
+                OptimizerSpec.from_dict(optimizer)
+                if optimizer is not None
+                else OptimizerSpec()
+            ),
+            tmax=data.get("tmax"),
+            budget=data.get("budget"),
+            budget_multiplier=data.get("budget_multiplier", 3.0),
+            n_bootstrap=data.get("n_bootstrap"),
+            initial_configs=initial,
+            seed=data.get("seed"),
+        )
+
+    def start_options(self) -> dict[str, Any]:
+        """The spec's :meth:`BaseOptimizer.start` keyword arguments."""
+        return {
+            "tmax": self.tmax,
+            "budget": self.budget,
+            "budget_multiplier": self.budget_multiplier,
+            "n_bootstrap": self.n_bootstrap,
+            "initial_configs": (
+                [Configuration.from_dict(c) for c in self.initial_configs]
+                if self.initial_configs is not None
+                else None
+            ),
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Ask the service to start tuning ``spec`` (POST ``/v1/sessions``)."""
+
+    spec: JobSpec
+    session_id: str | None = None
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "session_id": self.session_id,
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitRequest":
+        _check_version(data, "SubmitRequest")
+        data = _known_fields(cls, data)
+        spec = data.get("spec")
+        if spec is None:
+            raise BadRequestError("SubmitRequest requires a 'spec' object")
+        session_id = data.get("session_id")
+        if session_id is not None and (
+            not isinstance(session_id, str) or not session_id
+        ):
+            raise BadRequestError(
+                "SubmitRequest 'session_id' must be a non-empty string"
+            )
+        return cls(spec=JobSpec.from_dict(spec), session_id=session_id)
+
+
+@dataclass(frozen=True)
+class SubmitResponse:
+    """The session id the service assigned to a submission."""
+
+    session_id: str
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubmitResponse":
+        _check_version(data, "SubmitResponse")
+        data = _known_fields(cls, data)
+        return cls(session_id=_require(cls, data, "session_id"))
+
+
+@dataclass(frozen=True)
+class PollResponse:
+    """Status plus JSON-safe progress metrics of one session.
+
+    ``metrics`` is the session's
+    :meth:`~repro.service.session.TuningSession.metrics` snapshot verbatim.
+    """
+
+    session_id: str
+    status: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    protocol_version: int = PROTOCOL_VERSION
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PollResponse":
+        _check_version(data, "PollResponse")
+        data = _known_fields(cls, data)
+        return cls(
+            session_id=_require(cls, data, "session_id"),
+            status=_require(cls, data, "status"),
+            metrics=dict(data.get("metrics") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class ListResponse:
+    """Snapshots of every registered session (GET ``/v1/sessions``)."""
+
+    sessions: tuple[PollResponse, ...] = ()
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sessions": [snapshot.to_dict() for snapshot in self.sessions],
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ListResponse":
+        _check_version(data, "ListResponse")
+        data = _known_fields(cls, data)
+        return cls(
+            sessions=tuple(
+                PollResponse.from_dict(snapshot)
+                for snapshot in data.get("sessions") or []
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ResultResponse:
+    """The final result of a terminal session, as a JSON-safe dictionary.
+
+    ``result`` is the :func:`repro.experiments.persistence.result_to_dict`
+    payload; :meth:`optimization_result` rebuilds the live
+    :class:`~repro.core.optimizer.OptimizationResult`.
+    """
+
+    session_id: str
+    status: str
+    result: dict[str, Any] = field(default_factory=dict)
+    protocol_version: int = PROTOCOL_VERSION
+
+    @classmethod
+    def for_result(
+        cls, session_id: str, status: str, result: OptimizationResult
+    ) -> "ResultResponse":
+        from repro.experiments.persistence import result_to_dict
+
+        return cls(session_id=session_id, status=status, result=result_to_dict(result))
+
+    def optimization_result(self) -> OptimizationResult:
+        """Rebuild the live result object from the wire payload."""
+        from repro.experiments.persistence import result_from_dict
+
+        return result_from_dict(self.result)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "status": self.status,
+            "result": dict(self.result),
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultResponse":
+        _check_version(data, "ResultResponse")
+        data = _known_fields(cls, data)
+        return cls(
+            session_id=_require(cls, data, "session_id"),
+            status=_require(cls, data, "status"),
+            result=dict(data.get("result") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class CancelResponse:
+    """Outcome of a cancel call (DELETE ``/v1/sessions/{id}``).
+
+    ``cancelled`` is whether *this* call changed anything; cancelling an
+    already-cancelled session is an idempotent no-op (``cancelled=False``).
+    """
+
+    session_id: str
+    cancelled: bool
+    status: str
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "cancelled": self.cancelled,
+            "status": self.status,
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CancelResponse":
+        _check_version(data, "CancelResponse")
+        data = _known_fields(cls, data)
+        return cls(
+            session_id=_require(cls, data, "session_id"),
+            cancelled=bool(_require(cls, data, "cancelled")),
+            status=_require(cls, data, "status"),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A stable error code plus human-readable message."""
+
+    code: str
+    message: str
+    protocol_version: int = PROTOCOL_VERSION
+
+    @classmethod
+    def from_exception(cls, error: ServiceError) -> "ErrorResponse":
+        return cls(code=error.code, message=str(error))
+
+    def to_exception(self) -> ServiceError:
+        """The :class:`ServiceError` subclass this response encodes."""
+        return _ERRORS_BY_CODE.get(self.code, ServiceError)(self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "protocol_version": self.protocol_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorResponse":
+        # No version check: an error *about* a version mismatch must decode.
+        data = _known_fields(cls, data)
+        return cls(code=data.get("code", ErrorCode.INTERNAL), message=data.get("message", ""))
+
+
+# ---------------------------------------------------------------------------
+# registries
+# ---------------------------------------------------------------------------
+
+#: Built-in optimizer registry: spec name -> constructor.  Keys are protocol
+#: identifiers, decoupled from the instances' human-readable ``name`` (a
+#: ``LynceusOptimizer(lookahead=2)`` calls itself ``"lynceus-la2"``).
+_OPTIMIZERS: dict[str, Callable[..., BaseOptimizer]] = {
+    "lynceus": LynceusOptimizer,
+    "bo": BayesianOptimizer,
+    "rnd": RandomSearchOptimizer,
+}
+
+#: Extra job factories registered at runtime (synthetic jobs, tests).  These
+#: resolve in-process only: a spawned pool worker cannot rebuild them, so the
+#: service never routes them through the per-worker job cache.
+_EXTRA_JOBS: dict[str, Callable[[], Job]] = {}
+
+
+def available_optimizers() -> list[str]:
+    """Spec names accepted by :func:`resolve_optimizer`, sorted."""
+    return sorted(_OPTIMIZERS)
+
+
+def register_optimizer(name: str, factory: Callable[..., BaseOptimizer]) -> None:
+    """Register an optimizer constructor under a spec name."""
+    if not name:
+        raise ValueError("optimizer name must be non-empty")
+    _OPTIMIZERS[name] = factory
+
+
+def unregister_optimizer(name: str) -> None:
+    """Remove a factory added by :func:`register_optimizer` (missing names are a no-op)."""
+    _OPTIMIZERS.pop(name, None)
+
+
+def register_job(name: str, factory: Callable[[], Job]) -> None:
+    """Register a job factory so specs can name jobs outside the workload suites.
+
+    The factory must deterministically rebuild the job table on every call —
+    the same contract the built-in workload registry honours.
+    """
+    if not name:
+        raise ValueError("job name must be non-empty")
+    _EXTRA_JOBS[name] = factory
+
+
+def unregister_job(name: str) -> None:
+    """Remove a factory added by :func:`register_job` (missing names are a no-op)."""
+    _EXTRA_JOBS.pop(name, None)
+
+
+def resolve_job(
+    name: str, *, extra_jobs: Mapping[str, Job] | None = None
+) -> tuple[Job, bool]:
+    """Resolve a job name to a live job table.
+
+    Returns ``(job, cacheable)`` where ``cacheable`` says the name resolves
+    through the *built-in* workload registry — i.e. a spawned worker process
+    can rebuild the same table from the name alone, which enables the
+    process executor's per-worker job cache.  ``extra_jobs`` is a
+    caller-local overlay (a :class:`~repro.service.client.LocalClient`'s
+    registered live jobs) consulted first.
+    """
+    if extra_jobs is not None and name in extra_jobs:
+        return extra_jobs[name], False
+    if name in _EXTRA_JOBS:
+        return _EXTRA_JOBS[name](), False
+    try:
+        return load_job(name), True
+    except ValueError:
+        raise UnknownJobError(
+            f"unknown job {name!r}; available: suite jobs {available_jobs()} "
+            f"plus registered factories {sorted(_EXTRA_JOBS)}"
+        ) from None
+
+
+def resolve_optimizer(
+    spec: OptimizerSpec,
+    *,
+    extra_optimizers: Mapping[str, Callable[..., BaseOptimizer]] | None = None,
+) -> BaseOptimizer:
+    """Build a fresh optimizer instance from its spec.
+
+    ``extra_optimizers`` is a caller-local overlay of factories consulted
+    before the global registry — the in-process escape hatch a
+    :class:`~repro.service.client.LocalClient` uses for live optimizer
+    objects that cannot cross the wire.
+    """
+    factory = None
+    if extra_optimizers is not None:
+        factory = extra_optimizers.get(spec.name)
+    if factory is None:
+        factory = _OPTIMIZERS.get(spec.name)
+    if factory is None:
+        raise UnknownOptimizerError(
+            f"unknown optimizer {spec.name!r}; available: {available_optimizers()}"
+        )
+    try:
+        return factory(**spec.params)
+    except (TypeError, ValueError) as error:
+        raise BadRequestError(
+            f"invalid parameters for optimizer {spec.name!r}: {error}"
+        ) from None
+
+
+def resolve_spec(
+    spec: JobSpec,
+    *,
+    extra_jobs: Mapping[str, Job] | None = None,
+    extra_optimizers: Mapping[str, Callable[..., BaseOptimizer]] | None = None,
+) -> tuple[Job, BaseOptimizer, dict[str, Any], bool]:
+    """Resolve a :class:`JobSpec` into ``(job, optimizer, start options, cacheable)``."""
+    job, cacheable = resolve_job(spec.job, extra_jobs=extra_jobs)
+    optimizer = resolve_optimizer(spec.optimizer, extra_optimizers=extra_optimizers)
+    return job, optimizer, spec.start_options(), cacheable
+
+
+def optimizer_to_spec(optimizer: BaseOptimizer) -> OptimizerSpec:
+    """Convert a live registry optimizer back into its wire spec.
+
+    Only exact instances of registered classes qualify (a subclass may carry
+    behaviour the spec cannot express), and the instance must hold
+    JSON-serialisable constructor parameters — optimizers built with live
+    callables (e.g. a ``setup_cost_estimator``) refuse.
+    """
+    for name, factory in _OPTIMIZERS.items():
+        if isinstance(factory, type) and type(optimizer) is factory:
+            params = getattr(optimizer, "spec_params", None)
+            if params is None:
+                raise BadRequestError(
+                    f"optimizer {optimizer.name!r} holds non-serialisable "
+                    "constructor state and cannot cross the protocol boundary"
+                )
+            return OptimizerSpec(name=name, params=dict(params))
+    raise UnknownOptimizerError(
+        f"no registered spec name for {type(optimizer).__name__}; "
+        "register_optimizer() it first"
+    )

@@ -1,0 +1,393 @@
+"""Transport-agnostic tuning clients: one contract, two transports.
+
+:class:`TuningClient` is the abstract tenant-side interface to a tuning
+service.  Every call speaks the typed protocol of :mod:`repro.service.api` —
+specs in, messages out, :class:`~repro.service.api.ServiceError` subclasses
+on failure — so code written against it runs unchanged against either
+implementation:
+
+:class:`LocalClient`
+    Wraps a :class:`~repro.service.service.TuningService` in the same
+    process.  When the service is *not* serving as a daemon, :meth:`wait`
+    drains it inline, which with ``n_workers=1`` reproduces the pre-protocol
+    serial execution bit-for-bit.  Live job objects outside the workload
+    registry (synthetic jobs, tests) can be made resolvable with
+    :meth:`LocalClient.register_job`.
+
+:class:`HttpClient`
+    Talks to a :class:`~repro.service.http.TuningGateway` over HTTP using
+    only the standard library (:mod:`urllib`).  Gateway error responses are
+    decoded back into the exact exception a ``LocalClient`` would have
+    raised.
+
+Contract (shared test suite: ``tests/service/test_client_contract.py``)
+-----------------------------------------------------------------------
+
+==========================  ================================================
+call                        behaviour
+==========================  ================================================
+``submit(spec)``            returns :class:`SubmitResponse`; duplicate
+                            explicit id → :class:`ConflictError`; unknown
+                            job/optimizer → :class:`UnknownJobError` /
+                            :class:`UnknownOptimizerError`.
+``poll(sid)``               :class:`PollResponse`; unknown id →
+                            :class:`UnknownSessionError`.
+``sessions()``              one :class:`PollResponse` per session, in
+                            submission order.
+``result(sid)``             :class:`ResultResponse` once terminal; running →
+                            :class:`ResultNotReadyError`; cancelled →
+                            :class:`SessionCancelledError`.
+``cancel(sid)``             :class:`CancelResponse`; done/exhausted →
+                            :class:`ConflictError`; already cancelled →
+                            idempotent ``cancelled=False``.
+``wait(ids)``               blocks until every id is terminal, returns
+                            ``{id: ResultResponse}`` for completed sessions.
+``health()``                JSON-safe liveness snapshot.
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.service.api import (
+    COMPLETED_STATUSES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATUSES,
+    CancelResponse,
+    ConflictError,
+    ErrorResponse,
+    JobSpec,
+    ListResponse,
+    PollResponse,
+    ResultNotReadyError,
+    ResultResponse,
+    ServiceError,
+    SessionCancelledError,
+    SubmitRequest,
+    SubmitResponse,
+    UnknownSessionError,
+)
+from repro.service.service import TuningService
+from repro.workloads.base import Job
+
+__all__ = ["TuningClient", "LocalClient", "HttpClient"]
+
+#: Distinct spec names for live (non-speccable) optimizer registrations.
+_LIVE_KEY_IDS = itertools.count()
+
+
+class TuningClient(ABC):
+    """Abstract tenant-side interface to a tuning service (see module docs)."""
+
+    @abstractmethod
+    def submit(self, spec: JobSpec, *, session_id: str | None = None) -> SubmitResponse:
+        """Start tuning ``spec``; returns the assigned session id."""
+
+    @abstractmethod
+    def poll(self, session_id: str) -> PollResponse:
+        """A progress snapshot of one session."""
+
+    @abstractmethod
+    def sessions(self) -> list[PollResponse]:
+        """Snapshots of every session, in submission order."""
+
+    @abstractmethod
+    def result(self, session_id: str) -> ResultResponse:
+        """The final result of a terminal session."""
+
+    @abstractmethod
+    def cancel(self, session_id: str) -> CancelResponse:
+        """Cancel a live session."""
+
+    @abstractmethod
+    def health(self) -> dict[str, Any]:
+        """A JSON-safe liveness snapshot of the service."""
+
+    def close(self) -> None:
+        """Release client-held resources (transport-specific; default no-op)."""
+
+    def __enter__(self) -> "TuningClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def wait(
+        self,
+        session_ids: Iterable[str] | None = None,
+        *,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+    ) -> dict[str, ResultResponse]:
+        """Block until every session is terminal; return the completed results.
+
+        ``session_ids`` defaults to every session the service knows.
+        Cancelled sessions terminate but produce no result, so they are
+        absent from the returned mapping.  Raises :class:`TimeoutError` when
+        ``timeout`` (seconds) elapses first.
+        """
+        ids = None if session_ids is None else list(session_ids)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # One listing per tick, not one poll per session: a 50-session
+            # sweep over HTTP costs one request per interval, not fifty.
+            snapshot = {p.session_id: p.status for p in self.sessions()}
+            if ids is None:
+                statuses = snapshot
+            else:
+                try:
+                    statuses = {sid: snapshot[sid] for sid in ids}
+                except KeyError as missing:
+                    raise UnknownSessionError(
+                        f"unknown session {missing.args[0]!r}"
+                    ) from None
+            if all(status in TERMINAL_STATUSES for status in statuses.values()):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                pending = [s for s, st in statuses.items() if st not in TERMINAL_STATUSES]
+                raise TimeoutError(
+                    f"{len(pending)} session(s) not terminal after {timeout}s: {pending}"
+                )
+            time.sleep(poll_interval)
+        return {
+            sid: self.result(sid)
+            for sid, status in statuses.items()
+            if status in COMPLETED_STATUSES
+        }
+
+
+class LocalClient(TuningClient):
+    """In-process client over a :class:`~repro.service.service.TuningService`.
+
+    Parameters
+    ----------
+    service:
+        The service to drive; a fresh serial ``TuningService()`` by default.
+    jobs:
+        Optional live job objects resolvable by name for this client only —
+        the local escape hatch for jobs outside the workload registry.
+    """
+
+    def __init__(
+        self,
+        service: TuningService | None = None,
+        *,
+        jobs: Mapping[str, Job] | None = None,
+    ) -> None:
+        self.service = service if service is not None else TuningService()
+        self._jobs: dict[str, Job] = dict(jobs or {})
+        self._optimizers: dict[str, Any] = {}
+
+    def register_job(self, job: Job) -> None:
+        """Make a live job object resolvable by its name through this client."""
+        self._jobs[job.name] = job
+
+    def register_optimizer(self, name: str, factory: Any) -> None:
+        """Make an optimizer factory resolvable by name through this client.
+
+        The local escape hatch for optimizers the wire spec cannot express
+        (subclasses, live callables such as setup-cost estimators): an
+        ``OptimizerSpec(name)`` submitted through *this* client resolves via
+        ``factory(**params)``.
+        """
+        self._optimizers[name] = factory
+
+    def register_live_optimizer(self, label: str, optimizer: Any) -> str:
+        """Register a live optimizer object under a fresh unique spec name.
+
+        Returns the generated name (``"live:{label}#N"``) to submit as
+        ``OptimizerSpec(name)``.  The stored factory deep-copies per
+        submission, so every session owns its instance — the same isolation
+        object submission used to provide — and the unique suffix means
+        concurrent callers sharing one client never overwrite each other.
+        """
+        key = f"live:{label}#{next(_LIVE_KEY_IDS)}"
+        self._optimizers[key] = lambda: copy.deepcopy(optimizer)
+        return key
+
+    def submit(self, spec: JobSpec, *, session_id: str | None = None) -> SubmitResponse:
+        sid = self.service.submit_spec(
+            spec,
+            session_id=session_id,
+            extra_jobs=self._jobs,
+            extra_optimizers=self._optimizers,
+        )
+        return SubmitResponse(session_id=sid)
+
+    def _metrics(self, session_id: str) -> dict[str, Any]:
+        try:
+            return self.service.poll(session_id)
+        except KeyError:
+            raise UnknownSessionError(f"unknown session {session_id!r}") from None
+
+    def poll(self, session_id: str) -> PollResponse:
+        metrics = self._metrics(session_id)
+        return PollResponse(
+            session_id=session_id, status=metrics["status"], metrics=metrics
+        )
+
+    def sessions(self) -> list[PollResponse]:
+        return [self.poll(sid) for sid in self.service.session_ids]
+
+    def result(self, session_id: str) -> ResultResponse:
+        status = self._metrics(session_id)["status"]
+        if status == "cancelled":
+            raise SessionCancelledError(f"session {session_id!r} was cancelled")
+        if status not in COMPLETED_STATUSES:
+            raise ResultNotReadyError(
+                f"session {session_id!r} is {status}, not terminal"
+            )
+        # Terminal statuses are permanent, so this cannot race the daemon.
+        return ResultResponse.for_result(
+            session_id, status, self.service.result(session_id)
+        )
+
+    def cancel(self, session_id: str) -> CancelResponse:
+        try:
+            changed = self.service.cancel(session_id)
+        except KeyError:
+            raise UnknownSessionError(f"unknown session {session_id!r}") from None
+        status = self._metrics(session_id)["status"]
+        if not changed and status != "cancelled":
+            raise ConflictError(
+                f"session {session_id!r} already finished ({status}); "
+                "a completed session cannot be cancelled"
+            )
+        return CancelResponse(session_id=session_id, cancelled=changed, status=status)
+
+    def health(self) -> dict[str, Any]:
+        statuses = self.service.statuses()
+        counts: dict[str, int] = {}
+        for status in statuses.values():
+            counts[status.value] = counts.get(status.value, 0) + 1
+        return {
+            "status": "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "serving": self.service.serving,
+            "n_sessions": len(statuses),
+            "sessions": counts,
+        }
+
+    def wait(
+        self,
+        session_ids: Iterable[str] | None = None,
+        *,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+    ) -> dict[str, ResultResponse]:
+        """Like :meth:`TuningClient.wait`, but drains inline when no daemon runs.
+
+        The inline path keeps serial execution (``n_workers=1``, thread
+        executor) byte-identical to calling ``service.drain()`` directly —
+        no background thread, no polling, pure scheduling order.  It
+        inherits ``drain()`` semantics wholesale: *every* registered session
+        runs to completion (not just the requested ids), it runs
+        synchronously so ``timeout`` cannot interrupt it, and a failing
+        session raises even when the requested ones succeeded.  Start the
+        daemon (``service.serve()``) for selective, timeout-bounded waiting.
+        """
+        if not self.service.serving:
+            wanted = None if session_ids is None else set(session_ids)
+            if wanted is not None:
+                known = set(self.service.session_ids)
+                for sid in sorted(wanted - known):
+                    raise UnknownSessionError(f"unknown session {sid!r}")
+            return {
+                sid: ResultResponse.for_result(
+                    sid, self.service.get(sid).status.value, result
+                )
+                for sid, result in self.service.drain().items()
+                if wanted is None or sid in wanted
+            }
+        return super().wait(
+            session_ids, timeout=timeout, poll_interval=poll_interval
+        )
+
+
+class HttpClient(TuningClient):
+    """Stdlib-only HTTP client for a :class:`~repro.service.http.TuningGateway`.
+
+    Parameters
+    ----------
+    base_url:
+        The gateway root, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                data = json.loads(raw)
+            except (ValueError, UnicodeDecodeError):
+                raise ServiceError(
+                    f"HTTP {error.code} from {self.base_url}{path}: {raw[:200]!r}"
+                ) from None
+            raise ErrorResponse.from_dict(data).to_exception() from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach tuning gateway at {self.base_url}: {error.reason}"
+            ) from None
+        return json.loads(raw) if raw else {}
+
+    @staticmethod
+    def _session_path(session_id: str, suffix: str = "") -> str:
+        # Session ids may contain "/" (e.g. "job/trial-0"): quote everything.
+        return f"/v1/sessions/{urllib.parse.quote(session_id, safe='')}{suffix}"
+
+    def submit(self, spec: JobSpec, *, session_id: str | None = None) -> SubmitResponse:
+        request = SubmitRequest(spec=spec, session_id=session_id)
+        return SubmitResponse.from_dict(
+            self._request("POST", "/v1/sessions", request.to_dict())
+        )
+
+    def poll(self, session_id: str) -> PollResponse:
+        return PollResponse.from_dict(
+            self._request("GET", self._session_path(session_id))
+        )
+
+    def sessions(self) -> list[PollResponse]:
+        return list(
+            ListResponse.from_dict(self._request("GET", "/v1/sessions")).sessions
+        )
+
+    def result(self, session_id: str) -> ResultResponse:
+        return ResultResponse.from_dict(
+            self._request("GET", self._session_path(session_id, "/result"))
+        )
+
+    def cancel(self, session_id: str) -> CancelResponse:
+        return CancelResponse.from_dict(
+            self._request("DELETE", self._session_path(session_id))
+        )
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")

@@ -1,0 +1,273 @@
+"""REST gateway: the tuning service protocol over plain HTTP.
+
+:class:`TuningGateway` serves the wire protocol of :mod:`repro.service.api`
+from a :class:`http.server.ThreadingHTTPServer` — standard library only, one
+thread per connection, safe in front of a serving
+:class:`~repro.service.service.TuningService` because every service method
+is already atomic against the daemon.
+
+Routes (all JSON, all stamped with the protocol version):
+
+=========================================  ================================
+``POST /v1/sessions``                      submit a ``SubmitRequest`` → 201
+                                           ``SubmitResponse``
+``GET /v1/sessions``                       ``ListResponse`` of snapshots
+``GET /v1/sessions/{id}``                  ``PollResponse``
+``DELETE /v1/sessions/{id}``               ``CancelResponse`` (409 once the
+                                           session completed)
+``GET /v1/sessions/{id}/result``           ``ResultResponse`` (409 until
+                                           terminal / when cancelled)
+``GET /v1/healthz``                        liveness + session counts
+=========================================  ================================
+
+Errors are :class:`~repro.service.api.ErrorResponse` bodies whose ``code``
+decodes back into the exception a local caller would have seen — the
+behavioural contract is *identical* to a
+:class:`~repro.service.client.LocalClient` because the gateway routes every
+request through one internally.
+
+Session ids may contain ``/`` (sweeps use ``"job/trial-0"``), so clients
+percent-encode the id path segment; the gateway decodes each segment
+individually.
+
+``python -m repro serve`` wires a gateway to a daemon service from the
+command line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.api import (
+    BadRequestError,
+    ErrorResponse,
+    ListResponse,
+    ServiceError,
+    SubmitRequest,
+)
+from repro.service.client import LocalClient
+from repro.service.service import TuningService
+
+__all__ = ["TuningGateway"]
+
+_LOG = logging.getLogger("repro.service.http")
+
+#: Cap on accepted request bodies; a submit request with a pinned bootstrap
+#: sample is a few KiB, so anything near this is garbage or abuse.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True  # connection threads must not block interpreter exit
+    allow_reuse_address = True
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server_version = "repro-tuning-gateway/1"
+    protocol_version = "HTTP/1.1"
+
+    # The server instance carries the gateway (set in TuningGateway.__init__).
+    server: _GatewayServer
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+    # -- plumbing ------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequestError("invalid Content-Length header") from None
+        if length <= 0:
+            raise BadRequestError("request requires a JSON body")
+        if length > _MAX_BODY_BYTES:
+            raise BadRequestError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        self._body_read = True
+        try:
+            data = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            raise BadRequestError("request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return data
+
+    def _discard_unread_body(self) -> None:
+        # A rejected request may carry a body no route consumed; on an
+        # HTTP/1.1 keep-alive connection those bytes would be parsed as the
+        # next request line.  Drain small bodies; for oversized ones drop
+        # the connection instead of reading megabytes of garbage.
+        if getattr(self, "_body_read", False):
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0") or "0")
+        except ValueError:
+            length = 0
+        if length <= 0:
+            return
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
+
+    def _segments(self) -> list[str]:
+        # Split *before* unquoting so %2F inside a session id survives.
+        path = urllib.parse.urlsplit(self.path).path
+        return [urllib.parse.unquote(part) for part in path.split("/") if part]
+
+    def _dispatch(self, method: str) -> None:
+        self._body_read = False
+        try:
+            status, payload = self._route(method, self._segments())
+        except ServiceError as error:
+            status = error.http_status
+            payload = ErrorResponse.from_exception(error).to_dict()
+        except Exception as error:  # pragma: no cover - defensive
+            _LOG.exception("unhandled gateway error")
+            status = 500
+            payload = ErrorResponse(
+                code="internal", message=f"{type(error).__name__}: {error}"
+            ).to_dict()
+        self._discard_unread_body()
+        self._send_json(status, payload)
+
+    # -- routing -------------------------------------------------------------
+    def _route(
+        self, method: str, segments: list[str]
+    ) -> tuple[int, dict[str, Any]]:
+        client = self.server.gateway_client
+        if segments[:1] != ["v1"]:
+            raise UnknownRouteError(f"unknown path {self.path!r}")
+        rest = segments[1:]
+        if rest == ["healthz"] and method == "GET":
+            return 200, client.health()
+        if rest == ["sessions"]:
+            if method == "GET":
+                return 200, ListResponse(sessions=tuple(client.sessions())).to_dict()
+            if method == "POST":
+                request = SubmitRequest.from_dict(self._read_body())
+                response = client.submit(
+                    request.spec, session_id=request.session_id
+                )
+                return 201, response.to_dict()
+        if len(rest) == 2 and rest[0] == "sessions":
+            session_id = rest[1]
+            if method == "GET":
+                return 200, client.poll(session_id).to_dict()
+            if method == "DELETE":
+                return 200, client.cancel(session_id).to_dict()
+        if len(rest) == 3 and rest[:1] == ["sessions"] and rest[2] == "result":
+            if method == "GET":
+                return 200, client.result(rest[1]).to_dict()
+        raise UnknownRouteError(f"no route for {method} {self.path!r}")
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class UnknownRouteError(ServiceError):
+    """The request path/method matches no route."""
+
+    code = "unknown_route"
+    http_status = 404
+
+
+class TuningGateway:
+    """An HTTP front-end over a tuning service.
+
+    Parameters
+    ----------
+    service:
+        The (usually serving) :class:`TuningService` to expose, or a
+        pre-built :class:`LocalClient` when the caller wants to share one
+        (e.g. with locally registered jobs).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (tests, CI), read
+        back via :attr:`port` / :attr:`url`.
+
+    The gateway does not own the service lifecycle: start the daemon with
+    ``service.serve()`` before (or after) :meth:`start`, and shut it down
+    yourself once the gateway stopped accepting requests.
+    """
+
+    def __init__(
+        self,
+        service: TuningService | LocalClient,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        client = service if isinstance(service, LocalClient) else LocalClient(service)
+        self._server = _GatewayServer((host, port), _GatewayHandler)
+        self._server.gateway_client = client
+        self._thread: threading.Thread | None = None
+        self._loop_started = False
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL an :class:`~repro.service.client.HttpClient` connects to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TuningGateway":
+        """Serve on a background thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._loop_started = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-tuning-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or Ctrl-C)."""
+        self._loop_started = True
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting requests and release the listening socket."""
+        if self._loop_started:
+            # shutdown() waits on serve_forever's exit event; calling it
+            # when no serve loop ever ran would block forever.
+            self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TuningGateway":
+        if not self._loop_started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -51,6 +51,17 @@ class SchedulingPolicy:
         """Return one of ``ready`` (guaranteed non-empty, in submission order)."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """The policy's private memory as a JSON-safe dict (empty if stateless).
+
+        Together with :meth:`load_state_dict` this lets the service-level
+        registry checkpoint resume scheduling exactly where it stopped.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore memory previously captured by :meth:`state_dict`."""
+
 
 class FifoPolicy(SchedulingPolicy):
     """Always advance the earliest-submitted ready session."""
@@ -105,6 +116,16 @@ class RoundRobinPolicy(SchedulingPolicy):
         )
         self._last = chosen.session_id
         return chosen
+
+    def state_dict(self) -> dict:
+        return {
+            "order": sorted(self._order, key=self._order.__getitem__),
+            "last": self._last,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = {sid: rank for rank, sid in enumerate(state.get("order", []))}
+        self._last = state.get("last")
 
 
 class CostAwarePolicy(SchedulingPolicy):

@@ -73,25 +73,64 @@ from __future__ import annotations
 
 import copy
 import itertools
+import json
 import multiprocessing
+import os
 import threading
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any
+from pathlib import Path
+from typing import Any, Mapping
 
 from repro.core.optimizer import BaseOptimizer, OptimizationResult
 from repro.core.space import Configuration
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    BadRequestError,
+    ConflictError,
+    JobSpec,
+    resolve_spec,
+)
 from repro.service.scheduler import SchedulingPolicy, make_policy
 from repro.service.session import SessionStatus, TuningSession
+from repro.workloads import load_job
 from repro.workloads.base import Job, JobOutcome
 
 __all__ = ["TuningService"]
 
 _EXECUTOR_KINDS = ("thread", "process")
 
+_REGISTRY_CHECKPOINT_VERSION = 1
+
 
 def _run_job(job: Job, config: Configuration) -> JobOutcome:
     """Run ``job`` on ``config``; module-level so process pools can pickle it."""
+    return job.run(config)
+
+
+#: Per-worker-process cache of registry job tables, keyed by fully-qualified
+#: name.  Populated by the pool initializer (for the names known when the
+#: pool starts) and lazily by :func:`_run_registry_job` (for sessions
+#: submitted to a live daemon afterwards).  Tables are deterministic to
+#: rebuild from their name, so a cached copy is identical to the submitter's.
+_WORKER_JOBS: dict[str, Job] = {}
+
+
+def _warm_worker(job_names: tuple[str, ...]) -> None:
+    """Process-pool initializer: build each known registry job once per worker."""
+    for name in job_names:
+        _WORKER_JOBS.setdefault(name, load_job(name))
+
+
+def _run_registry_job(name: str, config: Configuration) -> JobOutcome:
+    """Run a registry job by name, shipping only the name to the worker.
+
+    This replaces pickling the whole lookup table into every profiling run:
+    the worker rebuilds (or reuses) the table from its per-process cache.
+    """
+    job = _WORKER_JOBS.get(name)
+    if job is None:
+        job = _WORKER_JOBS[name] = load_job(name)
     return job.run(config)
 
 
@@ -116,15 +155,19 @@ class _SessionRecord:
     (``bootstrap_parallel`` mode only); outcomes may complete out of order
     but are told strictly in order, so the observation trace stays identical
     to a serial run.  ``inflight`` is the single outstanding post-ask
-    dispatch of the normal path.
+    dispatch of the normal path.  ``job_ref`` is the job's registry name when
+    the session was submitted by spec and the name resolves through the
+    built-in workload registry — process-pool runs then ship the name instead
+    of the pickled table.
     """
 
-    __slots__ = ("session", "batch", "inflight")
+    __slots__ = ("session", "batch", "inflight", "job_ref")
 
-    def __init__(self, session: TuningSession) -> None:
+    def __init__(self, session: TuningSession, job_ref: str | None = None) -> None:
         self.session = session
         self.batch: deque[_Dispatch] = deque()
         self.inflight: _Dispatch | None = None
+        self.job_ref = job_ref
 
 
 class TuningService:
@@ -223,11 +266,68 @@ class TuningService:
             optimizer = copy.deepcopy(optimizer)
         with self._wakeup:
             if session_id is None:
-                session_id = f"session-{next(self._ids)}"
+                session_id = self._fresh_session_id_locked()
             if session_id in self._records:
                 raise ValueError(f"duplicate session id {session_id!r}")
             session = TuningSession(session_id, job, optimizer, **options)
             self._records[session_id] = _SessionRecord(session)
+            self._wakeup.notify_all()
+            return session_id
+
+    def _fresh_session_id_locked(self) -> str:
+        # Skip ids already taken by caller-chosen or restored sessions: a
+        # registry restored from a checkpoint does not advance the counter.
+        while True:
+            session_id = f"session-{next(self._ids)}"
+            if session_id not in self._records:
+                return session_id
+
+    def submit_spec(
+        self,
+        spec: JobSpec,
+        *,
+        session_id: str | None = None,
+        extra_jobs: Mapping[str, Job] | None = None,
+        extra_optimizers: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Register a new session from a declarative :class:`~repro.service.api.JobSpec`.
+
+        This is the protocol entry point used by every
+        :class:`~repro.service.client.TuningClient`: the job and optimizer
+        are *resolved by name* through the registries (``extra_jobs`` /
+        ``extra_optimizers`` are caller-local overlays for live objects), so
+        the spec can have crossed a process or network boundary.
+        Spec-submitted sessions are additionally:
+
+        * eligible for the process executor's per-worker job cache (the
+          worker rebuilds the table from its registry name instead of
+          unpickling it per run), and
+        * coverable by the service-level registry checkpoint
+          (:meth:`save_registry`), because the spec alone reconstructs them.
+
+        Raises :class:`~repro.service.api.UnknownJobError` /
+        :class:`~repro.service.api.UnknownOptimizerError` /
+        :class:`~repro.service.api.BadRequestError` on resolution failures
+        and :class:`~repro.service.api.ConflictError` on a duplicate id.
+        """
+        if session_id is not None and not session_id:
+            # An empty id would be unroutable over the HTTP gateway.
+            raise BadRequestError("session_id must be a non-empty string")
+        # Resolution builds the job table and optimizer — potentially
+        # expensive, touches no service state — so keep it off the lock.
+        job, optimizer, options, cacheable = resolve_spec(
+            spec, extra_jobs=extra_jobs, extra_optimizers=extra_optimizers
+        )
+        with self._wakeup:
+            if session_id is None:
+                session_id = self._fresh_session_id_locked()
+            if session_id in self._records:
+                raise ConflictError(f"duplicate session id {session_id!r}")
+            session = TuningSession(session_id, job, optimizer, **options)
+            session.spec = spec
+            self._records[session_id] = _SessionRecord(
+                session, job_ref=job.name if cacheable else None
+            )
             self._wakeup.notify_all()
             return session_id
 
@@ -307,6 +407,99 @@ class TuningService:
                         dispatch.future.cancel()
                 self._wakeup.notify_all()
             return changed
+
+    # -- service-level checkpoint --------------------------------------------
+    def save_registry(self, path: str | Path) -> Path:
+        """Checkpoint the whole service — every session plus the scheduler
+        cursor — into one JSON file.
+
+        This replaces one-file-per-session checkpointing as the service
+        default: a daemon stopped with ``shutdown(drain=False)`` leaves every
+        session at a step boundary, after which one ``save_registry`` call
+        captures all of them atomically.  Only spec-submitted sessions
+        qualify (the spec is what makes a session reconstructable from JSON
+        alone); sessions submitted as live objects must be checkpointed
+        individually with :meth:`TuningSession.save`.
+
+        Not available while the daemon is serving (runs may be in flight).
+        """
+        with self._lock:
+            if self._serving:
+                raise RuntimeError(
+                    "cannot checkpoint while serve() is running; shutdown() first"
+                )
+            unspecced = [
+                sid for sid, record in self._records.items()
+                if record.session.spec is None
+            ]
+            if unspecced:
+                raise ValueError(
+                    f"sessions without a JobSpec cannot be service-checkpointed: "
+                    f"{unspecced}; submit them via submit_spec()/a TuningClient, "
+                    "or checkpoint them individually with TuningSession.save()"
+                )
+            payload = {
+                "version": _REGISTRY_CHECKPOINT_VERSION,
+                "protocol_version": PROTOCOL_VERSION,
+                "policy": {
+                    "name": self.policy.name,
+                    "state": self.policy.state_dict(),
+                },
+                "sessions": [
+                    record.session.checkpoint()
+                    for record in self._records.values()
+                ],
+            }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename: a crash mid-dump must never destroy the previous
+        # good checkpoint (often the only copy of hours of progress).
+        scratch = path.with_name(path.name + ".tmp")
+        with scratch.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(scratch, path)
+        return path
+
+    def restore_registry(
+        self, path: str | Path, *, extra_jobs: Mapping[str, Job] | None = None
+    ) -> list[str]:
+        """Re-register every session of a :meth:`save_registry` checkpoint.
+
+        Jobs and optimizers are rebuilt from each session's embedded spec;
+        the scheduler cursor is restored when the checkpoint's policy matches
+        this service's (otherwise the fresh policy starts clean).  Returns
+        the restored session ids, in their original submission order.
+        """
+        with Path(path).open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _REGISTRY_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported registry checkpoint version {payload.get('version')!r}"
+            )
+        restored: list[tuple[TuningSession, str | None]] = []
+        for entry in payload["sessions"]:
+            if entry.get("spec") is None:
+                raise ValueError(
+                    f"registry checkpoint entry {entry.get('session_id')!r} has no spec"
+                )
+            spec = JobSpec.from_dict(entry["spec"])
+            job, optimizer, _, cacheable = resolve_spec(spec, extra_jobs=extra_jobs)
+            # restore() re-attaches the spec from the checkpoint itself.
+            session = TuningSession.restore(entry, job, optimizer)
+            restored.append((session, job.name if cacheable else None))
+        with self._wakeup:
+            for session, _ in restored:
+                if session.session_id in self._records:
+                    raise ValueError(f"duplicate session id {session.session_id!r}")
+            for session, job_ref in restored:
+                self._records[session.session_id] = _SessionRecord(
+                    session, job_ref=job_ref
+                )
+            saved_policy = payload.get("policy", {})
+            if saved_policy.get("name") == self.policy.name:
+                self.policy.load_state_dict(saved_policy.get("state", {}))
+            self._wakeup.notify_all()
+        return [session.session_id for session, _ in restored]
 
     # -- serial execution ----------------------------------------------------
     def _ready(self) -> list[TuningSession]:
@@ -425,7 +618,20 @@ class TuningService:
     def _make_executor(self) -> Executor:
         if self.executor_kind == "process":
             context = self.mp_context or multiprocessing.get_context("spawn")
-            return ProcessPoolExecutor(max_workers=self.n_workers, mp_context=context)
+            # Pre-warm each worker with the registry jobs known right now;
+            # sessions submitted to the live daemon later fall back to the
+            # lazy per-worker cache inside _run_registry_job.
+            names = tuple(sorted({
+                record.job_ref
+                for record in self._records.values()
+                if record.job_ref is not None
+            }))
+            return ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=context,
+                initializer=_warm_worker if names else None,
+                initargs=(names,) if names else (),
+            )
         return ThreadPoolExecutor(
             max_workers=self.n_workers, thread_name_prefix="repro-service-worker"
         )
@@ -516,7 +722,14 @@ class TuningService:
     def _submit_run_locked(self, dispatch: _Dispatch) -> None:
         job = dispatch.record.session.job
         if self.executor_kind == "process":
-            future = self._executor.submit(_run_job, job, dispatch.config)
+            if dispatch.record.job_ref is not None:
+                # Ship only the registry name; the worker's per-process cache
+                # holds (or lazily rebuilds) the identical table.
+                future = self._executor.submit(
+                    _run_registry_job, dispatch.record.job_ref, dispatch.config
+                )
+            else:
+                future = self._executor.submit(_run_job, job, dispatch.config)
         else:
             future = self._executor.submit(job.run, dispatch.config)
         dispatch.future = future

@@ -22,7 +22,7 @@ import json
 from collections import deque
 from enum import Enum
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.core.optimizer import BaseOptimizer, OptimizationResult, SessionState
 from repro.core.space import Configuration, EncodedSpace
 from repro.core.state import Observation, OptimizerState
 from repro.workloads.base import Job, JobOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.api import JobSpec
 
 __all__ = ["SessionStatus", "TuningSession"]
 
@@ -112,6 +115,12 @@ class TuningSession:
         self.state: SessionState | None = None
         self._result: OptimizationResult | None = None
         self._cancelled = False
+        #: The declarative JobSpec this session was submitted with, when it
+        #: came through the protocol layer (TuningService.submit_spec / a
+        #: TuningClient).  Sessions with a spec are fully reconstructable
+        #: from their checkpoint alone, which the service-level registry
+        #: checkpoint (TuningService.save_registry) relies on.
+        self.spec: "JobSpec | None" = None
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -263,6 +272,7 @@ class TuningSession:
             "optimizer_name": self.optimizer.name,
             "status": self.status.value,
             "options": options,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
             "state": None,
         }
         if self.state is None:
@@ -325,6 +335,12 @@ class TuningSession:
             ]
         session = cls(data["session_id"], job, optimizer, **options)
         session._cancelled = data["status"] == SessionStatus.CANCELLED.value
+        if data.get("spec") is not None:
+            # Keep the session service-checkpointable after an individual
+            # save/load round trip (save_registry requires the spec).
+            from repro.service.api import JobSpec
+
+            session.spec = JobSpec.from_dict(data["spec"])
         saved = data["state"]
         if saved is None:
             return session

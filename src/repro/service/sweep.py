@@ -1,11 +1,18 @@
 """Mixed-suite sweeps: the service's convenience front-end.
 
-:func:`run_sweep` submits one session per (job, trial) pair to a
-:class:`~repro.service.service.TuningService`, drains it and returns a
-:class:`SweepReport` with per-session rows (CNO against each job's known
-optimum, explorations, spend, terminal status) plus throughput figures.  It
-backs the ``python -m repro sweep`` CLI command and the service throughput
-benchmark.
+:func:`run_sweep` submits one declarative
+:class:`~repro.service.api.JobSpec` per (job, trial) pair through a
+:class:`~repro.service.client.TuningClient`, waits for the results and
+returns a :class:`SweepReport` with per-session rows (CNO against each job's
+known optimum, explorations, spend, terminal status) plus throughput
+figures.  It backs the ``python -m repro sweep`` CLI command and the service
+throughput benchmark.
+
+Local vs. remote is a constructor choice: by default the sweep builds an
+in-process service and a :class:`~repro.service.client.LocalClient` (serial
+runs stay bit-identical to the pre-protocol implementation); pass
+``client=HttpClient("http://host:port")`` to run the same sweep against a
+remote ``python -m repro serve`` gateway.
 
 Job lists accept fully-qualified job names (``"scout-spark-kmeans"``) and the
 suite aliases ``"tensorflow"``, ``"scout"``, ``"cherrypick"`` and ``"all"``,
@@ -21,13 +28,50 @@ from dataclasses import dataclass, field
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.core.lynceus import LynceusOptimizer
 from repro.core.optimizer import BaseOptimizer
+from repro.service.api import (
+    ConflictError,
+    JobSpec,
+    OptimizerSpec,
+    ServiceError,
+    optimizer_to_spec,
+)
+from repro.service.client import LocalClient, TuningClient
 from repro.service.scheduler import SchedulingPolicy
 from repro.service.service import TuningService
 from repro.workloads import available_jobs, load_job
 
-__all__ = ["SweepRow", "SweepReport", "expand_job_names", "make_optimizer", "run_sweep"]
+__all__ = [
+    "SweepRow",
+    "SweepReport",
+    "expand_job_names",
+    "make_optimizer",
+    "run_sweep",
+    "submit_with_unique_id",
+]
 
 _SUITE_ALIASES = ("tensorflow", "scout", "cherrypick")
+
+
+def submit_with_unique_id(
+    client: TuningClient, spec: JobSpec, base_id: str, *, retry: bool = True
+) -> str:
+    """Submit ``spec`` under ``base_id``, suffixing on collision.
+
+    A sweep owns readable ids like ``"job/trial-0"``; against a *shared*
+    long-lived service (a remote gateway, a caller-provided client) the same
+    sweep may legitimately run twice, so a duplicate id is retried as
+    ``"job/trial-0#2"``, ``"#3"``, ... instead of failing mid-sweep.
+    """
+    if not retry:
+        return client.submit(spec, session_id=base_id).session_id
+    attempt = base_id
+    suffix = 2
+    while True:
+        try:
+            return client.submit(spec, session_id=attempt).session_id
+        except ConflictError:
+            attempt = f"{base_id}#{suffix}"
+            suffix += 1
 
 
 def expand_job_names(specs: Iterable[str]) -> list[str]:
@@ -150,7 +194,7 @@ class SweepReport:
 def run_sweep(
     job_specs: Sequence[str],
     *,
-    optimizer: str | BaseOptimizer = "lynceus",
+    optimizer: str | OptimizerSpec | BaseOptimizer = "lynceus",
     trials: int = 1,
     n_workers: int = 1,
     policy: SchedulingPolicy | str = "fifo",
@@ -160,45 +204,91 @@ def run_sweep(
     base_seed: int = 0,
     fast: bool = False,
     lookahead: int = 2,
+    client: TuningClient | None = None,
 ) -> SweepReport:
-    """Tune every selected job ``trials`` times through the service.
+    """Tune every selected job ``trials`` times through a tuning client.
+
+    With ``client=None`` (the default) the sweep owns an in-process service
+    configured by ``n_workers`` / ``policy`` / ``executor`` /
+    ``bootstrap_parallel``; pass any :class:`TuningClient` (e.g. an
+    :class:`~repro.service.client.HttpClient` pointed at a ``python -m repro
+    serve`` gateway) to run the identical sweep remotely — those four
+    service knobs then belong to the server and only label the report.
 
     Session ``(job, trial)`` uses seed ``base_seed + trial``, so a sweep's
     results are independent of ``n_workers``, of the scheduling policy, of
-    the ``executor`` kind (``"thread"`` or ``"process"``) and of
-    ``bootstrap_parallel``: parallelism and ordering change only wall-clock
-    time.
+    the ``executor`` kind (``"thread"`` or ``"process"``), of
+    ``bootstrap_parallel`` and of the transport: parallelism and ordering
+    change only wall-clock time.
     """
     if trials < 1:
         raise ValueError("trials must be positive")
+    owns_client = client is None
     job_names = expand_job_names(job_specs)
     jobs = {name: load_job(name) for name in dict.fromkeys(job_names)}
 
-    if isinstance(optimizer, str):
-        optimizer = make_optimizer(optimizer, lookahead=lookahead, fast=fast)
+    live_optimizer: BaseOptimizer | None = None
+    if isinstance(optimizer, OptimizerSpec):
+        opt_spec = optimizer
+    elif isinstance(optimizer, BaseOptimizer):
+        try:
+            opt_spec = optimizer_to_spec(optimizer)
+        except ServiceError:
+            # Not expressible on the wire (subclass / live callables); keep
+            # it runnable locally through the client's optimizer overlay.
+            live_optimizer = optimizer
+    else:
+        opt_spec = optimizer_to_spec(
+            make_optimizer(optimizer, lookahead=lookahead, fast=fast)
+        )
 
-    service = TuningService(
-        n_workers=n_workers,
-        policy=policy,
-        executor=executor,
-        bootstrap_parallel=bootstrap_parallel,
-    )
+    if client is None:
+        client = LocalClient(
+            TuningService(
+                n_workers=n_workers,
+                policy=policy,
+                executor=executor,
+                bootstrap_parallel=bootstrap_parallel,
+            )
+        )
+    if live_optimizer is not None:
+        if not isinstance(client, LocalClient):
+            raise ValueError(
+                f"optimizer {live_optimizer.name!r} holds non-serialisable "
+                "state and cannot run through a remote client"
+            )
+        opt_spec = OptimizerSpec(
+            name=client.register_live_optimizer("sweep", live_optimizer)
+        )
+
     submitted: list[tuple[str, str, int, int]] = []  # (session_id, job, trial, seed)
     for trial in range(trials):
         seed = base_seed + trial
         for name in job_names:
-            session_id = service.submit(
-                jobs[name],
-                optimizer,
-                session_id=f"{name}/trial-{trial}",
-                budget_multiplier=budget_multiplier,
-                seed=seed,
+            session_id = submit_with_unique_id(
+                client,
+                JobSpec(
+                    job=name,
+                    optimizer=opt_spec,
+                    budget_multiplier=budget_multiplier,
+                    seed=seed,
+                ),
+                f"{name}/trial-{trial}",
+                # A freshly-built private service cannot collide; a shared
+                # client (remote gateway) may already hold an earlier sweep.
+                retry=not owns_client,
             )
             submitted.append((session_id, name, trial, seed))
 
     started = time.perf_counter()
-    results = service.drain()
+    results = client.wait([sid for sid, _, _, _ in submitted])
     wall_seconds = time.perf_counter() - started
+    missing = [sid for sid, _, _, _ in submitted if sid not in results]
+    if missing:
+        raise RuntimeError(
+            f"{len(missing)} session(s) terminated without a result "
+            f"(cancelled or failed): {missing}"
+        )
 
     # Each job's optimum is deterministic; compute it once for the CNO column.
     optima = {
@@ -207,12 +297,13 @@ def run_sweep(
 
     report = SweepReport(
         n_workers=n_workers,
-        policy=service.policy.name,
-        executor=service.executor_kind,
+        policy=policy if isinstance(policy, str) else policy.name,
+        executor=executor,
         wall_seconds=wall_seconds,
     )
     for session_id, name, trial, seed in submitted:
-        result = results[session_id]
+        response = results[session_id]
+        result = response.optimization_result()
         report.rows.append(
             SweepRow(
                 session_id=session_id,
@@ -220,7 +311,7 @@ def run_sweep(
                 optimizer_name=result.optimizer_name,
                 trial=trial,
                 seed=seed,
-                status=service.get(session_id).status.value,
+                status=response.status,
                 cno=result.cno(optima[name]),
                 n_explorations=result.n_explorations,
                 budget=result.budget,

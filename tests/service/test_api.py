@@ -1,0 +1,261 @@
+"""The wire protocol: round-trips, tolerance, version rejection, registries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.extensions import ConstrainedLynceusOptimizer, MetricConstraint
+from repro.core.lynceus import LynceusOptimizer
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    BadRequestError,
+    CancelResponse,
+    ErrorResponse,
+    JobSpec,
+    ListResponse,
+    OptimizerSpec,
+    PollResponse,
+    ProtocolMismatchError,
+    ResultNotReadyError,
+    ResultResponse,
+    ServiceError,
+    SessionCancelledError,
+    SubmitRequest,
+    SubmitResponse,
+    UnknownJobError,
+    UnknownOptimizerError,
+    UnknownSessionError,
+    available_optimizers,
+    optimizer_to_spec,
+    register_job,
+    register_optimizer,
+    unregister_optimizer,
+    resolve_job,
+    resolve_optimizer,
+    resolve_spec,
+    unregister_job,
+)
+from repro.workloads.generators import make_synthetic_job
+
+
+def _spec(**overrides) -> JobSpec:
+    defaults = dict(
+        job="cherrypick-tpch",
+        optimizer=OptimizerSpec("lynceus", {"lookahead": 1, "gh_order": 3}),
+        tmax=120.0,
+        budget=55.5,
+        budget_multiplier=2.0,
+        n_bootstrap=4,
+        initial_configs=({"x0": 1.0, "c0": "option0"}, {"x0": 2.0, "c0": "option1"}),
+        seed=17,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+_MESSAGES = [
+    _spec(),
+    OptimizerSpec("bo", {"n_estimators": 5}),
+    SubmitRequest(spec=_spec(), session_id="tenant/42"),
+    SubmitResponse(session_id="session-0"),
+    PollResponse(session_id="s", status="running", metrics={"n_explorations": 3}),
+    ListResponse(
+        sessions=(PollResponse(session_id="a", status="pending"),
+                  PollResponse(session_id="b", status="done")),
+    ),
+    ResultResponse(session_id="s", status="done", result={"best_cost": 1.5}),
+    CancelResponse(session_id="s", cancelled=True, status="cancelled"),
+    ErrorResponse(code="unknown_session", message="nope"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message", _MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_every_message_type_survives_json(self, message):
+        # dataclass -> dict -> JSON text -> dict -> dataclass, value-equal.
+        wire = json.loads(json.dumps(message.to_dict()))
+        assert type(message).from_dict(wire) == message
+
+    @pytest.mark.parametrize(
+        "message", _MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_unknown_fields_are_tolerated(self, message):
+        wire = message.to_dict()
+        wire["added_in_protocol_2"] = {"whatever": [1, 2, 3]}
+        assert type(message).from_dict(wire) == message
+
+    def test_messages_carry_the_protocol_version(self):
+        for message in _MESSAGES:
+            if isinstance(message, (JobSpec, OptimizerSpec)):
+                continue  # nested payloads; the envelope carries the version
+            assert message.to_dict()["protocol_version"] == PROTOCOL_VERSION
+
+    @pytest.mark.parametrize(
+        "cls",
+        [SubmitRequest, SubmitResponse, PollResponse, ListResponse,
+         ResultResponse, CancelResponse],
+    )
+    def test_version_mismatch_is_rejected(self, cls):
+        for message in _MESSAGES:
+            if type(message) is cls:
+                wire = message.to_dict()
+                break
+        wire["protocol_version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolMismatchError, match="protocol version"):
+            cls.from_dict(wire)
+
+    def test_error_response_decodes_version_mismatch_errors(self):
+        # An error *about* a version mismatch must itself decode.
+        wire = ErrorResponse(code="protocol_mismatch", message="m").to_dict()
+        wire["protocol_version"] = 999
+        assert ErrorResponse.from_dict(wire).code == "protocol_mismatch"
+
+
+class TestMalformedSpecs:
+    def test_jobspec_requires_a_job_name(self):
+        with pytest.raises(BadRequestError, match="job"):
+            JobSpec.from_dict({"optimizer": {"name": "rnd"}})
+
+    def test_jobspec_rejects_non_object_payloads(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            JobSpec.from_dict(["not", "a", "dict"])
+
+    def test_jobspec_rejects_non_object_initial_configs(self):
+        for bad in ([1, 2], "nope", [{"x0": 1.0}, 3]):
+            with pytest.raises(BadRequestError, match="initial_configs"):
+                JobSpec.from_dict({"job": "j", "initial_configs": bad})
+
+    def test_optimizer_params_must_be_an_object(self):
+        with pytest.raises(BadRequestError, match="params"):
+            OptimizerSpec.from_dict({"name": "rnd", "params": [1, 2]})
+
+    def test_submit_request_requires_a_spec(self):
+        with pytest.raises(BadRequestError, match="spec"):
+            SubmitRequest.from_dict({"session_id": "x"})
+
+    def test_submit_request_rejects_empty_session_ids(self):
+        # An empty id would be unroutable as an HTTP path segment.
+        with pytest.raises(BadRequestError, match="non-empty"):
+            SubmitRequest.from_dict({"spec": _spec().to_dict(), "session_id": ""})
+
+
+class TestErrorModel:
+    def test_codes_round_trip_to_the_same_exception_types(self):
+        for exc_cls in (
+            BadRequestError, ProtocolMismatchError, UnknownJobError,
+            UnknownOptimizerError, UnknownSessionError, ResultNotReadyError,
+            SessionCancelledError,
+        ):
+            response = ErrorResponse.from_exception(exc_cls("boom"))
+            decoded = response.to_exception()
+            assert type(decoded) is exc_cls
+            assert str(decoded) == "boom"
+
+    def test_unknown_codes_decode_to_the_base_error(self):
+        decoded = ErrorResponse(code="from_the_future", message="m").to_exception()
+        assert type(decoded) is ServiceError
+
+
+class TestRegistries:
+    def test_builtin_optimizers_resolve(self):
+        assert set(available_optimizers()) >= {"lynceus", "bo", "rnd"}
+        assert isinstance(resolve_optimizer(OptimizerSpec("rnd")), RandomSearchOptimizer)
+        assert isinstance(resolve_optimizer(OptimizerSpec("bo")), BayesianOptimizer)
+        lyn = resolve_optimizer(OptimizerSpec("lynceus", {"lookahead": 1}))
+        assert isinstance(lyn, LynceusOptimizer) and lyn.lookahead == 1
+
+    def test_unknown_optimizer_and_bad_params_raise(self):
+        with pytest.raises(UnknownOptimizerError, match="grid"):
+            resolve_optimizer(OptimizerSpec("grid"))
+        with pytest.raises(BadRequestError, match="invalid parameters"):
+            resolve_optimizer(OptimizerSpec("lynceus", {"lookahead": -2}))
+        with pytest.raises(BadRequestError, match="invalid parameters"):
+            resolve_optimizer(OptimizerSpec("rnd", {"no_such_arg": 1}))
+
+    def test_workload_registry_jobs_are_cacheable(self):
+        job, cacheable = resolve_job("scout-spark-kmeans")
+        assert cacheable and job.name == "scout-spark-kmeans"
+
+    def test_registered_factories_resolve_but_are_not_cacheable(self):
+        register_job("api-test-job", lambda: make_synthetic_job(seed=9, name="api-test-job"))
+        try:
+            job, cacheable = resolve_job("api-test-job")
+            assert not cacheable and job.name == "api-test-job"
+        finally:
+            unregister_job("api-test-job")
+        with pytest.raises(UnknownJobError, match="api-test-job"):
+            resolve_job("api-test-job")
+
+    def test_extra_jobs_overlay_wins(self):
+        live = make_synthetic_job(seed=2, name="overlay")
+        job, cacheable = resolve_job("overlay", extra_jobs={"overlay": live})
+        assert job is live and not cacheable
+
+    def test_resolve_spec_builds_session_options(self):
+        spec = _spec(job="scout-spark-kmeans")
+        job, optimizer, options, cacheable = resolve_spec(spec)
+        assert job.name == "scout-spark-kmeans" and cacheable
+        assert isinstance(optimizer, LynceusOptimizer)
+        assert options["tmax"] == 120.0 and options["seed"] == 17
+        assert [c.as_dict() for c in options["initial_configs"]] == [
+            dict(c) for c in spec.initial_configs
+        ]
+
+    def test_register_optimizer_extends_the_registry(self):
+        register_optimizer("rnd-seeded", lambda: RandomSearchOptimizer(seed=42))
+        try:
+            built = resolve_optimizer(OptimizerSpec("rnd-seeded"))
+            assert built.seed == 42
+        finally:
+            unregister_optimizer("rnd-seeded")
+        with pytest.raises(UnknownOptimizerError, match="rnd-seeded"):
+            resolve_optimizer(OptimizerSpec("rnd-seeded"))
+
+
+class TestOptimizerToSpec:
+    def test_round_trips_every_builtin_family(self):
+        for optimizer in (
+            RandomSearchOptimizer(seed=3),
+            BayesianOptimizer(model="gp", n_estimators=7),
+            LynceusOptimizer(lookahead=2, gh_order=3, speculation="believer",
+                             lookahead_pool_size=12),
+        ):
+            spec = optimizer_to_spec(optimizer)
+            rebuilt = resolve_optimizer(spec)
+            assert type(rebuilt) is type(optimizer)
+            assert rebuilt.name == optimizer.name
+            assert rebuilt.spec_params == optimizer.spec_params
+
+    def test_subclasses_refuse(self):
+        constrained = ConstrainedLynceusOptimizer(
+            constraints=[
+                MetricConstraint(
+                    name="m", threshold=1.0, metric=lambda config, outcome: outcome.cost
+                )
+            ]
+        )
+        with pytest.raises(UnknownOptimizerError, match="register_optimizer"):
+            optimizer_to_spec(constrained)
+
+    def test_live_callables_refuse(self):
+        with_estimator = LynceusOptimizer(setup_cost_estimator=lambda job, c: 0.0)
+        with pytest.raises(BadRequestError, match="non-serialisable"):
+            optimizer_to_spec(with_estimator)
+
+    def test_specs_resolve_through_jobspec_json(self, cherrypick_job):
+        # The whole JobSpec survives the wire and resolves to equivalents.
+        spec = JobSpec(
+            job=cherrypick_job.name,
+            optimizer=optimizer_to_spec(BayesianOptimizer(n_estimators=4)),
+            seed=1,
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        job, optimizer, options, _ = resolve_spec(JobSpec.from_dict(wire))
+        assert job.name == cherrypick_job.name
+        assert optimizer.n_estimators == 4
+        assert options["seed"] == 1

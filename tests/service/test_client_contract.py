@@ -1,0 +1,233 @@
+"""One behavioural contract, two transports.
+
+Every test in this module runs twice: once against a :class:`LocalClient`
+wrapping an in-process daemon, and once against an :class:`HttpClient`
+talking to a real :class:`TuningGateway` on an ephemeral port.  The client
+under test is always backed by a *serving* daemon, so submissions progress
+in the background exactly as they would in production.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    BadRequestError,
+    ConflictError,
+    JobSpec,
+    OptimizerSpec,
+    ResultNotReadyError,
+    SessionCancelledError,
+    UnknownJobError,
+    UnknownOptimizerError,
+    UnknownSessionError,
+    register_job,
+    unregister_job,
+)
+from repro.service.client import HttpClient, LocalClient
+from repro.service.http import TuningGateway
+from repro.service.service import TuningService
+from repro.workloads.base import TabulatedJob
+from repro.workloads.generators import make_synthetic_job
+
+FAST_JOB = "contract-fast"
+SLOW_JOB = "contract-slow"
+
+
+class _SlowTabulatedJob(TabulatedJob):
+    """A lookup job whose runs take real wall-clock time (~30 ms each)."""
+
+    def run(self, config):
+        time.sleep(0.03)
+        return super().run(config)
+
+
+def _make_fast_job() -> TabulatedJob:
+    return make_synthetic_job(seed=11, name=FAST_JOB)
+
+
+def _make_slow_job() -> TabulatedJob:
+    base = make_synthetic_job(seed=12, name=SLOW_JOB)
+    return _SlowTabulatedJob(
+        name=base.name,
+        _space=base.space,
+        runs=base.runs,
+        timeout_seconds=base.timeout_seconds,
+        metadata=dict(base.metadata),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_jobs():
+    """Make the test jobs resolvable by name — for both transports."""
+    register_job(FAST_JOB, _make_fast_job)
+    register_job(SLOW_JOB, _make_slow_job)
+    yield
+    unregister_job(FAST_JOB)
+    unregister_job(SLOW_JOB)
+
+
+@pytest.fixture(params=["local", "http"])
+def client(request):
+    service = TuningService(n_workers=2, policy="round-robin")
+    service.serve()
+    gateway = None
+    if request.param == "local":
+        tuning_client = LocalClient(service)
+    else:
+        gateway = TuningGateway(service, port=0).start()
+        tuning_client = HttpClient(gateway.url)
+    try:
+        yield tuning_client
+    finally:
+        if gateway is not None:
+            gateway.close()
+        service.shutdown(drain=False)
+
+
+def fast_spec(seed: int = 0, **overrides) -> JobSpec:
+    options = dict(
+        job=FAST_JOB,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+    )
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+def slow_spec(seed: int = 0) -> JobSpec:
+    return JobSpec(
+        job=SLOW_JOB,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=3.0,
+        seed=seed,
+    )
+
+
+class TestSubmitPollResult:
+    def test_full_session_round_trip(self, client):
+        response = client.submit(fast_spec(seed=5))
+        assert response.session_id
+        results = client.wait([response.session_id], timeout=60)
+        snapshot = client.poll(response.session_id)
+        assert snapshot.terminal
+        assert snapshot.metrics["n_explorations"] > 0
+        result = results[response.session_id].optimization_result()
+        assert result.best_config is not None
+        assert result.n_explorations == snapshot.metrics["n_explorations"]
+
+    def test_results_are_bit_identical_to_an_inprocess_run(self, client):
+        # The protocol boundary must not change a single decision.
+        direct = RandomSearchOptimizer().optimize(
+            _make_fast_job(), budget_multiplier=1.0, seed=23
+        )
+        response = client.submit(fast_spec(seed=23))
+        remote = client.wait([response.session_id], timeout=60)[
+            response.session_id
+        ].optimization_result()
+        assert [o.config for o in remote.observations] == [
+            o.config for o in direct.observations
+        ]
+        assert remote.best_cost == direct.best_cost
+        assert remote.budget_spent == direct.budget_spent
+
+    def test_caller_chosen_ids_and_listing(self, client):
+        ids = [
+            client.submit(fast_spec(seed=i), session_id=f"tenant/{i}").session_id
+            for i in range(3)
+        ]
+        assert ids == ["tenant/0", "tenant/1", "tenant/2"]
+        listed = [snapshot.session_id for snapshot in client.sessions()]
+        assert listed == ids
+        client.wait(ids, timeout=60)
+
+    def test_duplicate_session_id_conflicts(self, client):
+        client.submit(fast_spec(seed=0), session_id="dup")
+        with pytest.raises(ConflictError, match="duplicate"):
+            client.submit(fast_spec(seed=1), session_id="dup")
+        client.wait(["dup"], timeout=60)
+
+    def test_health_snapshot(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol_version"] == PROTOCOL_VERSION
+        assert health["serving"] is True
+
+
+class TestErrors:
+    def test_unknown_session_everywhere(self, client):
+        with pytest.raises(UnknownSessionError):
+            client.poll("nope")
+        with pytest.raises(UnknownSessionError):
+            client.result("nope")
+        with pytest.raises(UnknownSessionError):
+            client.cancel("nope")
+
+    def test_unknown_job_and_optimizer_reject_at_submit(self, client):
+        with pytest.raises(UnknownJobError):
+            client.submit(fast_spec(job="no-such-job"))
+        with pytest.raises(UnknownOptimizerError):
+            client.submit(fast_spec(optimizer=OptimizerSpec("grid-search")))
+
+    def test_empty_session_id_rejects_at_submit(self, client):
+        with pytest.raises(BadRequestError):
+            client.submit(fast_spec(), session_id="")
+
+    def test_result_before_terminal_is_not_ready(self, client):
+        response = client.submit(slow_spec())
+        try:
+            with pytest.raises(ResultNotReadyError):
+                client.result(response.session_id)
+        finally:
+            client.cancel(response.session_id)
+
+
+class TestCancel:
+    def test_cancel_live_session_then_idempotent(self, client):
+        response = client.submit(slow_spec(seed=1))
+        cancelled = client.cancel(response.session_id)
+        assert cancelled.cancelled is True
+        assert cancelled.status == "cancelled"
+        assert client.poll(response.session_id).status == "cancelled"
+        # Cancelling again is an idempotent no-op, not an error.
+        again = client.cancel(response.session_id)
+        assert again.cancelled is False
+        assert again.status == "cancelled"
+
+    def test_cancelled_sessions_never_produce_results(self, client):
+        response = client.submit(slow_spec(seed=2))
+        client.cancel(response.session_id)
+        with pytest.raises(SessionCancelledError):
+            client.result(response.session_id)
+        # wait() treats cancelled as terminal and omits it from the results.
+        assert client.wait([response.session_id], timeout=60) == {}
+
+    def test_cancel_after_done_conflicts(self, client):
+        response = client.submit(fast_spec(seed=3))
+        client.wait([response.session_id], timeout=60)
+        with pytest.raises(ConflictError):
+            client.cancel(response.session_id)
+
+
+class TestWait:
+    def test_wait_times_out(self, client):
+        response = client.submit(slow_spec(seed=4))
+        try:
+            with pytest.raises(TimeoutError):
+                client.wait([response.session_id], timeout=0.05, poll_interval=0.01)
+        finally:
+            client.cancel(response.session_id)
+
+    def test_wait_defaults_to_every_session(self, client):
+        ids = [client.submit(fast_spec(seed=i)).session_id for i in range(2)]
+        results = client.wait(timeout=60)
+        assert set(results) == set(ids)
+
+    def test_wait_on_unknown_sessions_raises(self, client):
+        with pytest.raises(UnknownSessionError):
+            client.wait(["no-such-session"], timeout=5)

@@ -1,0 +1,231 @@
+"""The REST gateway itself: raw status codes, JSON bodies, route handling."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import PROTOCOL_VERSION, register_job, unregister_job
+from repro.service.http import TuningGateway
+from repro.service.service import TuningService
+from repro.workloads.generators import make_synthetic_job
+
+JOB = "http-test-job"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_job():
+    register_job(JOB, lambda: make_synthetic_job(seed=21, name=JOB))
+    yield
+    unregister_job(JOB)
+
+
+@pytest.fixture
+def gateway():
+    service = TuningService(n_workers=2)
+    service.serve()
+    gw = TuningGateway(service, port=0).start()
+    try:
+        yield gw
+    finally:
+        gw.close()
+        service.shutdown(drain=False)
+
+
+def _raw(gateway, method, path, payload=None):
+    """Issue a raw request, returning (status, decoded JSON body)."""
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        gateway.url + path,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _submit_payload(seed=0, session_id=None, **spec_overrides):
+    spec = {
+        "job": JOB,
+        "optimizer": {"name": "rnd", "params": {}},
+        "budget_multiplier": 1.0,
+        "seed": seed,
+    }
+    spec.update(spec_overrides)
+    return {
+        "spec": spec,
+        "session_id": session_id,
+        "protocol_version": PROTOCOL_VERSION,
+    }
+
+
+def _wait_terminal(gateway, session_id, timeout=30.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = _raw(gateway, "GET", f"/v1/sessions/{session_id}")
+        assert status == 200
+        if body["status"] in ("done", "exhausted", "cancelled"):
+            return body["status"]
+        time.sleep(0.02)
+    raise TimeoutError(session_id)
+
+
+class TestHappyPaths:
+    def test_context_manager_starts_and_stops_the_gateway(self):
+        service = TuningService()
+        service.serve()
+        try:
+            with TuningGateway(service, port=0) as gw:
+                status, body = _raw(gw, "GET", "/v1/healthz")
+                assert status == 200 and body["status"] == "ok"
+        finally:
+            service.shutdown(drain=False)
+
+    def test_close_without_start_does_not_hang(self):
+        TuningGateway(TuningService(), port=0).close()  # must return promptly
+
+    def test_healthz(self, gateway):
+        status, body = _raw(gateway, "GET", "/v1/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["protocol_version"] == PROTOCOL_VERSION
+
+    def test_submit_returns_201_and_poll_200(self, gateway):
+        status, body = _raw(gateway, "POST", "/v1/sessions", _submit_payload())
+        assert status == 201
+        sid = body["session_id"]
+        assert body["protocol_version"] == PROTOCOL_VERSION
+        status, listed = _raw(gateway, "GET", "/v1/sessions")
+        assert status == 200
+        assert [s["session_id"] for s in listed["sessions"]] == [sid]
+        final = _wait_terminal(gateway, sid)
+        status, result = _raw(gateway, "GET", f"/v1/sessions/{sid}/result")
+        assert status == 200
+        assert result["status"] == final
+        assert result["result"]["best_config"] is not None
+
+
+class TestErrorCodeMapping:
+    def test_404_unknown_session(self, gateway):
+        for path in ("/v1/sessions/nope", "/v1/sessions/nope/result"):
+            status, body = _raw(gateway, "GET", path)
+            assert status == 404
+            assert body["code"] == "unknown_session"
+        status, body = _raw(gateway, "DELETE", "/v1/sessions/nope")
+        assert status == 404 and body["code"] == "unknown_session"
+
+    def test_409_cancel_after_done(self, gateway):
+        _, body = _raw(gateway, "POST", "/v1/sessions", _submit_payload())
+        sid = body["session_id"]
+        _wait_terminal(gateway, sid)
+        status, body = _raw(gateway, "DELETE", f"/v1/sessions/{sid}")
+        assert status == 409
+        assert body["code"] == "conflict"
+
+    def test_409_result_not_ready(self, gateway):
+        # A fat budget keeps the session alive long enough to poll its result.
+        _, body = _raw(
+            gateway, "POST", "/v1/sessions", _submit_payload(budget_multiplier=50.0)
+        )
+        sid = body["session_id"]
+        status, body = _raw(gateway, "GET", f"/v1/sessions/{sid}/result")
+        if status != 200:  # terminal already on a fast machine is legal
+            assert status == 409
+            assert body["code"] == "not_ready"
+        _raw(gateway, "DELETE", f"/v1/sessions/{sid}")
+
+    def test_400_malformed_spec(self, gateway):
+        status, body = _raw(
+            gateway, "POST", "/v1/sessions", {"protocol_version": PROTOCOL_VERSION}
+        )
+        assert status == 400 and body["code"] == "bad_request"
+        status, body = _raw(
+            gateway, "POST", "/v1/sessions",
+            _submit_payload(job=None) | {"spec": {"optimizer": {"name": "rnd"}}},
+        )
+        assert status == 400 and body["code"] == "bad_request"
+
+    def test_400_unknown_job_and_optimizer(self, gateway):
+        status, body = _raw(
+            gateway, "POST", "/v1/sessions", _submit_payload(job="no-such-job")
+        )
+        assert status == 400 and body["code"] == "unknown_job"
+        payload = _submit_payload()
+        payload["spec"]["optimizer"] = {"name": "grid"}
+        status, body = _raw(gateway, "POST", "/v1/sessions", payload)
+        assert status == 400 and body["code"] == "unknown_optimizer"
+
+    def test_400_protocol_mismatch(self, gateway):
+        payload = _submit_payload()
+        payload["protocol_version"] = PROTOCOL_VERSION + 1
+        status, body = _raw(gateway, "POST", "/v1/sessions", payload)
+        assert status == 400
+        assert body["code"] == "protocol_mismatch"
+
+    def test_400_invalid_json_body(self, gateway):
+        request = urllib.request.Request(
+            gateway.url + "/v1/sessions",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+        assert json.loads(exc_info.value.read())["code"] == "bad_request"
+
+    def test_404_unknown_routes(self, gateway):
+        for method, path in (
+            ("GET", "/nope"),
+            ("GET", "/v1/nope"),
+            ("POST", "/v1/healthz"),
+            ("DELETE", "/v1/sessions"),
+            ("POST", "/v1/sessions/x/result"),
+        ):
+            status, body = _raw(gateway, method, path, payload={})
+            assert status == 404, (method, path)
+            assert body["code"] == "unknown_route"
+
+    def test_rejected_posts_do_not_desync_keepalive_connections(self, gateway):
+        # A body sent to a route that rejects before reading it must be
+        # drained, or the next request on the same connection reads garbage.
+        import http.client
+
+        connection = http.client.HTTPConnection(gateway.host, gateway.port, timeout=10)
+        try:
+            body = json.dumps({"junk": "x" * 256})
+            connection.request(
+                "POST", "/v1/bogus", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            # Same socket, next request: must parse cleanly.
+            connection.request("GET", "/v1/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_slashes_in_session_ids_are_quoted(self, gateway):
+        _, body = _raw(
+            gateway, "POST", "/v1/sessions", _submit_payload(session_id="a/b/c")
+        )
+        assert body["session_id"] == "a/b/c"
+        status, body = _raw(gateway, "GET", "/v1/sessions/a%2Fb%2Fc")
+        assert status == 200 and body["session_id"] == "a/b/c"
+        # The raw path with unescaped slashes is a different (unknown) route.
+        status, _ = _raw(gateway, "GET", "/v1/sessions/a/b/c")
+        assert status == 404
+        _wait_terminal(gateway, "a%2Fb%2Fc")

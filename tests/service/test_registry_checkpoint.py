@@ -1,0 +1,243 @@
+"""Service-level checkpoint (one JSON for all sessions) and worker job caching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.service import service as service_module
+from repro.service.api import JobSpec, OptimizerSpec, register_job, unregister_job
+from repro.service.scheduler import RoundRobinPolicy
+from repro.service.service import TuningService, _run_registry_job
+from repro.workloads.generators import make_synthetic_job
+
+
+def _spec(seed: int, job: str = "scout-spark-kmeans") -> JobSpec:
+    return JobSpec(
+        job=job,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+    )
+
+
+class TestSaveRestoreRegistry:
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path):
+        # Uninterrupted reference.
+        reference = TuningService(policy="round-robin")
+        for seed in range(3):
+            reference.submit_spec(_spec(seed), session_id=f"s{seed}")
+        expected = reference.drain()
+
+        # Same submissions, interrupted mid-flight, checkpointed as ONE file.
+        first = TuningService(policy="round-robin")
+        for seed in range(3):
+            first.submit_spec(_spec(seed), session_id=f"s{seed}")
+        for _ in range(7):
+            first.step()
+        path = first.save_registry(tmp_path / "registry.json")
+
+        second = TuningService(policy="round-robin")
+        restored = second.restore_registry(path)
+        assert restored == ["s0", "s1", "s2"]
+        results = second.drain()
+
+        assert set(results) == set(expected)
+        for sid, result in expected.items():
+            other = results[sid]
+            assert [o.config for o in result.observations] == [
+                o.config for o in other.observations
+            ], sid
+            assert result.best_cost == other.best_cost
+            assert result.budget_spent == other.budget_spent
+
+    def test_checkpoint_is_one_json_file_with_scheduler_cursor(self, tmp_path):
+        service = TuningService(policy="round-robin")
+        for seed in range(2):
+            service.submit_spec(_spec(seed), session_id=f"s{seed}")
+        for _ in range(3):
+            service.step()
+        path = service.save_registry(tmp_path / "registry.json")
+        payload = json.loads(path.read_text())
+        assert payload["protocol_version"] == 1
+        assert payload["policy"]["name"] == "round-robin"
+        assert payload["policy"]["state"]["order"] == ["s0", "s1"]
+        assert [s["session_id"] for s in payload["sessions"]] == ["s0", "s1"]
+        assert all(s["spec"] is not None for s in payload["sessions"])
+
+    def test_restore_resumes_the_round_robin_cursor(self, tmp_path):
+        service = TuningService(policy="round-robin")
+        for seed in range(2):
+            service.submit_spec(_spec(seed), session_id=f"s{seed}")
+        service.step()  # advances s0; cursor now points past it
+        path = service.save_registry(tmp_path / "registry.json")
+
+        fresh = TuningService(policy="round-robin")
+        fresh.restore_registry(path)
+        fresh.step()  # a fresh policy would pick s0 again; the cursor says s1
+        assert fresh.poll("s1")["n_explorations"] == 1
+        assert fresh.poll("s0")["n_explorations"] == 1
+
+    def test_cursor_is_ignored_across_policy_kinds(self, tmp_path):
+        service = TuningService(policy="round-robin")
+        service.submit_spec(_spec(0), session_id="s0")
+        service.step()
+        path = service.save_registry(tmp_path / "registry.json")
+        fifo = TuningService(policy="fifo")
+        fifo.restore_registry(path)  # must not crash on the foreign state
+        assert fifo.drain()["s0"].best_config is not None
+
+    def test_object_submitted_sessions_are_rejected(self, tmp_path, synthetic_job):
+        service = TuningService()
+        service.submit(synthetic_job, RandomSearchOptimizer(), session_id="live")
+        service.submit_spec(_spec(0), session_id="specced")
+        with pytest.raises(ValueError, match="live"):
+            service.save_registry(tmp_path / "registry.json")
+
+    def test_save_refuses_while_serving(self, tmp_path):
+        service = TuningService()
+        service.serve()
+        try:
+            with pytest.raises(RuntimeError, match="serve"):
+                service.save_registry(tmp_path / "registry.json")
+        finally:
+            service.shutdown(drain=False)
+
+    def test_auto_ids_skip_restored_sessions(self, tmp_path):
+        # A restored registry must not make anonymous submissions collide
+        # with the checkpointed "session-N" ids.
+        service = TuningService()
+        auto = service.submit_spec(_spec(0))
+        assert auto == "session-0"
+        path = service.save_registry(tmp_path / "registry.json")
+
+        fresh = TuningService()
+        fresh.restore_registry(path)
+        assert fresh.submit_spec(_spec(1)) == "session-1"
+
+    def test_restore_rejects_duplicate_ids(self, tmp_path):
+        service = TuningService()
+        service.submit_spec(_spec(0), session_id="s0")
+        path = service.save_registry(tmp_path / "registry.json")
+        with pytest.raises(ValueError, match="duplicate"):
+            service.restore_registry(path)
+
+    def test_individual_save_load_keeps_the_spec(self, tmp_path):
+        # A spec-submitted session checkpointed on its own must stay
+        # service-checkpointable after TuningSession.load.
+        from repro.service.api import resolve_spec
+        from repro.service.session import TuningSession
+
+        service = TuningService()
+        service.submit_spec(_spec(0), session_id="solo")
+        for _ in range(2):
+            service.step()
+        session = service.get("solo")
+        path = session.save(tmp_path / "solo.json")
+
+        job, optimizer, _, _ = resolve_spec(session.spec)
+        restored = TuningSession.load(path, job, optimizer)
+        assert restored.spec == session.spec
+
+        fresh = TuningService()
+        fresh.add_session(restored)
+        fresh.save_registry(tmp_path / "registry.json")  # must not raise
+        assert fresh.drain()["solo"].best_config is not None
+
+    def test_registered_factory_jobs_round_trip(self, tmp_path):
+        register_job("ckpt-job", lambda: make_synthetic_job(seed=4, name="ckpt-job"))
+        try:
+            service = TuningService()
+            service.submit_spec(_spec(0, job="ckpt-job"), session_id="c0")
+            for _ in range(2):
+                service.step()
+            path = service.save_registry(tmp_path / "registry.json")
+            fresh = TuningService()
+            fresh.restore_registry(path)
+            assert fresh.drain()["c0"].best_config is not None
+        finally:
+            unregister_job("ckpt-job")
+
+
+class TestWorkerJobCache:
+    def test_spec_submissions_record_the_registry_name(self, synthetic_job):
+        service = TuningService()
+        specced = service.submit_spec(_spec(0))
+        live = service.submit(synthetic_job, RandomSearchOptimizer())
+        records = service._records
+        assert records[specced].job_ref == "scout-spark-kmeans"
+        assert records[live].job_ref is None
+
+    @pytest.mark.slow
+    def test_compare_optimizers_keeps_registry_jobs_cacheable(self, cherrypick_job):
+        # On the process executor the local client's job overlay must not
+        # shadow registry names — shadowing would force per-run pickling.
+        from unittest.mock import patch
+
+        from repro.experiments.runner import compare_optimizers
+
+        captured: list[TuningService] = []
+        original = TuningService.submit_spec
+
+        def spy(self, *args, **kwargs):
+            captured.append(self)
+            return original(self, *args, **kwargs)
+
+        with patch.object(TuningService, "submit_spec", spy):
+            compare_optimizers(
+                cherrypick_job, {"rnd": RandomSearchOptimizer()},
+                n_trials=1, executor="process",
+            )
+        (service,) = set(captured)
+        assert all(
+            record.job_ref == cherrypick_job.name
+            for record in service._records.values()
+        )
+
+    def test_run_registry_job_builds_each_table_once(self, monkeypatch):
+        calls: list[str] = []
+        real_load = service_module.load_job
+
+        def counting_load(name):
+            calls.append(name)
+            return real_load(name)
+
+        monkeypatch.setattr(service_module, "load_job", counting_load)
+        monkeypatch.setattr(service_module, "_WORKER_JOBS", {})
+        job = real_load("cherrypick-tpch")
+        config = job.configurations[0]
+        first = _run_registry_job("cherrypick-tpch", config)
+        second = _run_registry_job("cherrypick-tpch", config)
+        assert calls == ["cherrypick-tpch"]  # built once, cached after
+        assert first == second == job.run(config)
+
+    def test_warm_worker_prefills_the_cache(self, monkeypatch):
+        monkeypatch.setattr(service_module, "_WORKER_JOBS", {})
+        service_module._warm_worker(("cherrypick-tpch",))
+        cached = service_module._WORKER_JOBS["cherrypick-tpch"]
+        job = service_module.load_job("cherrypick-tpch")
+        config = job.configurations[0]
+        assert cached.run(config) == job.run(config)
+
+    @pytest.mark.slow
+    def test_process_pool_runs_spec_sessions_identically(self):
+        # End to end over real spawned workers: the by-name path must produce
+        # the same traces as serial in-process execution.
+        serial = TuningService()
+        for seed in range(2):
+            serial.submit_spec(_spec(seed, job="cherrypick-tpch"), session_id=f"p{seed}")
+        expected = serial.drain()
+
+        pooled = TuningService(n_workers=2, executor="process")
+        for seed in range(2):
+            pooled.submit_spec(_spec(seed, job="cherrypick-tpch"), session_id=f"p{seed}")
+        results = pooled.drain()
+
+        assert set(results) == set(expected)
+        for sid, result in expected.items():
+            assert [o.config for o in result.observations] == [
+                o.config for o in results[sid].observations
+            ], sid
+            assert result.best_cost == results[sid].best_cost

@@ -123,6 +123,28 @@ class TestConcurrentSweep:
 
 
 class TestRunnerIntegration:
+    def test_compare_optimizers_accepts_unspeccable_optimizers_locally(self, synthetic_job):
+        # Optimizers the wire spec cannot express (subclasses with live
+        # state) must keep working through the default local client.
+        from repro.core.extensions import ConstrainedLynceusOptimizer, MetricConstraint
+
+        constrained = ConstrainedLynceusOptimizer(
+            constraints=[
+                MetricConstraint(
+                    name="cost", threshold=1e9,
+                    metric=lambda config, outcome: outcome.cost,
+                )
+            ],
+            lookahead=0, n_estimators=5,
+        )
+        comparison = compare_optimizers(
+            synthetic_job,
+            {"constrained": constrained, "rnd": RandomSearchOptimizer()},
+            n_trials=1,
+        )
+        assert len(comparison.outcomes["constrained"]) == 1
+        assert comparison.outcomes["constrained"][0].n_explorations > 0
+
     def test_compare_optimizers_n_workers_is_reproducible(self, synthetic_job):
         def optimizers():
             return {"bo": BayesianOptimizer(n_estimators=5), "rnd": RandomSearchOptimizer()}

@@ -6,6 +6,9 @@ import pytest
 
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.core.lynceus import LynceusOptimizer
+from repro.service.client import HttpClient
+from repro.service.http import TuningGateway
+from repro.service.service import TuningService
 from repro.service.sweep import expand_job_names, make_optimizer, run_sweep
 from repro.workloads import available_jobs
 
@@ -70,3 +73,55 @@ class TestRunSweep:
     def test_rejects_nonpositive_trials(self):
         with pytest.raises(ValueError, match="trials"):
             run_sweep(["cherrypick-tpch"], optimizer="rnd", trials=0)
+
+
+class TestRemoteSweep:
+    def test_http_sweep_matches_the_local_sweep_row_for_row(self):
+        # Local vs. remote is a constructor choice: the same sweep through an
+        # HttpClient against a live gateway must reproduce every row.
+        local = run_sweep(
+            ["cherrypick-tpch", "scout-spark-kmeans"],
+            optimizer="rnd",
+            trials=2,
+            base_seed=4,
+        )
+
+        service = TuningService(n_workers=2, policy="round-robin")
+        service.serve()
+        gateway = TuningGateway(service, port=0).start()
+        try:
+            remote = run_sweep(
+                ["cherrypick-tpch", "scout-spark-kmeans"],
+                optimizer="rnd",
+                trials=2,
+                base_seed=4,
+                client=HttpClient(gateway.url),
+            )
+        finally:
+            gateway.close()
+            service.shutdown(drain=False)
+
+        assert [r.session_id for r in remote.rows] == [r.session_id for r in local.rows]
+        for ours, theirs in zip(local.rows, remote.rows):
+            assert ours.cno == theirs.cno
+            assert ours.n_explorations == theirs.n_explorations
+            assert ours.budget_spent == theirs.budget_spent
+            assert ours.status == theirs.status
+            assert ours.seed == theirs.seed
+
+    def test_repeated_sweeps_against_one_gateway_do_not_collide(self):
+        # A persistent server keeps earlier sessions; a rerun of the same
+        # sweep must suffix its ids instead of dying on ConflictError.
+        service = TuningService(n_workers=2)
+        service.serve()
+        gateway = TuningGateway(service, port=0).start()
+        try:
+            client = HttpClient(gateway.url)
+            first = run_sweep(["cherrypick-tpch"], optimizer="rnd", client=client)
+            second = run_sweep(["cherrypick-tpch"], optimizer="rnd", client=client)
+        finally:
+            gateway.close()
+            service.shutdown(drain=False)
+        assert [r.session_id for r in first.rows] == ["cherrypick-tpch/trial-0"]
+        assert [r.session_id for r in second.rows] == ["cherrypick-tpch/trial-0#2"]
+        assert first.rows[0].cno == second.rows[0].cno  # same seed, same result
