@@ -21,6 +21,7 @@ import os
 import pytest
 
 from repro.experiments.figures import ExperimentConfig
+from repro.experiments.reporting import ResultsReporter
 
 
 def _bench_trials() -> int:
@@ -54,12 +55,11 @@ def run_once(benchmark, func, *args, **kwargs):
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-#: Result blocks reported during this pytest session, per result name.
-#: Every ``report`` call rewrites its whole target file from these blocks —
-#: never appends to what a previous run left behind — so repeated local runs
-#: are idempotent and can never leave duplicated blocks in the diff.
-#: Partial runs (``-k``) rewrite only the files of the tests they select.
-_session_blocks: dict[str, list[str]] = {}
+#: This pytest session's reporter.  The rewrite-per-session discipline (two
+#: consecutive sessions leave byte-identical files, re-runs never append
+#: duplicate blocks) lives in ResultsReporter and is pinned by
+#: tests/experiments/test_reporting.py.
+_REPORTER = ResultsReporter(os.path.join(os.path.dirname(__file__), "results"))
 
 
 def report(name: str, text: str) -> None:
@@ -71,11 +71,4 @@ def report(name: str, text: str) -> None:
     call: benchmarks that report several blocks under one name still end up
     with all of them, in report order, exactly once.
     """
-    print(text)
-    blocks = _session_blocks.setdefault(name, [])
-    blocks.append(text)
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
-    path = os.path.join(results_dir, f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write("".join(block + "\n" for block in blocks))
+    _REPORTER.report(name, text)

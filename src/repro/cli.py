@@ -28,7 +28,10 @@ The CLI exposes the library's day-to-day operations without writing Python:
     Run the HTTP tuning gateway over a daemon service: remote tenants
     submit declarative job specs to ``/v1/sessions`` and poll/fetch/cancel
     them over REST.  ``--state`` points at a service-level checkpoint file
-    that is restored on boot and written on shutdown.
+    that is restored on boot and written on shutdown (``--save-interval``
+    additionally writes it periodically while serving); ``--token-file``
+    turns on bearer-token auth with tenant isolation and ``--tenant-quota``
+    caps each tenant's active sessions.
 
 All commands print plain text; machine-readable output is available with
 ``--json``.
@@ -143,6 +146,31 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of an in-process service; the worker/policy/executor flags "
         "then belong to the server",
     )
+    sweep.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for an auth-enabled gateway (with --server); the "
+        "gateway maps it to your tenant",
+    )
+    sweep.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant the sessions are accounted against (quotas, isolation); "
+        "ignored by auth-enabled gateways, which use the token's tenant",
+    )
+    sweep.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling weight under the server's 'priority' policy (larger runs first)",
+    )
+    sweep.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-session soft deadline for the server's 'deadline' (EDF) policy",
+    )
     sweep.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     serve = subparsers.add_parser(
@@ -176,6 +204,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="service checkpoint file: restored on boot when it exists, "
         "written on shutdown (all sessions + scheduler cursor in one JSON)",
+    )
+    serve.add_argument(
+        "--save-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --state: also save the checkpoint periodically in the "
+        "background while serving, so a crash loses at most one interval",
+    )
+    serve.add_argument(
+        "--token-file",
+        default=None,
+        metavar="PATH",
+        help="enable bearer-token auth: JSON object mapping token -> tenant; "
+        "every /v1/sessions request then requires Authorization: Bearer",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum active (non-terminal) sessions per tenant; further "
+        "submissions get a 429 quota_exceeded error",
     )
     return parser
 
@@ -297,7 +348,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.server:
         from repro.service.client import HttpClient
 
-        client = HttpClient(args.server)
+        client = HttpClient(args.server, token=args.token)
     report = run_sweep(
         args.jobs.split(","),
         optimizer=args.optimizer,
@@ -311,6 +362,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fast=args.fast,
         lookahead=args.lookahead,
         client=client,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_s=args.deadline_s,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -342,21 +396,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import TuningGateway
     from repro.service.service import TuningService
 
+    if args.save_interval is not None and not args.state:
+        print("error: --save-interval requires --state", file=sys.stderr)
+        return 2
+    autosave: dict = {}
+    if args.state and args.save_interval is not None:
+        autosave = {
+            "autosave_path": args.state,
+            "autosave_interval_s": args.save_interval,
+        }
     service = TuningService(
         n_workers=args.workers,
         policy=args.policy,
         executor=args.executor,
         bootstrap_parallel=args.bootstrap_parallel,
+        tenant_quota=args.tenant_quota,
+        **autosave,
     )
     if args.state and Path(args.state).exists():
         restored = service.restore_registry(args.state)
         print(f"restored {len(restored)} session(s) from {args.state}")
     service.serve()
-    gateway = TuningGateway(service, host=args.host, port=args.port)
+    gateway = TuningGateway(
+        service, host=args.host, port=args.port, token_file=args.token_file
+    )
+    auth = "on" if args.token_file else "off"
     print(
         f"tuning gateway listening on {gateway.url} "
-        f"(workers={args.workers}, policy={args.policy}, executor={args.executor}); "
-        "Ctrl-C to stop"
+        f"(workers={args.workers}, policy={args.policy}, executor={args.executor}, "
+        f"auth={auth}, tenant-quota={args.tenant_quota}); Ctrl-C to stop"
     )
     try:
         gateway.serve_forever()
@@ -387,11 +455,16 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.service.api import ServiceError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, ServiceError) as error:
+        # ServiceError covers remote failures surfaced by --server sweeps —
+        # an unauthorized token or a spent quota is an exit code, not a
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

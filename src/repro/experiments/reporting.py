@@ -3,9 +3,14 @@
 The benchmark harness prints the same rows / series the paper plots; these
 small formatters keep that output consistent (fixed-width tables, CDF
 sparklines) without pulling in any plotting dependency.
+:class:`ResultsReporter` persists the reported blocks as per-experiment text
+files with a rewrite-per-session discipline, so re-running a benchmark can
+never append duplicate blocks to a results file.
 """
 
 from __future__ import annotations
+
+import os
 
 from collections.abc import Mapping, Sequence
 
@@ -13,7 +18,42 @@ import numpy as np
 
 from repro.experiments.metrics import MetricSummary, empirical_cdf
 
-__all__ = ["format_table", "format_summary_table", "format_cdf"]
+__all__ = [
+    "ResultsReporter",
+    "format_table",
+    "format_summary_table",
+    "format_cdf",
+]
+
+
+class ResultsReporter:
+    """Persist printed result blocks as idempotent per-experiment text files.
+
+    One reporter instance corresponds to one benchmark *session* (the
+    benchmark harness keeps a module-level instance per pytest run).  Every
+    :meth:`report` call prints its block and rewrites the target file
+    ``<results_dir>/<name>.txt`` from scratch with all of this session's
+    blocks for that name, in report order — never appending to what an
+    earlier session left behind.  Two consecutive sessions reporting the
+    same blocks therefore leave byte-identical files (the reset-before-commit
+    invariant of the checked-in ``benchmarks/results/`` directory), and a
+    partial run (``pytest -k``) rewrites only the files of the tests it
+    selected.
+    """
+
+    def __init__(self, results_dir: str) -> None:
+        self.results_dir = results_dir
+        self._session_blocks: dict[str, list[str]] = {}
+
+    def report(self, name: str, text: str) -> None:
+        """Print ``text`` and rewrite ``<name>.txt`` from this session's blocks."""
+        print(text)
+        blocks = self._session_blocks.setdefault(name, [])
+        blocks.append(text)
+        os.makedirs(self.results_dir, exist_ok=True)
+        path = os.path.join(self.results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("".join(block + "\n" for block in blocks))
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -18,8 +18,9 @@ sessions concurrently — locally or behind an HTTP gateway:
     DONE/EXHAUSTED/CANCELLED), live metrics and JSON checkpoint/resume.
 
 ``repro.service.scheduler``
-    Pluggable scheduling policies (FIFO, round-robin, cost-aware priority)
-    deciding which session advances next.
+    Pluggable scheduling policies (FIFO, round-robin, cost-aware,
+    aging-priority, earliest-deadline-first) deciding which session
+    advances next.
 
 ``repro.service.service``
     :class:`TuningService` — multiplexes N sessions over a worker pool
@@ -56,12 +57,14 @@ from repro.service.api import (
     OptimizerSpec,
     PollResponse,
     ProtocolMismatchError,
+    QuotaExceededError,
     ResultNotReadyError,
     ResultResponse,
     ServiceError,
     SessionCancelledError,
     SubmitRequest,
     SubmitResponse,
+    UnauthorizedError,
     UnknownJobError,
     UnknownOptimizerError,
     UnknownSessionError,
@@ -72,10 +75,12 @@ from repro.service.api import (
     unregister_job,
 )
 from repro.service.client import HttpClient, LocalClient, TuningClient
-from repro.service.http import TuningGateway
+from repro.service.http import TuningGateway, load_token_file
 from repro.service.scheduler import (
     CostAwarePolicy,
+    DeadlinePolicy,
     FifoPolicy,
+    PriorityPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
     available_policies,
@@ -91,6 +96,7 @@ __all__ = [
     "CancelResponse",
     "ConflictError",
     "CostAwarePolicy",
+    "DeadlinePolicy",
     "ErrorResponse",
     "FifoPolicy",
     "HttpClient",
@@ -99,7 +105,9 @@ __all__ = [
     "LocalClient",
     "OptimizerSpec",
     "PollResponse",
+    "PriorityPolicy",
     "ProtocolMismatchError",
+    "QuotaExceededError",
     "ResultNotReadyError",
     "ResultResponse",
     "RoundRobinPolicy",
@@ -115,11 +123,13 @@ __all__ = [
     "TuningGateway",
     "TuningService",
     "TuningSession",
+    "UnauthorizedError",
     "UnknownJobError",
     "UnknownOptimizerError",
     "UnknownSessionError",
     "available_optimizers",
     "available_policies",
+    "load_token_file",
     "make_optimizer",
     "make_policy",
     "optimizer_to_spec",

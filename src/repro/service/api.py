@@ -48,10 +48,12 @@ code                    exception              HTTP
 ``protocol_mismatch``   ProtocolMismatchError  400
 ``unknown_job``         UnknownJobError        400
 ``unknown_optimizer``   UnknownOptimizerError  400
+``unauthorized``        UnauthorizedError      401
 ``unknown_session``     UnknownSessionError    404
 ``conflict``            ConflictError          409
 ``not_ready``           ResultNotReadyError    409
 ``cancelled``           SessionCancelledError  409
+``quota_exceeded``      QuotaExceededError     429
 ``internal``            ServiceError           500
 ======================  =====================  ====
 
@@ -74,6 +76,7 @@ pre-configured optimizers over the wire.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -94,10 +97,12 @@ __all__ = [
     "ProtocolMismatchError",
     "UnknownJobError",
     "UnknownOptimizerError",
+    "UnauthorizedError",
     "UnknownSessionError",
     "ConflictError",
     "ResultNotReadyError",
     "SessionCancelledError",
+    "QuotaExceededError",
     "OptimizerSpec",
     "JobSpec",
     "SubmitRequest",
@@ -140,10 +145,12 @@ class ErrorCode:
     PROTOCOL_MISMATCH = "protocol_mismatch"
     UNKNOWN_JOB = "unknown_job"
     UNKNOWN_OPTIMIZER = "unknown_optimizer"
+    UNAUTHORIZED = "unauthorized"
     UNKNOWN_SESSION = "unknown_session"
     CONFLICT = "conflict"
     NOT_READY = "not_ready"
     CANCELLED = "cancelled"
+    QUOTA_EXCEEDED = "quota_exceeded"
     INTERNAL = "internal"
 
 
@@ -179,8 +186,15 @@ class UnknownOptimizerError(BadRequestError):
     code = ErrorCode.UNKNOWN_OPTIMIZER
 
 
+class UnauthorizedError(ServiceError):
+    """The request lacks a valid bearer token (auth-enabled gateways only)."""
+
+    code = ErrorCode.UNAUTHORIZED
+    http_status = 401
+
+
 class UnknownSessionError(ServiceError):
-    """No session with the given id exists."""
+    """No session with the given id exists (or belongs to another tenant)."""
 
     code = ErrorCode.UNKNOWN_SESSION
     http_status = 404
@@ -205,6 +219,13 @@ class SessionCancelledError(ConflictError):
     code = ErrorCode.CANCELLED
 
 
+class QuotaExceededError(ServiceError):
+    """The tenant's active-session budget is spent (429-style back-pressure)."""
+
+    code = ErrorCode.QUOTA_EXCEEDED
+    http_status = 429
+
+
 _ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (
@@ -213,10 +234,12 @@ _ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
         ProtocolMismatchError,
         UnknownJobError,
         UnknownOptimizerError,
+        UnauthorizedError,
         UnknownSessionError,
         ConflictError,
         ResultNotReadyError,
         SessionCancelledError,
+        QuotaExceededError,
     )
 }
 
@@ -294,6 +317,16 @@ class JobSpec:
         dictionaries; when given, ``n_bootstrap`` is implied by its length
         (the experiment harness uses this to hand every compared optimizer
         the same sample).
+    tenant:
+        Optional tenant identity the session is accounted against (quotas,
+        isolation).  An auth-enabled gateway overrides this with the
+        authenticated tenant, so remote callers cannot impersonate others.
+    priority:
+        Scheduling weight for the ``"priority"`` policy; larger runs first.
+        Aging keeps low-priority sessions starvation-free.
+    deadline_s:
+        Optional soft deadline in seconds from submission, the ordering key
+        of the ``"deadline"`` (EDF) policy.
     """
 
     job: str
@@ -304,6 +337,9 @@ class JobSpec:
     n_bootstrap: int | None = None
     initial_configs: tuple[dict[str, Any], ...] | None = None
     seed: int | None = None
+    tenant: str | None = None
+    priority: int = 0
+    deadline_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -319,6 +355,9 @@ class JobSpec:
                 else None
             ),
             "seed": self.seed,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
@@ -337,6 +376,26 @@ class JobSpec:
                     "JobSpec 'initial_configs' must be a list of JSON objects"
                 )
             initial = tuple(dict(c) for c in initial)
+        tenant = data.get("tenant")
+        if tenant is not None and (not isinstance(tenant, str) or not tenant):
+            raise BadRequestError("JobSpec 'tenant' must be a non-empty string")
+        priority = data.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise BadRequestError("JobSpec 'priority' must be an integer")
+        deadline_s = data.get("deadline_s")
+        if deadline_s is not None:
+            # NaN passes a `<= 0` check (NaN compares False to everything)
+            # and would poison the EDF policy's min(); require finiteness.
+            if (
+                not isinstance(deadline_s, (int, float))
+                or isinstance(deadline_s, bool)
+                or not math.isfinite(deadline_s)
+                or deadline_s <= 0
+            ):
+                raise BadRequestError(
+                    "JobSpec 'deadline_s' must be a positive, finite number of seconds"
+                )
+            deadline_s = float(deadline_s)
         return cls(
             job=job,
             optimizer=(
@@ -350,6 +409,9 @@ class JobSpec:
             n_bootstrap=data.get("n_bootstrap"),
             initial_configs=initial,
             seed=data.get("seed"),
+            tenant=tenant,
+            priority=priority,
+            deadline_s=deadline_s,
         )
 
     def start_options(self) -> dict[str, Any]:

@@ -29,9 +29,14 @@ call                        behaviour
 ``submit(spec)``            returns :class:`SubmitResponse`; duplicate
                             explicit id → :class:`ConflictError`; unknown
                             job/optimizer → :class:`UnknownJobError` /
-                            :class:`UnknownOptimizerError`.
+                            :class:`UnknownOptimizerError`; tenant over its
+                            active-session budget →
+                            :class:`QuotaExceededError`.
 ``poll(sid)``               :class:`PollResponse`; unknown id →
-                            :class:`UnknownSessionError`.
+                            :class:`UnknownSessionError`.  ``wait_s=N``
+                            long-polls: the call blocks server-side until
+                            the session is terminal or ``N`` seconds pass,
+                            then returns the snapshot either way.
 ``sessions()``              one :class:`PollResponse` per session, in
                             submission order.
 ``result(sid)``             :class:`ResultResponse` once terminal; running →
@@ -42,15 +47,29 @@ call                        behaviour
                             idempotent ``cancelled=False``.
 ``wait(ids)``               blocks until every id is terminal, returns
                             ``{id: ResultResponse}`` for completed sessions.
+                            Built on long-poll ``poll(..., wait_s=...)``, so
+                            no transport busy-polls.
 ``health()``                JSON-safe liveness snapshot.
 ==========================  ================================================
+
+Tenancy
+-------
+
+A *tenant-scoped* client sees only its tenant's world: submissions are
+stamped with the tenant, foreign session ids behave exactly like unknown
+ones (:class:`UnknownSessionError`, so existence never leaks) and
+``sessions()`` lists only the tenant's sessions.  A ``LocalClient`` is
+scoped by constructing it with ``tenant=...`` (or via :meth:`LocalClient.scoped`);
+an ``HttpClient`` is scoped by the gateway from its bearer ``token``.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 import itertools
 import json
+import math
 import time
 import urllib.error
 import urllib.parse
@@ -62,7 +81,7 @@ from typing import Any
 from repro.service.api import (
     COMPLETED_STATUSES,
     PROTOCOL_VERSION,
-    TERMINAL_STATUSES,
+    BadRequestError,
     CancelResponse,
     ConflictError,
     ErrorResponse,
@@ -86,6 +105,11 @@ __all__ = ["TuningClient", "LocalClient", "HttpClient"]
 _LIVE_KEY_IDS = itertools.count()
 
 
+#: Longest single long-poll leg wait() issues; bounds how long any one
+#: request (and the gateway thread serving it) blocks.
+_WAIT_CHUNK_SECONDS = 15.0
+
+
 class TuningClient(ABC):
     """Abstract tenant-side interface to a tuning service (see module docs)."""
 
@@ -94,8 +118,13 @@ class TuningClient(ABC):
         """Start tuning ``spec``; returns the assigned session id."""
 
     @abstractmethod
-    def poll(self, session_id: str) -> PollResponse:
-        """A progress snapshot of one session."""
+    def poll(self, session_id: str, *, wait_s: float | None = None) -> PollResponse:
+        """A progress snapshot of one session.
+
+        With ``wait_s`` the call long-polls: it blocks until the session is
+        terminal or ``wait_s`` seconds elapsed, then returns the snapshot
+        either way (check ``.terminal``).
+        """
 
     @abstractmethod
     def sessions(self) -> list[PollResponse]:
@@ -135,30 +164,67 @@ class TuningClient(ABC):
         Cancelled sessions terminate but produce no result, so they are
         absent from the returned mapping.  Raises :class:`TimeoutError` when
         ``timeout`` (seconds) elapses first.
+
+        Built on long-poll :meth:`poll` calls (one session at a time, capped
+        legs), so the client never busy-polls and a 50-session sweep costs
+        one blocking request per *state change*, not per tick.
+        ``poll_interval`` survives only as the back-off for services that
+        answer long-polls immediately (e.g. a batch-mode service with no
+        daemon to park on).
         """
-        ids = None if session_ids is None else list(session_ids)
+        explicit = session_ids is not None
+        if explicit:
+            ids = list(session_ids)
+        else:
+            ids = [snapshot.session_id for snapshot in self.sessions()]
         deadline = None if timeout is None else time.monotonic() + timeout
+        statuses: dict[str, str] = {}
         while True:
-            # One listing per tick, not one poll per session: a 50-session
-            # sweep over HTTP costs one request per interval, not fifty.
-            snapshot = {p.session_id: p.status for p in self.sessions()}
-            if ids is None:
-                statuses = snapshot
-            else:
-                try:
-                    statuses = {sid: snapshot[sid] for sid in ids}
-                except KeyError as missing:
-                    raise UnknownSessionError(
-                        f"unknown session {missing.args[0]!r}"
-                    ) from None
-            if all(status in TERMINAL_STATUSES for status in statuses.values()):
+            for index, sid in enumerate(ids):
+                while True:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        snapshot = self.poll(sid)
+                        if snapshot.terminal:
+                            statuses[sid] = snapshot.status
+                            break
+                        pending = [
+                            later
+                            for later in ids[index:]
+                            if not self.poll(later).terminal
+                        ]
+                        raise TimeoutError(
+                            f"{len(pending)} session(s) not terminal after "
+                            f"{timeout}s: {pending}"
+                        )
+                    chunk = (
+                        _WAIT_CHUNK_SECONDS
+                        if remaining is None
+                        else min(_WAIT_CHUNK_SECONDS, remaining)
+                    )
+                    asked = time.monotonic()
+                    snapshot = self.poll(sid, wait_s=chunk)
+                    if snapshot.terminal:
+                        statuses[sid] = snapshot.status
+                        break
+                    if time.monotonic() - asked < min(chunk, poll_interval):
+                        # The service answered without blocking (no daemon);
+                        # don't spin at request speed.
+                        time.sleep(poll_interval)
+            if explicit:
                 break
-            if deadline is not None and time.monotonic() > deadline:
-                pending = [s for s, st in statuses.items() if st not in TERMINAL_STATUSES]
-                raise TimeoutError(
-                    f"{len(pending)} session(s) not terminal after {timeout}s: {pending}"
-                )
-            time.sleep(poll_interval)
+            # "Every session" means every session: pick up any submitted
+            # while this wait was in flight and keep going until a full
+            # listing pass finds nothing new.
+            ids = [
+                snapshot.session_id
+                for snapshot in self.sessions()
+                if snapshot.session_id not in statuses
+            ]
+            if not ids:
+                break
         return {
             sid: self.result(sid)
             for sid, status in statuses.items()
@@ -176,6 +242,13 @@ class LocalClient(TuningClient):
     jobs:
         Optional live job objects resolvable by name for this client only —
         the local escape hatch for jobs outside the workload registry.
+    tenant:
+        When set, the client is *tenant-scoped*: submissions are stamped
+        with this tenant (overriding whatever the spec claims, exactly like
+        an auth-enabled gateway) and every other call sees only the
+        tenant's sessions — foreign ids raise
+        :class:`~repro.service.api.UnknownSessionError` as if they did not
+        exist.
     """
 
     def __init__(
@@ -183,10 +256,24 @@ class LocalClient(TuningClient):
         service: TuningService | None = None,
         *,
         jobs: Mapping[str, Job] | None = None,
+        tenant: str | None = None,
     ) -> None:
         self.service = service if service is not None else TuningService()
+        self.tenant = tenant
         self._jobs: dict[str, Job] = dict(jobs or {})
         self._optimizers: dict[str, Any] = {}
+
+    def scoped(self, tenant: str) -> "LocalClient":
+        """A tenant-scoped view of the same service.
+
+        The clone shares this client's job and optimizer registries (later
+        registrations are visible to both), so an auth-enabled gateway can
+        hand every tenant a scoped client without re-registering anything.
+        """
+        clone = LocalClient(self.service, tenant=tenant)
+        clone._jobs = self._jobs
+        clone._optimizers = self._optimizers
+        return clone
 
     def register_job(self, job: Job) -> None:
         """Make a live job object resolvable by its name through this client."""
@@ -216,6 +303,9 @@ class LocalClient(TuningClient):
         return key
 
     def submit(self, spec: JobSpec, *, session_id: str | None = None) -> SubmitResponse:
+        if self.tenant is not None and spec.tenant != self.tenant:
+            # The authenticated identity always wins over the spec's claim.
+            spec = dataclasses.replace(spec, tenant=self.tenant)
         sid = self.service.submit_spec(
             spec,
             session_id=session_id,
@@ -224,20 +314,44 @@ class LocalClient(TuningClient):
         )
         return SubmitResponse(session_id=sid)
 
-    def _metrics(self, session_id: str) -> dict[str, Any]:
+    def _visible(self, session_id: str) -> None:
+        """Raise :class:`UnknownSessionError` for ids outside the tenant scope."""
         try:
-            return self.service.poll(session_id)
+            session = self.service.get(session_id)
         except KeyError:
             raise UnknownSessionError(f"unknown session {session_id!r}") from None
+        if self.tenant is not None and session.tenant != self.tenant:
+            # A foreign session must be indistinguishable from a missing one.
+            raise UnknownSessionError(f"unknown session {session_id!r}")
 
-    def poll(self, session_id: str) -> PollResponse:
-        metrics = self._metrics(session_id)
+    def _metrics(self, session_id: str) -> dict[str, Any]:
+        self._visible(session_id)
+        return self.service.poll(session_id)
+
+    def poll(self, session_id: str, *, wait_s: float | None = None) -> PollResponse:
+        if wait_s is None:
+            metrics = self._metrics(session_id)
+        else:
+            if not math.isfinite(wait_s) or wait_s < 0:
+                # Same rejection the gateway sends for ?wait_s=nan — NaN
+                # would otherwise spin wait_for forever.
+                raise BadRequestError(
+                    "wait_s must be a finite, non-negative number"
+                )
+            self._visible(session_id)  # 404 foreign/missing ids *before* blocking
+            metrics = self.service.wait_for(session_id, timeout=wait_s)
         return PollResponse(
             session_id=session_id, status=metrics["status"], metrics=metrics
         )
 
     def sessions(self) -> list[PollResponse]:
-        return [self.poll(sid) for sid in self.service.session_ids]
+        snapshots = []
+        for sid in self.service.session_ids:
+            try:
+                snapshots.append(self.poll(sid))
+            except UnknownSessionError:
+                continue  # foreign tenant's session
+        return snapshots
 
     def result(self, session_id: str) -> ResultResponse:
         status = self._metrics(session_id)["status"]
@@ -253,6 +367,7 @@ class LocalClient(TuningClient):
         )
 
     def cancel(self, session_id: str) -> CancelResponse:
+        self._visible(session_id)
         try:
             changed = self.service.cancel(session_id)
         except KeyError:
@@ -267,15 +382,26 @@ class LocalClient(TuningClient):
 
     def health(self) -> dict[str, Any]:
         statuses = self.service.statuses()
+        if self.tenant is not None:
+            # A scoped client's health counts only its tenant's sessions.
+            statuses = {
+                sid: status
+                for sid, status in statuses.items()
+                if self.service.get(sid).tenant == self.tenant
+            }
         counts: dict[str, int] = {}
         for status in statuses.values():
             counts[status.value] = counts.get(status.value, 0) + 1
+        autosave_error = self.service.autosave_error
         return {
-            "status": "ok",
+            "status": "ok" if autosave_error is None else "degraded",
             "protocol_version": PROTOCOL_VERSION,
             "serving": self.service.serving,
             "n_sessions": len(statuses),
             "sessions": counts,
+            "autosave_error": (
+                None if autosave_error is None else str(autosave_error)
+            ),
         }
 
     def wait(
@@ -299,15 +425,15 @@ class LocalClient(TuningClient):
         if not self.service.serving:
             wanted = None if session_ids is None else set(session_ids)
             if wanted is not None:
-                known = set(self.service.session_ids)
-                for sid in sorted(wanted - known):
-                    raise UnknownSessionError(f"unknown session {sid!r}")
+                for sid in sorted(wanted):
+                    self._visible(sid)  # unknown AND foreign ids both 404
+            visible = set(p.session_id for p in self.sessions())
             return {
                 sid: ResultResponse.for_result(
                     sid, self.service.get(sid).status.value, result
                 )
                 for sid, result in self.service.drain().items()
-                if wanted is None or sid in wanted
+                if (wanted is None or sid in wanted) and sid in visible
             }
         return super().wait(
             session_ids, timeout=timeout, poll_interval=poll_interval
@@ -322,18 +448,34 @@ class HttpClient(TuningClient):
     base_url:
         The gateway root, e.g. ``"http://127.0.0.1:8080"``.
     timeout:
-        Per-request socket timeout in seconds.
+        Per-request socket timeout in seconds.  Long-poll requests extend it
+        by their ``wait_s`` so a parked request is not mistaken for a dead
+        server.
+    token:
+        Bearer token sent as ``Authorization: Bearer <token>`` on every
+        request — required against an auth-enabled gateway, which maps it to
+        a tenant and scopes every call to that tenant's sessions.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, *, timeout: float = 30.0, token: str | None = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     def _request(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        extra_timeout: float = 0.0,
     ) -> dict[str, Any]:
         body = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -341,7 +483,9 @@ class HttpClient(TuningClient):
             self.base_url + path, data=body, headers=headers, method=method
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout + extra_timeout
+            ) as response:
                 raw = response.read()
         except urllib.error.HTTPError as error:
             raw = error.read()
@@ -369,9 +513,24 @@ class HttpClient(TuningClient):
             self._request("POST", "/v1/sessions", request.to_dict())
         )
 
-    def poll(self, session_id: str) -> PollResponse:
+    def poll(self, session_id: str, *, wait_s: float | None = None) -> PollResponse:
+        suffix = ""
+        extra_timeout = 0.0
+        if wait_s is not None:
+            if not math.isfinite(wait_s) or wait_s < 0:
+                # The gateway would 400 this anyway, but a NaN must not
+                # first reach urlopen as a socket timeout.
+                raise BadRequestError(
+                    "wait_s must be a finite, non-negative number"
+                )
+            suffix = f"?wait_s={float(wait_s):g}"
+            extra_timeout = float(wait_s)
         return PollResponse.from_dict(
-            self._request("GET", self._session_path(session_id))
+            self._request(
+                "GET",
+                self._session_path(session_id) + suffix,
+                extra_timeout=extra_timeout,
+            )
         )
 
     def sessions(self) -> list[PollResponse]:

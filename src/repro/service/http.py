@@ -10,15 +10,33 @@ Routes (all JSON, all stamped with the protocol version):
 
 =========================================  ================================
 ``POST /v1/sessions``                      submit a ``SubmitRequest`` → 201
-                                           ``SubmitResponse``
+                                           ``SubmitResponse`` (429 once the
+                                           tenant's quota is spent)
 ``GET /v1/sessions``                       ``ListResponse`` of snapshots
-``GET /v1/sessions/{id}``                  ``PollResponse``
+``GET /v1/sessions/{id}``                  ``PollResponse``; ``?wait_s=N``
+                                           long-polls — the response is held
+                                           until the session is terminal or
+                                           ``N`` seconds passed (capped at
+                                           60), so clients stop busy-polling
 ``DELETE /v1/sessions/{id}``               ``CancelResponse`` (409 once the
                                            session completed)
 ``GET /v1/sessions/{id}/result``           ``ResultResponse`` (409 until
                                            terminal / when cancelled)
-``GET /v1/healthz``                        liveness + session counts
+``GET /v1/healthz``                        liveness + session counts (never
+                                           requires auth)
 =========================================  ================================
+
+Authentication
+--------------
+
+Passing ``tokens`` (or a ``token_file``) to :class:`TuningGateway` turns on
+bearer-token auth: every ``/v1/sessions`` route then requires
+``Authorization: Bearer <token>``, the token maps to a *tenant*, and the
+request is served by a tenant-scoped client — submissions are stamped with
+the authenticated tenant (whatever the spec claims) and another tenant's
+session ids are indistinguishable from unknown ones (404).  Requests with a
+missing or unknown token get a 401 ``unauthorized`` error body.  The token
+file is a JSON object mapping token → tenant name.
 
 Errors are :class:`~repro.service.api.ErrorResponse` bodies whose ``code``
 decodes back into the exception a local caller would have seen — the
@@ -38,10 +56,12 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from pathlib import Path
+from typing import Any, Mapping
 
 from repro.service.api import (
     BadRequestError,
@@ -49,11 +69,12 @@ from repro.service.api import (
     ListResponse,
     ServiceError,
     SubmitRequest,
+    UnauthorizedError,
 )
 from repro.service.client import LocalClient
 from repro.service.service import TuningService
 
-__all__ = ["TuningGateway"]
+__all__ = ["TuningGateway", "load_token_file"]
 
 _LOG = logging.getLogger("repro.service.http")
 
@@ -61,10 +82,34 @@ _LOG = logging.getLogger("repro.service.http")
 #: sample is a few KiB, so anything near this is garbage or abuse.
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Cap on one long-poll leg: bounds how long a connection thread may park on
+#: the service condition variable (clients chunk longer waits themselves).
+_MAX_WAIT_SECONDS = 60.0
+
+
+def load_token_file(path: str | Path) -> dict[str, str]:
+    """Read a gateway token file: a JSON object mapping token → tenant."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not all(
+        isinstance(token, str) and token and isinstance(tenant, str) and tenant
+        for token, tenant in data.items()
+    ):
+        raise ValueError(
+            f"token file {path} must hold a JSON object mapping "
+            "non-empty token strings to non-empty tenant names"
+        )
+    return data
+
 
 class _GatewayServer(ThreadingHTTPServer):
     daemon_threads = True  # connection threads must not block interpreter exit
     allow_reuse_address = True
+
+    # Set by TuningGateway.__init__ before the first request can arrive.
+    gateway_client: LocalClient
+    gateway_tokens: dict[str, str] | None
+    tenant_clients: dict[str, LocalClient]
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -128,6 +173,52 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         path = urllib.parse.urlsplit(self.path).path
         return [urllib.parse.unquote(part) for part in path.split("/") if part]
 
+    def _wait_seconds(self) -> float | None:
+        """The ``wait_s`` long-poll query parameter, validated and capped."""
+        query = urllib.parse.urlsplit(self.path).query
+        values = urllib.parse.parse_qs(query).get("wait_s")
+        if not values:
+            return None
+        try:
+            wait_s = float(values[-1])
+        except ValueError:
+            raise BadRequestError(
+                f"wait_s must be a number of seconds, got {values[-1]!r}"
+            ) from None
+        # NaN would slip past both comparisons below (all comparisons with
+        # NaN are False) and make wait_for spin forever; reject it with the
+        # other non-finite garbage.
+        if not math.isfinite(wait_s) or wait_s < 0:
+            raise BadRequestError("wait_s must be a finite, non-negative number")
+        return min(wait_s, _MAX_WAIT_SECONDS)
+
+    def _client(self) -> LocalClient:
+        """The (possibly tenant-scoped) client serving this request.
+
+        With auth disabled every request shares the gateway's base client;
+        with auth enabled the bearer token picks the tenant and the request
+        is served by that tenant's scoped client (cached per tenant).
+        """
+        tokens = self.server.gateway_tokens
+        base = self.server.gateway_client
+        if tokens is None:
+            return base
+        header = self.headers.get("Authorization", "")
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise UnauthorizedError(
+                "this gateway requires an 'Authorization: Bearer <token>' header"
+            )
+        tenant = tokens.get(token.strip())
+        if tenant is None:
+            raise UnauthorizedError("unknown bearer token")
+        cache = self.server.tenant_clients
+        client = cache.get(tenant)
+        if client is None:
+            # setdefault keeps concurrent first requests from both winning.
+            client = cache.setdefault(tenant, base.scoped(tenant))
+        return client
+
     def _dispatch(self, method: str) -> None:
         self._body_read = False
         try:
@@ -148,12 +239,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def _route(
         self, method: str, segments: list[str]
     ) -> tuple[int, dict[str, Any]]:
-        client = self.server.gateway_client
         if segments[:1] != ["v1"]:
             raise UnknownRouteError(f"unknown path {self.path!r}")
         rest = segments[1:]
         if rest == ["healthz"] and method == "GET":
-            return 200, client.health()
+            # Liveness stays open: probes and load balancers carry no token.
+            return 200, self.server.gateway_client.health()
+        client = self._client()
         if rest == ["sessions"]:
             if method == "GET":
                 return 200, ListResponse(sessions=tuple(client.sessions())).to_dict()
@@ -166,7 +258,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if len(rest) == 2 and rest[0] == "sessions":
             session_id = rest[1]
             if method == "GET":
-                return 200, client.poll(session_id).to_dict()
+                snapshot = client.poll(session_id, wait_s=self._wait_seconds())
+                return 200, snapshot.to_dict()
             if method == "DELETE":
                 return 200, client.cancel(session_id).to_dict()
         if len(rest) == 3 and rest[:1] == ["sessions"] and rest[2] == "result":
@@ -203,6 +296,10 @@ class TuningGateway:
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (tests, CI), read
         back via :attr:`port` / :attr:`url`.
+    tokens / token_file:
+        Enable bearer-token auth: a mapping (or JSON file) of token →
+        tenant.  See the module docstring for the resulting isolation
+        semantics.  Mutually exclusive.
 
     The gateway does not own the service lifecycle: start the daemon with
     ``service.serve()`` before (or after) :meth:`start`, and shut it down
@@ -215,10 +312,18 @@ class TuningGateway:
         *,
         host: str = "127.0.0.1",
         port: int = 8080,
+        tokens: Mapping[str, str] | None = None,
+        token_file: str | Path | None = None,
     ) -> None:
+        if tokens is not None and token_file is not None:
+            raise ValueError("pass either tokens or token_file, not both")
+        if token_file is not None:
+            tokens = load_token_file(token_file)
         client = service if isinstance(service, LocalClient) else LocalClient(service)
         self._server = _GatewayServer((host, port), _GatewayHandler)
         self._server.gateway_client = client
+        self._server.gateway_tokens = dict(tokens) if tokens is not None else None
+        self._server.tenant_clients = {}
         self._thread: threading.Thread | None = None
         self._loop_started = False
 

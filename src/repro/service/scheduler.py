@@ -5,7 +5,7 @@ sessions with no profiling run in flight).  Policies are deliberately tiny —
 pure functions of the candidate sessions plus whatever memory they keep —
 so new ones can be plugged in without touching the service loop.
 
-Three built-ins cover the obvious operating points:
+Five built-ins cover the obvious operating points:
 
 * :class:`FifoPolicy` — run each session to completion in submission order;
   minimises per-session latency for early tenants.
@@ -17,6 +17,17 @@ Three built-ins cover the obvious operating points:
 * :class:`CostAwarePolicy` — advance the session that has spent the least of
   its budget so far; cheap sessions finish first, which maximises completed
   sessions per dollar when the service itself is budget-bound.
+* :class:`PriorityPolicy` — advance the highest-priority ready session
+  (``session.priority``, larger first), with aging: every time a ready
+  session is passed over its effective priority grows, so a low-priority
+  session is delayed by at most a bounded number of selections, never
+  starved.
+* :class:`DeadlinePolicy` — earliest-deadline-first over
+  ``session.created_at + session.deadline_s``; sessions without a deadline
+  run only when no deadlined session is ready.
+
+Any policy's selection changes *when* a session advances, never *what* it
+decides: per-session traces stay bit-identical across policies.
 
 Concurrency contract: the service calls :meth:`SchedulingPolicy.select`
 while holding its internal lock, so implementations must be fast and must
@@ -37,6 +48,8 @@ __all__ = [
     "FifoPolicy",
     "RoundRobinPolicy",
     "CostAwarePolicy",
+    "PriorityPolicy",
+    "DeadlinePolicy",
     "available_policies",
     "make_policy",
 ]
@@ -144,10 +157,101 @@ class CostAwarePolicy(SchedulingPolicy):
         return min(ready, key=spend)
 
 
+class PriorityPolicy(SchedulingPolicy):
+    """Advance the ready session with the highest effective priority.
+
+    A session's *effective* priority is its declared ``session.priority``
+    plus an aging bonus: every selection at which a ready session is passed
+    over adds ``aging_rate`` to its bonus, and being selected resets the
+    bonus to zero.  High-priority tenants therefore run first, but a
+    continuously-ready low-priority session's effective priority grows
+    without bound, so it is selected after at most
+    ``ceil(Δpriority / aging_rate)`` passes plus one round of equal-priority
+    peers — starvation-free for any priority spread Δ.
+
+    Ties (equal effective priority) fall back to submission order, which
+    keeps the policy deterministic for a fixed call sequence.  The aging
+    table is compacted when it grows well past the live ready set, like
+    :class:`RoundRobinPolicy`'s order map.
+    """
+
+    name = "priority"
+
+    def __init__(self, aging_rate: float = 1.0) -> None:
+        if aging_rate <= 0:
+            raise ValueError("aging_rate must be positive")
+        self.aging_rate = aging_rate
+        self._age: dict[str, float] = {}
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        if len(self._age) > max(32, 4 * len(ready)):
+            keep = {session.session_id for session in ready}
+            self._age = {
+                sid: age for sid, age in self._age.items() if sid in keep
+            }
+        chosen = max(
+            ready,
+            key=lambda s: getattr(s, "priority", 0)
+            + self._age.get(s.session_id, 0.0),
+        )
+        # max() keeps the first of equal keys, i.e. submission order.
+        for session in ready:
+            sid = session.session_id
+            if session is chosen:
+                self._age[sid] = 0.0
+            else:
+                self._age[sid] = self._age.get(sid, 0.0) + self.aging_rate
+        return chosen
+
+    def state_dict(self) -> dict:
+        return {"aging_rate": self.aging_rate, "age": dict(self._age)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.aging_rate = state.get("aging_rate", self.aging_rate)
+        self._age = dict(state.get("age", {}))
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first over the ready sessions.
+
+    The ordering key is the absolute deadline ``session.created_at +
+    session.deadline_s``; sessions without a deadline sort last (they run
+    only when no deadlined session is ready), and ties fall back to
+    submission order.  EDF is the optimal single-resource policy when every
+    deadline is feasible; an infeasible (already-passed) deadline still
+    sorts first, which degrades gracefully to "most overdue next".
+
+    The policy itself is stateless — the deadlines live on the sessions and
+    travel with their checkpoints — so :meth:`state_dict` is empty; it
+    exists so the service-level registry checkpoint can round-trip any
+    policy uniformly.
+    """
+
+    name = "deadline"
+
+    def select(self, ready: Sequence["TuningSession"]) -> "TuningSession":
+        def absolute_deadline(session: "TuningSession") -> float:
+            deadline_s = getattr(session, "deadline_s", None)
+            if deadline_s is None:
+                return float("inf")
+            return getattr(session, "created_at", 0.0) + deadline_s
+
+        # min() keeps the first of equal keys, i.e. submission order.
+        return min(ready, key=absolute_deadline)
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
 _POLICIES = {
     FifoPolicy.name: FifoPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
     CostAwarePolicy.name: CostAwarePolicy,
+    PriorityPolicy.name: PriorityPolicy,
+    DeadlinePolicy.name: DeadlinePolicy,
 }
 
 

@@ -74,9 +74,11 @@ from __future__ import annotations
 import copy
 import itertools
 import json
+import math
 import multiprocessing
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
@@ -89,6 +91,7 @@ from repro.service.api import (
     BadRequestError,
     ConflictError,
     JobSpec,
+    QuotaExceededError,
     resolve_spec,
 )
 from repro.service.scheduler import SchedulingPolicy, make_policy
@@ -158,16 +161,21 @@ class _SessionRecord:
     dispatch of the normal path.  ``job_ref`` is the job's registry name when
     the session was submitted by spec and the name resolves through the
     built-in workload registry — process-pool runs then ship the name instead
-    of the pickled table.
+    of the pickled table.  ``clean_checkpoint`` is the session's snapshot at
+    its most recent step boundary: while the daemon runs, a session with a
+    profiling run in flight cannot be checkpointed directly, so the periodic
+    background save falls back to this cached boundary (seeded at
+    registration, refreshed after every tell).
     """
 
-    __slots__ = ("session", "batch", "inflight", "job_ref")
+    __slots__ = ("session", "batch", "inflight", "job_ref", "clean_checkpoint")
 
     def __init__(self, session: TuningSession, job_ref: str | None = None) -> None:
         self.session = session
         self.batch: deque[_Dispatch] = deque()
         self.inflight: _Dispatch | None = None
         self.job_ref = job_ref
+        self.clean_checkpoint: dict[str, Any] = session.checkpoint()
 
 
 class TuningService:
@@ -200,6 +208,20 @@ class TuningService:
         Optional :mod:`multiprocessing` context for the process pool;
         defaults to the ``spawn`` context, which is safe to start from the
         daemon thread.
+    tenant_quota:
+        Maximum number of *active* (non-terminal) sessions any one tenant
+        may hold at a time; further submissions raise
+        :class:`~repro.service.api.QuotaExceededError` (HTTP 429) until
+        sessions finish or are cancelled.  ``None`` (default) disables
+        quotas.  Sessions submitted without a tenant share the anonymous
+        (``None``) tenant's budget.
+    autosave_path / autosave_interval_s:
+        When ``autosave_path`` is set, :meth:`serve` starts a background
+        thread that calls :meth:`save_registry` every
+        ``autosave_interval_s`` seconds (and once more on shutdown), so a
+        crashed daemon loses at most one interval of progress.  The write
+        is atomic (write-then-rename) and each session is captured at its
+        most recent step boundary.
     """
 
     def __init__(
@@ -211,6 +233,9 @@ class TuningService:
         executor: str = "thread",
         bootstrap_parallel: bool = False,
         mp_context: Any | None = None,
+        tenant_quota: int | None = None,
+        autosave_path: str | Path | None = None,
+        autosave_interval_s: float = 30.0,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -218,12 +243,19 @@ class TuningService:
             raise ValueError(
                 f"unknown executor {executor!r}; available: {_EXECUTOR_KINDS}"
             )
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be at least 1 (or None)")
+        if autosave_interval_s <= 0:
+            raise ValueError("autosave_interval_s must be positive")
         self.n_workers = n_workers
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.copy_optimizers = copy_optimizers
         self.executor_kind = executor
         self.bootstrap_parallel = bootstrap_parallel
         self.mp_context = mp_context
+        self.tenant_quota = tenant_quota
+        self.autosave_path = Path(autosave_path) if autosave_path is not None else None
+        self.autosave_interval_s = autosave_interval_s
 
         # One lock for everything mutable (see "Locking discipline" above).
         self._lock = threading.RLock()
@@ -242,6 +274,12 @@ class TuningService:
         self._errors: dict[str, BaseException] = {}
         self._serve_error: BaseException | None = None
 
+        # Periodic background save (started by serve() when autosave_path is
+        # set); failures are recorded, never allowed to kill the daemon.
+        self._autosave_thread: threading.Thread | None = None
+        self._autosave_stop = threading.Event()
+        self._autosave_error: BaseException | None = None
+
     # -- submission and inspection ------------------------------------------
     def submit(
         self,
@@ -249,6 +287,9 @@ class TuningService:
         optimizer: BaseOptimizer,
         *,
         session_id: str | None = None,
+        tenant: str | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
         **options: Any,
     ) -> str:
         """Register a new tuning session and return its id.
@@ -256,9 +297,11 @@ class TuningService:
         ``options`` are forwarded to
         :meth:`~repro.core.optimizer.BaseOptimizer.start` (``tmax``,
         ``budget``, ``budget_multiplier``, ``n_bootstrap``,
-        ``initial_configs``, ``seed``).  Works both before :meth:`drain` and
-        while a daemon started by :meth:`serve` is running — the daemon picks
-        the new session up immediately.
+        ``initial_configs``, ``seed``); ``tenant`` / ``priority`` /
+        ``deadline_s`` are multi-tenant metadata (quota accounting and the
+        priority/deadline scheduling policies).  Works both before
+        :meth:`drain` and while a daemon started by :meth:`serve` is running
+        — the daemon picks the new session up immediately.
         """
         # The deepcopy touches no shared state — keep it off the lock so
         # concurrent submitters never stall the daemon's scheduling.
@@ -269,10 +312,36 @@ class TuningService:
                 session_id = self._fresh_session_id_locked()
             if session_id in self._records:
                 raise ValueError(f"duplicate session id {session_id!r}")
-            session = TuningSession(session_id, job, optimizer, **options)
+            self._check_quota_locked(tenant)
+            session = TuningSession(
+                session_id,
+                job,
+                optimizer,
+                tenant=tenant,
+                priority=priority,
+                deadline_s=deadline_s,
+                **options,
+            )
             self._records[session_id] = _SessionRecord(session)
             self._wakeup.notify_all()
             return session_id
+
+    def _check_quota_locked(self, tenant: str | None) -> None:
+        """Reject a submission that would exceed the tenant's active-session quota."""
+        if self.tenant_quota is None:
+            return
+        active = sum(
+            1
+            for record in self._records.values()
+            if record.session.tenant == tenant
+            and not record.session.status.terminal
+        )
+        if active >= self.tenant_quota:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {active} active session(s) "
+                f"(quota {self.tenant_quota}); wait for one to finish or "
+                "cancel one"
+            )
 
     def _fresh_session_id_locked(self) -> str:
         # Skip ids already taken by caller-chosen or restored sessions: a
@@ -307,8 +376,10 @@ class TuningService:
 
         Raises :class:`~repro.service.api.UnknownJobError` /
         :class:`~repro.service.api.UnknownOptimizerError` /
-        :class:`~repro.service.api.BadRequestError` on resolution failures
-        and :class:`~repro.service.api.ConflictError` on a duplicate id.
+        :class:`~repro.service.api.BadRequestError` on resolution failures,
+        :class:`~repro.service.api.ConflictError` on a duplicate id and
+        :class:`~repro.service.api.QuotaExceededError` when the spec's
+        tenant is at its active-session quota.
         """
         if session_id is not None and not session_id:
             # An empty id would be unroutable over the HTTP gateway.
@@ -323,7 +394,16 @@ class TuningService:
                 session_id = self._fresh_session_id_locked()
             if session_id in self._records:
                 raise ConflictError(f"duplicate session id {session_id!r}")
-            session = TuningSession(session_id, job, optimizer, **options)
+            self._check_quota_locked(spec.tenant)
+            session = TuningSession(
+                session_id,
+                job,
+                optimizer,
+                tenant=spec.tenant,
+                priority=spec.priority,
+                deadline_s=spec.deadline_s,
+                **options,
+            )
             session.spec = spec
             self._records[session_id] = _SessionRecord(
                 session, job_ref=job.name if cacheable else None
@@ -388,6 +468,17 @@ class TuningService:
         with self._lock:
             return self._serving
 
+    @property
+    def autosave_error(self) -> BaseException | None:
+        """The most recent periodic-save failure, or ``None`` when healthy.
+
+        A failing autosave degrades durability, not availability, so it
+        never kills the daemon — but it must not be silent either: the
+        health snapshot (:meth:`LocalClient.health`, ``/v1/healthz``)
+        surfaces this, and the next successful save clears it.
+        """
+        return self._autosave_error
+
     def cancel(self, session_id: str) -> bool:
         """Cancel a session; returns whether the call changed anything.
 
@@ -408,31 +499,59 @@ class TuningService:
                 self._wakeup.notify_all()
             return changed
 
+    def wait_for(self, session_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block until a session is terminal (or ``timeout`` elapses); return its metrics.
+
+        The long-poll primitive behind ``GET /v1/sessions/{id}?wait_s=N``:
+        the caller parks on the service's condition variable instead of
+        busy-polling, and is woken by the daemon whenever session state
+        changes.  Returns the same snapshot as :meth:`poll` — the caller
+        checks ``status`` to distinguish completion from timeout.  When no
+        daemon is serving, returns immediately (nothing will advance the
+        session), so callers cannot deadlock against a batch-mode service.
+        """
+        if timeout is not None and not math.isfinite(timeout):
+            # NaN compares False to everything: the deadline below would
+            # never expire and the wait would spin. Infinity is just
+            # timeout=None spelled confusingly; reject both loudly.
+            raise ValueError(f"timeout must be finite or None, got {timeout!r}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wakeup:
+            while True:
+                record = self._records.get(session_id)
+                if record is None:
+                    raise KeyError(f"unknown session {session_id!r}")
+                if record.session.status.terminal or not self._serving:
+                    return record.session.metrics()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return record.session.metrics()
+                self._wakeup.wait(remaining)
+
     # -- service-level checkpoint --------------------------------------------
-    def save_registry(self, path: str | Path) -> Path:
+    def save_registry(self, path: str | Path, *, skip_unspecced: bool = False) -> Path:
         """Checkpoint the whole service — every session plus the scheduler
         cursor — into one JSON file.
 
         This replaces one-file-per-session checkpointing as the service
-        default: a daemon stopped with ``shutdown(drain=False)`` leaves every
-        session at a step boundary, after which one ``save_registry`` call
-        captures all of them atomically.  Only spec-submitted sessions
-        qualify (the spec is what makes a session reconstructable from JSON
-        alone); sessions submitted as live objects must be checkpointed
-        individually with :meth:`TuningSession.save`.
+        default.  Only spec-submitted sessions qualify (the spec is what
+        makes a session reconstructable from JSON alone); sessions submitted
+        as live objects raise — or are silently left out with
+        ``skip_unspecced=True``, which is what the periodic background save
+        uses so one live session cannot disable autosave for everyone else.
 
-        Not available while the daemon is serving (runs may be in flight).
+        Safe to call while the daemon is serving: each session is captured
+        at its most recent *step boundary* (sessions with a profiling run in
+        flight contribute their cached boundary snapshot, refreshed after
+        every tell), so a restore replays every session bit-identically from
+        that boundary.  The write is atomic (write-then-rename).
         """
         with self._lock:
-            if self._serving:
-                raise RuntimeError(
-                    "cannot checkpoint while serve() is running; shutdown() first"
-                )
             unspecced = [
                 sid for sid, record in self._records.items()
                 if record.session.spec is None
             ]
-            if unspecced:
+            if unspecced and not skip_unspecced:
                 raise ValueError(
                     f"sessions without a JobSpec cannot be service-checkpointed: "
                     f"{unspecced}; submit them via submit_spec()/a TuningClient, "
@@ -446,8 +565,9 @@ class TuningService:
                     "state": self.policy.state_dict(),
                 },
                 "sessions": [
-                    record.session.checkpoint()
-                    for record in self._records.values()
+                    self._boundary_checkpoint_locked(record)
+                    for sid, record in self._records.items()
+                    if sid not in unspecced
                 ],
             }
         path = Path(path)
@@ -459,6 +579,19 @@ class TuningService:
             json.dump(payload, handle, indent=2)
         os.replace(scratch, path)
         return path
+
+    def _boundary_checkpoint_locked(self, record: _SessionRecord) -> dict[str, Any]:
+        """The session's snapshot at its most recent step boundary.
+
+        Sessions with no run in flight are checkpointed fresh (and the cache
+        refreshed); a session mid-run contributes its cached boundary, which
+        the daemon refreshes after every tell — so the staleness of any
+        entry is bounded by one profiling run.
+        """
+        session = record.session
+        if session.state is None or session.state.pending is None:
+            record.clean_checkpoint = session.checkpoint()
+        return record.clean_checkpoint
 
     def restore_registry(
         self, path: str | Path, *, extra_jobs: Mapping[str, Job] | None = None
@@ -575,6 +708,14 @@ class TuningService:
             )
             self._serving = True
             self._thread.start()
+            if self.autosave_path is not None:
+                self._autosave_stop = threading.Event()
+                self._autosave_thread = threading.Thread(
+                    target=self._autosave_loop,
+                    name="repro-tuning-autosave",
+                    daemon=True,
+                )
+                self._autosave_thread.start()
 
     def shutdown(
         self, drain: bool = True, timeout: float | None = None
@@ -599,6 +740,13 @@ class TuningService:
         thread.join(timeout)
         if thread.is_alive():
             raise TimeoutError(f"daemon did not stop within {timeout} seconds")
+        # Stop the autosaver after the daemon so its final save captures the
+        # post-drain state; its loop writes once more on the way out.
+        saver = self._autosave_thread
+        if saver is not None:
+            self._autosave_stop.set()
+            saver.join()
+            self._autosave_thread = None
         with self._lock:
             self._thread = None
             if self._serve_error is not None:
@@ -636,6 +784,23 @@ class TuningService:
             max_workers=self.n_workers, thread_name_prefix="repro-service-worker"
         )
 
+    def _autosave_loop(self) -> None:
+        """Periodically checkpoint the registry until shutdown, then once more.
+
+        A failing save is recorded on ``self._autosave_error`` and retried at
+        the next tick — persistence trouble (disk full, permissions) must
+        degrade durability, not availability.
+        """
+        while True:
+            stopped = self._autosave_stop.wait(self.autosave_interval_s)
+            try:
+                self.save_registry(self.autosave_path, skip_unspecced=True)
+                self._autosave_error = None
+            except Exception as error:
+                self._autosave_error = error
+            if stopped:
+                return
+
     def _serve_loop(self) -> None:
         try:
             with self._wakeup:
@@ -645,6 +810,9 @@ class TuningService:
                         self._dispatch_ready_locked()
                     if self._completed:
                         continue  # outcomes arrived while dispatching
+                    # Session state may just have changed (tells, terminal
+                    # transitions): wake long-poll waiters before parking.
+                    self._wakeup.notify_all()
                     if self._n_inflight:
                         self._wakeup.wait()  # a completion callback will notify
                     elif self._stop:
@@ -692,6 +860,7 @@ class TuningService:
         self._errors[record.session.session_id] = error
         record.session.cancel()
         record.session.discard_pending()
+        self._refresh_clean_checkpoint_locked(record)
 
     def _dispatch_one_locked(self, record: _SessionRecord) -> None:
         try:
@@ -762,6 +931,7 @@ class TuningService:
                 # Outcome of a revoked run: drop it without charging budget.
                 if not dispatch.batched:
                     session.discard_pending()
+                self._refresh_clean_checkpoint_locked(record)
                 continue
             if dispatch.error is not None:
                 self._fail_session_locked(record, dispatch.error)
@@ -771,8 +941,19 @@ class TuningService:
                     self._drain_batch_locked(record)
                 else:
                     session.tell(dispatch.outcome)
+                self._refresh_clean_checkpoint_locked(record)
             except Exception as error:
                 self._fail_session_locked(record, error)
+
+    def _refresh_clean_checkpoint_locked(self, record: _SessionRecord) -> None:
+        """Re-capture a session's step-boundary snapshot after a tell.
+
+        Keeps the periodic background save's view at most one profiling run
+        behind the live session (see :meth:`_boundary_checkpoint_locked`).
+        """
+        session = record.session
+        if session.state is not None and session.state.pending is None:
+            record.clean_checkpoint = session.checkpoint()
 
     def _drain_batch_locked(self, record: _SessionRecord) -> None:
         # Bootstrap outcomes may complete out of order; tell them strictly in

@@ -19,6 +19,7 @@ faithfully too.
 from __future__ import annotations
 
 import json
+import time
 from collections import deque
 from enum import Enum
 from pathlib import Path
@@ -86,6 +87,17 @@ class TuningSession:
         lives on it, so an instance must not be shared across live sessions.
     tmax / budget / budget_multiplier / n_bootstrap / initial_configs / seed:
         Forwarded to :meth:`~repro.core.optimizer.BaseOptimizer.start`.
+    tenant / priority / deadline_s:
+        Multi-tenant metadata: the tenant the session is accounted against
+        (quotas, gateway isolation), its scheduling weight for the
+        ``"priority"`` policy (larger runs first) and an optional soft
+        deadline in seconds from submission for the ``"deadline"`` (EDF)
+        policy.  None of these affect the optimization trace — only *when*
+        the session advances relative to its peers.
+    created_at:
+        Submission wall-clock timestamp (``time.time()``); EDF orders by
+        ``created_at + deadline_s``.  Supplied explicitly only when
+        restoring a checkpoint.
     """
 
     def __init__(
@@ -100,10 +112,18 @@ class TuningSession:
         n_bootstrap: int | None = None,
         initial_configs: list[Configuration] | None = None,
         seed: int | None = None,
+        tenant: str | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        created_at: float | None = None,
     ) -> None:
         self.session_id = session_id
         self.job = job
         self.optimizer = optimizer
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline_s = deadline_s
+        self.created_at = created_at if created_at is not None else time.time()
         self.options: dict[str, Any] = {
             "tmax": tmax,
             "budget": budget,
@@ -227,6 +247,9 @@ class TuningSession:
             "job": self.job.name,
             "optimizer": self.optimizer.name,
             "status": self.status.value,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
         }
         if self.state is None:
             return snapshot
@@ -273,6 +296,10 @@ class TuningSession:
             "status": self.status.value,
             "options": options,
             "spec": self.spec.to_dict() if self.spec is not None else None,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "created_at": self.created_at,
             "state": None,
         }
         if self.state is None:
@@ -333,7 +360,16 @@ class TuningSession:
             options["initial_configs"] = [
                 Configuration.from_dict(c) for c in options["initial_configs"]
             ]
-        session = cls(data["session_id"], job, optimizer, **options)
+        session = cls(
+            data["session_id"],
+            job,
+            optimizer,
+            tenant=data.get("tenant"),
+            priority=data.get("priority", 0),
+            deadline_s=data.get("deadline_s"),
+            created_at=data.get("created_at"),
+            **options,
+        )
         session._cancelled = data["status"] == SessionStatus.CANCELLED.value
         if data.get("spec") is not None:
             # Keep the session service-checkpointable after an individual

@@ -34,11 +34,12 @@ from repro.service.api import (
     OptimizerSpec,
     ServiceError,
     optimizer_to_spec,
+    resolve_job,
 )
 from repro.service.client import LocalClient, TuningClient
 from repro.service.scheduler import SchedulingPolicy
 from repro.service.service import TuningService
-from repro.workloads import available_jobs, load_job
+from repro.workloads import available_jobs
 
 __all__ = [
     "SweepRow",
@@ -205,6 +206,9 @@ def run_sweep(
     fast: bool = False,
     lookahead: int = 2,
     client: TuningClient | None = None,
+    tenant: str | None = None,
+    priority: int = 0,
+    deadline_s: float | None = None,
 ) -> SweepReport:
     """Tune every selected job ``trials`` times through a tuning client.
 
@@ -214,6 +218,13 @@ def run_sweep(
     :class:`~repro.service.client.HttpClient` pointed at a ``python -m repro
     serve`` gateway) to run the identical sweep remotely — those four
     service knobs then belong to the server and only label the report.
+
+    ``tenant`` / ``priority`` / ``deadline_s`` stamp every submitted spec
+    with multi-tenant metadata: the tenant the sessions are accounted
+    against (an auth-enabled gateway overrides it with the authenticated
+    tenant), their weight under the server's ``"priority"`` policy, and a
+    per-session soft deadline (seconds from submission) for the
+    ``"deadline"`` policy.  None of them change the per-session traces.
 
     Session ``(job, trial)`` uses seed ``base_seed + trial``, so a sweep's
     results are independent of ``n_workers``, of the scheduling policy, of
@@ -225,7 +236,10 @@ def run_sweep(
         raise ValueError("trials must be positive")
     owns_client = client is None
     job_names = expand_job_names(job_specs)
-    jobs = {name: load_job(name) for name in dict.fromkeys(job_names)}
+    # Resolve through the job registry (not just the workload suites) so
+    # register_job() factories — synthetic jobs, tests — are sweepable too;
+    # the tables here are only used to compute each job's optimum for CNO.
+    jobs = {name: resolve_job(name)[0] for name in dict.fromkeys(job_names)}
 
     live_optimizer: BaseOptimizer | None = None
     if isinstance(optimizer, OptimizerSpec):
@@ -272,6 +286,9 @@ def run_sweep(
                     optimizer=opt_spec,
                     budget_multiplier=budget_multiplier,
                     seed=seed,
+                    tenant=tenant,
+                    priority=priority,
+                    deadline_s=deadline_s,
                 ),
                 f"{name}/trial-{trial}",
                 # A freshly-built private service cannot collide; a shared

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.metrics import summarize
-from repro.experiments.reporting import format_cdf, format_summary_table, format_table
+from repro.experiments.reporting import (
+    ResultsReporter,
+    format_cdf,
+    format_summary_table,
+    format_table,
+)
 
 
 class TestFormatTable:
@@ -52,3 +57,56 @@ class TestFormatCdf:
     def test_limits_number_of_points(self):
         text = format_cdf(list(range(100)), n_points=5)
         assert text.count("@") <= 6
+
+
+class TestResultsReporter:
+    """The benchmark results-file discipline: rewrite per session, never append."""
+
+    def test_two_consecutive_sessions_leave_byte_identical_files(
+        self, tmp_path, capsys
+    ):
+        # Regression for the reset-before-commit invariant: re-running a
+        # benchmark session must not append duplicate blocks to the
+        # checked-in results files.
+        blocks = [("bench", "table A"), ("bench", "table B"), ("other", "cdf")]
+
+        first = ResultsReporter(str(tmp_path))
+        for name, text in blocks:
+            first.report(name, text)
+        after_first = {
+            path.name: path.read_bytes() for path in tmp_path.glob("*.txt")
+        }
+
+        # A fresh reporter instance == a fresh pytest session over the same
+        # results directory.
+        second = ResultsReporter(str(tmp_path))
+        for name, text in blocks:
+            second.report(name, text)
+        after_second = {
+            path.name: path.read_bytes() for path in tmp_path.glob("*.txt")
+        }
+
+        assert set(after_first) == {"bench.txt", "other.txt"}
+        assert after_second == after_first
+        capsys.readouterr()  # blocks are printed too; keep the output clean
+
+    def test_multiple_blocks_per_name_appear_once_each_in_order(
+        self, tmp_path, capsys
+    ):
+        reporter = ResultsReporter(str(tmp_path))
+        reporter.report("bench", "first")
+        reporter.report("bench", "second")
+        assert (tmp_path / "bench.txt").read_text() == "first\nsecond\n"
+        capsys.readouterr()
+
+    def test_partial_sessions_touch_only_their_own_files(self, tmp_path, capsys):
+        full = ResultsReporter(str(tmp_path))
+        full.report("kept", "stale but untouched")
+        full.report("rerun", "old content")
+
+        partial = ResultsReporter(str(tmp_path))  # e.g. `pytest -k rerun`
+        partial.report("rerun", "new content")
+
+        assert (tmp_path / "kept.txt").read_text() == "stale but untouched\n"
+        assert (tmp_path / "rerun.txt").read_text() == "new content\n"
+        capsys.readouterr()

@@ -143,6 +143,27 @@ class TestMalformedSpecs:
         with pytest.raises(BadRequestError, match="non-empty"):
             SubmitRequest.from_dict({"spec": _spec().to_dict(), "session_id": ""})
 
+    def test_jobspec_tenancy_fields_round_trip(self):
+        spec = JobSpec.from_dict(
+            {"job": "j", "tenant": "acme", "priority": 3, "deadline_s": 90}
+        )
+        assert (spec.tenant, spec.priority, spec.deadline_s) == ("acme", 3, 90.0)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert (again.tenant, again.priority, again.deadline_s) == ("acme", 3, 90.0)
+
+    def test_jobspec_rejects_bad_tenancy_fields(self):
+        with pytest.raises(BadRequestError, match="tenant"):
+            JobSpec.from_dict({"job": "j", "tenant": ""})
+        for bad_priority in ("high", 1.5, True):
+            with pytest.raises(BadRequestError, match="priority"):
+                JobSpec.from_dict({"job": "j", "priority": bad_priority})
+        # NaN slips through a naive `<= 0` check (it compares False to
+        # everything) and would poison the EDF policy's min(); infinities
+        # and non-positives are equally meaningless as deadlines.
+        for bad_deadline in (0, -1.0, "soon", True, float("nan"), float("inf")):
+            with pytest.raises(BadRequestError, match="deadline_s"):
+                JobSpec.from_dict({"job": "j", "deadline_s": bad_deadline})
+
 
 class TestErrorModel:
     def test_codes_round_trip_to_the_same_exception_types(self):

@@ -1,0 +1,293 @@
+"""Fault injection: the service must survive crashes, storms and restarts.
+
+Three failure families, each pinned by the same invariant — per-session
+traces are bit-identical to an undisturbed run:
+
+* **Crash of the daemon process.**  Simulated SIGKILL-free: the periodic
+  background save's file is snapshotted mid-run (exactly what a crashed
+  process would leave on disk — the service object is then abandoned, never
+  drained into the snapshot) and restored into a *fresh* service, which must
+  replay every session from its last step boundary to the uninterrupted
+  result.
+* **Worker-exception storms.**  Profiling runs raising in process-pool
+  workers (and jobs the pool cannot even pickle) must cancel their own
+  session, be reported at shutdown, and leave every healthy session's trace
+  untouched.
+* **Gateway restarts.**  The HTTP front-end is stateless: dropping it and
+  booting a new one over the same service keeps every session id live, and
+  ``submit_with_unique_id`` retries a sweep's ids instead of failing.
+
+The exploding job class is module-level so the ``spawn`` process pool can
+pickle it: the worker re-imports this module by name.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.baselines import RandomSearchOptimizer
+from repro.service.api import (
+    JobSpec,
+    OptimizerSpec,
+    register_job,
+    unregister_job,
+)
+from repro.service.client import HttpClient
+from repro.service.http import TuningGateway
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus
+from repro.service.sweep import submit_with_unique_id
+from repro.workloads.base import TabulatedJob
+from repro.workloads.generators import make_synthetic_job
+
+CHAOS_SLOW_JOB = "chaos-slow"
+CHAOS_EXPLODING_JOB = "chaos-exploding"
+
+
+class _SlowTabulatedJob(TabulatedJob):
+    """A lookup job whose runs take real wall-clock time (~5 ms each)."""
+
+    def run(self, config):
+        time.sleep(0.005)
+        return super().run(config)
+
+
+class _ExplodingJob(TabulatedJob):
+    """A job whose every profiling run raises (worker-side failure)."""
+
+    def run(self, config):
+        raise RuntimeError("profiling infrastructure down")
+
+
+def _clone_as(cls, base: TabulatedJob) -> TabulatedJob:
+    return cls(
+        name=base.name,
+        _space=base.space,
+        runs=base.runs,
+        timeout_seconds=base.timeout_seconds,
+        metadata=dict(base.metadata),
+    )
+
+
+def _make_slow_job() -> TabulatedJob:
+    return _clone_as(_SlowTabulatedJob, make_synthetic_job(seed=21, name=CHAOS_SLOW_JOB))
+
+
+def _make_exploding_job() -> TabulatedJob:
+    return _clone_as(
+        _ExplodingJob, make_synthetic_job(seed=22, name=CHAOS_EXPLODING_JOB)
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_jobs():
+    register_job(CHAOS_SLOW_JOB, _make_slow_job)
+    register_job(CHAOS_EXPLODING_JOB, _make_exploding_job)
+    yield
+    unregister_job(CHAOS_SLOW_JOB)
+    unregister_job(CHAOS_EXPLODING_JOB)
+
+
+def _spec(seed: int, job: str = CHAOS_SLOW_JOB) -> JobSpec:
+    return JobSpec(
+        job=job,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+    )
+
+
+def _assert_traces_identical(results, golden) -> None:
+    assert set(results) == set(golden)
+    for sid, result in golden.items():
+        other = results[sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+        assert result.best_cost == other.best_cost
+        assert result.budget_spent == other.budget_spent
+
+
+def _wait_until(predicate, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestCrashRestore:
+    def test_sessions_resume_bit_identically_from_the_periodic_save(self, tmp_path):
+        # Uninterrupted reference for the same specs.
+        reference = TuningService()
+        for seed in range(3):
+            reference.submit_spec(_spec(seed), session_id=f"s{seed}")
+        golden = reference.drain()
+
+        state = tmp_path / "registry.json"
+        service = TuningService(
+            n_workers=2,
+            policy="round-robin",
+            autosave_path=state,
+            autosave_interval_s=0.05,
+        )
+        service.serve()
+        for seed in range(3):
+            service.submit_spec(_spec(seed), session_id=f"s{seed}")
+
+        def mid_run_save_exists() -> bool:
+            if not state.exists():
+                return False
+            try:
+                payload = json.loads(state.read_text())
+            except ValueError:
+                return False  # racing the atomic rename; try again
+            started = [
+                entry
+                for entry in payload["sessions"]
+                if entry["state"] is not None and entry["state"]["observations"]
+            ]
+            return bool(started)
+
+        assert _wait_until(mid_run_save_exists), "no mid-run autosave appeared"
+        # The "crash": freeze the on-disk state right now and abandon the
+        # live service (shutdown below is only test hygiene — nothing from
+        # it reaches the snapshot we restore).
+        snapshot = state.read_bytes()
+        service.shutdown(drain=False)
+        crashed = tmp_path / "crashed.json"
+        crashed.write_bytes(snapshot)
+
+        restored = TuningService()
+        assert restored.restore_registry(crashed) == ["s0", "s1", "s2"]
+        # At least one session must resume from partial progress for the
+        # test to mean anything.
+        partial = [
+            sid
+            for sid, status in restored.statuses().items()
+            if status in (SessionStatus.BOOTSTRAPPING, SessionStatus.RUNNING)
+        ]
+        assert partial, "autosave caught no session mid-run"
+        _assert_traces_identical(restored.drain(), golden)
+
+    def test_autosave_writes_a_final_checkpoint_on_clean_shutdown(self, tmp_path):
+        state = tmp_path / "registry.json"
+        service = TuningService(autosave_path=state, autosave_interval_s=60.0)
+        service.serve()
+        service.submit_spec(_spec(0), session_id="only")
+        service.shutdown(drain=True)
+        # The interval (60 s) never elapsed: the file exists only because the
+        # autosaver flushes once more on the way out, with the final state.
+        payload = json.loads(state.read_text())
+        assert [s["session_id"] for s in payload["sessions"]] == ["only"]
+        assert payload["sessions"][0]["status"] in ("done", "exhausted")
+
+    def test_autosave_skips_live_object_sessions_instead_of_dying(
+        self, tmp_path, synthetic_job
+    ):
+        state = tmp_path / "registry.json"
+        service = TuningService(autosave_path=state, autosave_interval_s=0.05)
+        service.serve()
+        service.submit(synthetic_job, RandomSearchOptimizer(), session_id="live", seed=0)
+        service.submit_spec(_spec(1), session_id="specced")
+        service.shutdown(drain=True)
+        payload = json.loads(state.read_text())
+        # The unspecced session cannot be service-checkpointed; it must be
+        # left out rather than poisoning every autosave tick.
+        assert [s["session_id"] for s in payload["sessions"]] == ["specced"]
+
+
+class TestWorkerExceptionStorms:
+    def test_process_pool_storm_isolates_failures(self):
+        golden_service = TuningService()
+        for seed in range(3):
+            golden_service.submit_spec(_spec(seed, job=CHAOS_SLOW_JOB), session_id=f"good{seed}")
+        golden = golden_service.drain()
+
+        service = TuningService(n_workers=2, executor="process", policy="round-robin")
+        service.serve()
+        for seed in range(3):
+            service.submit_spec(_spec(seed, job=CHAOS_SLOW_JOB), session_id=f"good{seed}")
+        for seed in range(3):
+            service.submit_spec(
+                _spec(seed, job=CHAOS_EXPLODING_JOB), session_id=f"bad{seed}"
+            )
+        with pytest.raises(RuntimeError, match="3 session\\(s\\) failed"):
+            service.shutdown(drain=True)
+
+        statuses = service.statuses()
+        for seed in range(3):
+            assert statuses[f"bad{seed}"] == SessionStatus.CANCELLED
+        _assert_traces_identical(service.results(), golden)
+
+    def test_unpicklable_job_fails_only_its_own_session(self, synthetic_job):
+        # The process pool cannot even serialise this job (it holds a live
+        # lambda); the dispatch error must be charged to the one session.
+        class UnpicklableJob:
+            def __init__(self, inner):
+                self.inner = inner
+                self.name = inner.name
+                self.describe = lambda: "unpicklable on purpose"
+
+            def __getattr__(self, attribute):
+                return getattr(self.inner, attribute)
+
+        golden = RandomSearchOptimizer().optimize(
+            _make_slow_job(), budget_multiplier=1.0, seed=5
+        )
+
+        service = TuningService(n_workers=2, executor="process")
+        service.serve()
+        service.submit(
+            UnpicklableJob(synthetic_job), RandomSearchOptimizer(),
+            session_id="poison", budget_multiplier=1.0, seed=0,
+        )
+        service.submit_spec(_spec(5, job=CHAOS_SLOW_JOB), session_id="healthy")
+        with pytest.raises(RuntimeError, match="poison"):
+            service.shutdown(drain=True)
+        assert service.statuses()["poison"] == SessionStatus.CANCELLED
+        healthy = service.results()["healthy"]
+        assert [o.config for o in healthy.observations] == [
+            o.config for o in golden.observations
+        ]
+
+
+class TestGatewayRestart:
+    def test_sessions_survive_a_gateway_restart(self):
+        service = TuningService(n_workers=2, policy="round-robin")
+        service.serve()
+        try:
+            first = TuningGateway(service, port=0).start()
+            client = HttpClient(first.url)
+            ids = [
+                submit_with_unique_id(client, _spec(seed), f"sweep/trial-{seed}")
+                for seed in range(2)
+            ]
+            assert ids == ["sweep/trial-0", "sweep/trial-1"]
+            first.close()
+
+            # A fresh gateway over the same service: every id is still live.
+            second = TuningGateway(service, port=0).start()
+            try:
+                assert second.port != first.port or second.url != first.url
+                retry_client = HttpClient(second.url)
+                listed = [s.session_id for s in retry_client.sessions()]
+                assert listed == ids
+                results = retry_client.wait(ids, timeout=120)
+                assert set(results) == set(ids)
+                # Re-running the sweep against the restarted gateway must
+                # not collide with the finished sessions: the id retry kicks
+                # in and appends a suffix.
+                resubmitted = submit_with_unique_id(
+                    retry_client, _spec(0), "sweep/trial-0"
+                )
+                assert resubmitted == "sweep/trial-0#2"
+                retry_client.wait([resubmitted], timeout=120)
+            finally:
+                second.close()
+        finally:
+            service.shutdown(drain=False)

@@ -5,6 +5,12 @@ wrapping an in-process daemon, and once against an :class:`HttpClient`
 talking to a real :class:`TuningGateway` on an ephemeral port.  The client
 under test is always backed by a *serving* daemon, so submissions progress
 in the background exactly as they would in production.
+
+The multi-tenant section runs the same way against *tenant-scoped* clients:
+locally a ``LocalClient(tenant=...)``, remotely an ``HttpClient`` holding a
+bearer token for an auth-enabled gateway.  Both must show identical
+isolation (foreign session ids are 404s, listings are tenant-filtered) and
+identical long-poll behaviour.
 """
 
 from __future__ import annotations
@@ -20,8 +26,10 @@ from repro.service.api import (
     ConflictError,
     JobSpec,
     OptimizerSpec,
+    QuotaExceededError,
     ResultNotReadyError,
     SessionCancelledError,
+    UnauthorizedError,
     UnknownJobError,
     UnknownOptimizerError,
     UnknownSessionError,
@@ -214,6 +222,44 @@ class TestCancel:
             client.cancel(response.session_id)
 
 
+class TestLongPoll:
+    def test_poll_wait_returns_early_on_completion(self, client):
+        response = client.submit(fast_spec(seed=7))
+        started = time.monotonic()
+        snapshot = client.poll(response.session_id, wait_s=30.0)
+        elapsed = time.monotonic() - started
+        assert snapshot.terminal
+        assert elapsed < 30.0  # returned on completion, not on the timer
+
+    def test_poll_wait_honours_the_timeout(self, client):
+        response = client.submit(slow_spec(seed=8))
+        try:
+            started = time.monotonic()
+            snapshot = client.poll(response.session_id, wait_s=0.2)
+            elapsed = time.monotonic() - started
+            # The slow session cannot finish in 0.2s: the long-poll must
+            # come back around the deadline with a non-terminal snapshot.
+            assert not snapshot.terminal
+            assert 0.15 <= elapsed < 5.0
+        finally:
+            client.cancel(response.session_id)
+
+    def test_poll_wait_rejects_unknown_sessions_without_blocking(self, client):
+        started = time.monotonic()
+        with pytest.raises(UnknownSessionError):
+            client.poll("no-such-session", wait_s=30.0)
+        assert time.monotonic() - started < 5.0
+
+    def test_poll_wait_rejects_non_finite_waits(self, client):
+        # NaN passes naive `< 0` checks and would make the server-side wait
+        # spin forever; both transports must refuse it up front.
+        response = client.submit(fast_spec(seed=9))
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(BadRequestError):
+                client.poll(response.session_id, wait_s=bad)
+        client.wait([response.session_id], timeout=60)
+
+
 class TestWait:
     def test_wait_times_out(self, client):
         response = client.submit(slow_spec(seed=4))
@@ -228,6 +274,139 @@ class TestWait:
         results = client.wait(timeout=60)
         assert set(results) == set(ids)
 
+    def test_wait_on_everything_includes_late_submissions(self, client):
+        # "Every session" is a live set: a session submitted while wait(None)
+        # is already blocking must still be waited for.
+        import threading
+
+        first = client.submit(slow_spec(seed=6)).session_id
+        late_ids: list[str] = []
+
+        def late_submit():
+            time.sleep(0.1)  # land while wait() is parked on `first`
+            late_ids.append(client.submit(fast_spec(seed=60)).session_id)
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        try:
+            results = client.wait(timeout=120)
+        finally:
+            thread.join()
+        assert first in results
+        assert late_ids and late_ids[0] in results
+
     def test_wait_on_unknown_sessions_raises(self, client):
         with pytest.raises(UnknownSessionError):
             client.wait(["no-such-session"], timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant contract: auth, isolation, quotas
+# ---------------------------------------------------------------------------
+
+_TOKENS = {"alice-secret": "alice", "bob-secret": "bob"}
+
+
+class _Tenants:
+    """The two tenants' clients plus (http only) an unauthenticated one."""
+
+    def __init__(self, alice, bob, anonymous=None):
+        self.alice = alice
+        self.bob = bob
+        self.anonymous = anonymous
+
+
+@pytest.fixture(params=["local", "http"])
+def tenants(request):
+    service = TuningService(
+        n_workers=2, policy="round-robin", tenant_quota=3
+    )
+    service.serve()
+    gateway = None
+    closers = []
+    if request.param == "local":
+        base = LocalClient(service)
+        pair = _Tenants(base.scoped("alice"), base.scoped("bob"))
+    else:
+        gateway = TuningGateway(service, port=0, tokens=_TOKENS).start()
+        pair = _Tenants(
+            HttpClient(gateway.url, token="alice-secret"),
+            HttpClient(gateway.url, token="bob-secret"),
+            anonymous=HttpClient(gateway.url),
+        )
+    try:
+        yield pair
+    finally:
+        if gateway is not None:
+            gateway.close()
+        service.shutdown(drain=False)
+
+
+class TestTenantIsolation:
+    def test_valid_token_full_round_trip(self, tenants):
+        response = tenants.alice.submit(fast_spec(seed=31))
+        results = tenants.alice.wait([response.session_id], timeout=60)
+        assert results[response.session_id].optimization_result().best_config
+
+    def test_submissions_are_stamped_with_the_authenticated_tenant(self, tenants):
+        # Even a spec claiming to be bob is accounted to alice: the
+        # authenticated identity always wins over the payload.
+        response = tenants.alice.submit(fast_spec(seed=32, tenant="bob"))
+        snapshot = tenants.alice.poll(response.session_id)
+        assert snapshot.metrics["tenant"] == "alice"
+        with pytest.raises(UnknownSessionError):
+            tenants.bob.poll(response.session_id)
+
+    def test_foreign_session_ids_are_indistinguishable_from_missing(self, tenants):
+        response = tenants.alice.submit(slow_spec(seed=33))
+        sid = response.session_id
+        try:
+            for call in (
+                tenants.bob.poll,
+                tenants.bob.result,
+                tenants.bob.cancel,
+                lambda s: tenants.bob.poll(s, wait_s=10.0),
+            ):
+                with pytest.raises(UnknownSessionError):
+                    call(sid)
+        finally:
+            tenants.alice.cancel(sid)
+
+    def test_listings_are_tenant_filtered(self, tenants):
+        alice_sid = tenants.alice.submit(fast_spec(seed=34)).session_id
+        bob_sid = tenants.bob.submit(fast_spec(seed=35)).session_id
+        assert [s.session_id for s in tenants.alice.sessions()] == [alice_sid]
+        assert [s.session_id for s in tenants.bob.sessions()] == [bob_sid]
+        tenants.alice.wait([alice_sid], timeout=60)
+        tenants.bob.wait([bob_sid], timeout=60)
+
+    def test_quota_applies_per_tenant_and_maps_to_429(self, tenants):
+        alice_ids = [
+            tenants.alice.submit(slow_spec(seed=40 + i)).session_id
+            for i in range(3)
+        ]
+        try:
+            with pytest.raises(QuotaExceededError):
+                tenants.alice.submit(slow_spec(seed=49))
+            # bob's budget is untouched by alice's spent quota.
+            bob_sid = tenants.bob.submit(slow_spec(seed=50)).session_id
+            tenants.bob.cancel(bob_sid)
+        finally:
+            for sid in alice_ids:
+                tenants.alice.cancel(sid)
+
+    def test_missing_or_invalid_token_is_401_mapped(self, tenants):
+        if tenants.anonymous is None:
+            pytest.skip("bearer tokens only exist on the HTTP transport")
+        with pytest.raises(UnauthorizedError):
+            tenants.anonymous.submit(fast_spec(seed=36))
+        with pytest.raises(UnauthorizedError):
+            tenants.anonymous.sessions()
+        wrong = HttpClient(tenants.anonymous.base_url, token="stolen")
+        with pytest.raises(UnauthorizedError):
+            wrong.sessions()
+
+    def test_healthz_needs_no_token(self, tenants):
+        if tenants.anonymous is None:
+            pytest.skip("bearer tokens only exist on the HTTP transport")
+        assert tenants.anonymous.health()["status"] == "ok"

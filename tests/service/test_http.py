@@ -183,6 +183,20 @@ class TestErrorCodeMapping:
         assert exc_info.value.code == 400
         assert json.loads(exc_info.value.read())["code"] == "bad_request"
 
+    def test_400_bad_wait_s_query(self, gateway):
+        # NaN would evade a `< 0` check and park the handler forever; the
+        # gateway must reject every non-finite/negative/garbage wait_s with
+        # a 400 before touching the service.
+        status, body = _raw(gateway, "POST", "/v1/sessions", _submit_payload(
+            seed=3, session_id="waiter"
+        ))
+        assert status == 201
+        for bad in ("nan", "inf", "-1", "soon"):
+            status, body = _raw(gateway, "GET", f"/v1/sessions/waiter?wait_s={bad}")
+            assert status == 400, bad
+            assert body["code"] == "bad_request"
+        _wait_terminal(gateway, "waiter")
+
     def test_404_unknown_routes(self, gateway):
         for method, path in (
             ("GET", "/nope"),

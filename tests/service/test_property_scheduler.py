@@ -11,29 +11,62 @@ The invariants that must hold for *any* ready-set sequence:
 * Cost-aware never picks a session whose spend exceeds all alternatives —
   it selects exactly the minimum-spend ready session, ties broken by
   submission order, with unstarted sessions counting as zero spend.
+* Priority respects the declared ordering (fresh aging state: the
+  highest-priority ready session wins) yet never starves anyone — aging
+  bounds how long a continuously-ready session can be passed over, for any
+  priority spread and any churn of the rest of the ready set.
+* Deadline (EDF) always selects the earliest absolute deadline
+  (``created_at + deadline_s``), deadline-less sessions last, ties broken
+  by submission order.
+* The per-tenant quota is a hard invariant: under concurrent submitter
+  threads the service never holds more active sessions for one tenant than
+  the quota allows.
 
-Policies only touch ``session_id`` and ``state.budget_spent``, so the
-properties run against lightweight stand-ins; an end-to-end FIFO check on a
-real service closes the loop.
+Policies only touch ``session_id``, ``priority``, ``deadline_s``,
+``created_at`` and ``state.budget_spent``, so the properties run against
+lightweight stand-ins; end-to-end checks on a real service close the loop.
 """
 
 from __future__ import annotations
 
+import threading
+
 from types import SimpleNamespace
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.baselines import RandomSearchOptimizer
-from repro.service.scheduler import CostAwarePolicy, FifoPolicy, RoundRobinPolicy
+from repro.service.api import JobSpec, OptimizerSpec, QuotaExceededError
+from repro.service.scheduler import (
+    CostAwarePolicy,
+    DeadlinePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    RoundRobinPolicy,
+)
 from repro.service.service import TuningService
 from repro.service.session import SessionStatus
 
 
-def fake_session(index: int, spend: float | None = None) -> SimpleNamespace:
+def fake_session(
+    index: int,
+    spend: float | None = None,
+    *,
+    priority: int = 0,
+    deadline_s: float | None = None,
+    created_at: float = 0.0,
+) -> SimpleNamespace:
     """A stand-in exposing exactly what the policies read."""
     state = None if spend is None else SimpleNamespace(budget_spent=spend)
-    return SimpleNamespace(session_id=f"s{index}", state=state)
+    return SimpleNamespace(
+        session_id=f"s{index}",
+        state=state,
+        priority=priority,
+        deadline_s=deadline_s,
+        created_at=created_at,
+    )
 
 
 # -- FIFO -------------------------------------------------------------------
@@ -164,3 +197,201 @@ def test_cost_aware_drains_every_session(synthetic_job):
         status in (SessionStatus.DONE, SessionStatus.EXHAUSTED)
         for status in service.statuses().values()
     )
+
+
+# -- priority ---------------------------------------------------------------
+
+@given(
+    priorities=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_priority_fresh_policy_respects_declared_ordering(priorities):
+    # With no aging accumulated yet, the highest declared priority wins,
+    # first-submitted among equals.
+    sessions = [fake_session(i, priority=p) for i, p in enumerate(priorities)]
+    chosen = PriorityPolicy().select(sessions)
+    best = max(priorities)
+    assert chosen.priority == best
+    assert chosen is next(s for s in sessions if s.priority == best)
+
+
+@given(
+    n_sessions=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_priority_aging_starves_no_continuously_ready_session(n_sessions, data):
+    # The tracked session stays ready at every call — with the worst
+    # possible priority — while the rest of the ready set churns.  Aging
+    # must bound its wait by the priority spread plus a few rounds of peers;
+    # without aging the gap would grow without bound.
+    priorities = [
+        data.draw(st.integers(min_value=0, max_value=5), label=f"priority{i}")
+        for i in range(n_sessions)
+    ]
+    sessions = [fake_session(i, priority=p) for i, p in enumerate(priorities)]
+    tracked = min(range(n_sessions), key=lambda i: priorities[i])
+    policy = PriorityPolicy()
+    n_steps = data.draw(st.integers(min_value=n_sessions, max_value=8 * n_sessions))
+    spread = max(priorities) - priorities[tracked]
+    bound = spread + 2 * n_sessions + 2
+    gap = 0
+    for _ in range(n_steps):
+        others = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n_sessions - 1))
+        )
+        ready_indices = sorted(others | {tracked})
+        chosen = policy.select([sessions[i] for i in ready_indices])
+        if chosen is sessions[tracked]:
+            gap = 0
+        else:
+            gap += 1
+        assert gap <= bound, (
+            f"session s{tracked} (priority {priorities[tracked]}) was ready "
+            f"but skipped {gap} times in a row (spread {spread})"
+        )
+
+
+def test_priority_daemon_drains_low_priority_sessions(synthetic_job):
+    # End-to-end: a permanently-busy high-priority tenant must not keep a
+    # priority-0 session from completing.
+    service = TuningService(policy="priority")
+    ids = [
+        service.submit(
+            synthetic_job, RandomSearchOptimizer(), seed=seed,
+            priority=0 if seed == 0 else 5,
+        )
+        for seed in range(4)
+    ]
+    results = service.drain()
+    assert set(results) == set(ids)
+
+
+# -- deadline (EDF) ---------------------------------------------------------
+
+@given(
+    deadlines=st.lists(
+        st.one_of(
+            st.none(),
+            st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_edf_always_selects_the_earliest_feasible_deadline(deadlines, data):
+    sessions = [
+        fake_session(
+            i,
+            deadline_s=deadline,
+            created_at=data.draw(
+                st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+                label=f"created_at{i}",
+            ),
+        )
+        for i, deadline in enumerate(deadlines)
+    ]
+    chosen = DeadlinePolicy().select(sessions)
+
+    def absolute(session):
+        if session.deadline_s is None:
+            return float("inf")
+        return session.created_at + session.deadline_s
+
+    earliest = min(absolute(s) for s in sessions)
+    assert absolute(chosen) == earliest
+    # ...and ties fall back to submission order.
+    assert chosen is next(s for s in sessions if absolute(s) == earliest)
+
+
+def test_edf_drains_deadline_less_sessions_too(synthetic_job):
+    service = TuningService(policy="deadline")
+    ids = [
+        service.submit(
+            synthetic_job, RandomSearchOptimizer(), seed=seed,
+            deadline_s=None if seed % 2 else 60.0,
+        )
+        for seed in range(4)
+    ]
+    results = service.drain()
+    assert set(results) == set(ids)
+
+
+# -- per-tenant quota -------------------------------------------------------
+
+def _quota_spec(seed: int) -> JobSpec:
+    return JobSpec(
+        job="scout-spark-kmeans",
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+        tenant="team",
+    )
+
+
+def test_tenant_quota_is_never_exceeded_under_concurrent_submitters():
+    # 4 threads race to submit 5 sessions each for the same tenant against a
+    # quota of 3.  Sessions never start (no daemon), so the active count can
+    # only grow: exactly `quota` submissions may win, every other attempt
+    # must get the 429-style QuotaExceededError, and the registry must never
+    # hold more than `quota` sessions for the tenant.
+    quota = 3
+    service = TuningService(tenant_quota=quota)
+    barrier = threading.Barrier(4)
+    outcomes: list[list[str]] = [[] for _ in range(4)]
+
+    def submitter(slot: int) -> None:
+        barrier.wait()
+        for attempt in range(5):
+            try:
+                service.submit_spec(
+                    _quota_spec(attempt), session_id=f"t{slot}/a{attempt}"
+                )
+                outcomes[slot].append("ok")
+            except QuotaExceededError:
+                outcomes[slot].append("quota")
+
+    threads = [
+        threading.Thread(target=submitter, args=(slot,)) for slot in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    flat = [outcome for per_thread in outcomes for outcome in per_thread]
+    assert flat.count("ok") == quota
+    assert flat.count("quota") == len(flat) - quota
+    active = [
+        sid
+        for sid, status in service.statuses().items()
+        if not status.terminal
+    ]
+    assert len(active) == quota
+
+
+def test_tenant_quota_frees_up_as_sessions_finish():
+    service = TuningService(tenant_quota=1)
+    service.submit_spec(_quota_spec(0), session_id="first")
+    with pytest.raises(QuotaExceededError):
+        service.submit_spec(_quota_spec(1), session_id="second")
+    service.drain()  # "first" goes terminal, releasing the quota slot
+    assert service.submit_spec(_quota_spec(1), session_id="second") == "second"
+
+
+def test_quota_is_accounted_per_tenant():
+    service = TuningService(tenant_quota=1)
+    service.submit_spec(_quota_spec(0), session_id="team")
+    # A different tenant (and the anonymous tenant) have their own budgets.
+    import dataclasses
+
+    other = dataclasses.replace(_quota_spec(1), tenant="other")
+    anonymous = dataclasses.replace(_quota_spec(2), tenant=None)
+    assert service.submit_spec(other, session_id="other")
+    assert service.submit_spec(anonymous, session_id="anon")
+    with pytest.raises(QuotaExceededError):
+        service.submit_spec(_quota_spec(3), session_id="team-2")

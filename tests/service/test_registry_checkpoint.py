@@ -96,14 +96,32 @@ class TestSaveRestoreRegistry:
         with pytest.raises(ValueError, match="live"):
             service.save_registry(tmp_path / "registry.json")
 
-    def test_save_refuses_while_serving(self, tmp_path):
-        service = TuningService()
+    def test_save_while_serving_captures_step_boundaries(self, tmp_path):
+        # A live daemon can be checkpointed: every session lands in the file
+        # at its most recent step boundary, and restoring the file into a
+        # fresh service replays to the uninterrupted result.
+        reference = TuningService()
+        for seed in range(2):
+            reference.submit_spec(_spec(seed), session_id=f"s{seed}")
+        expected = reference.drain()
+
+        service = TuningService(n_workers=2)
         service.serve()
         try:
-            with pytest.raises(RuntimeError, match="serve"):
-                service.save_registry(tmp_path / "registry.json")
+            for seed in range(2):
+                service.submit_spec(_spec(seed), session_id=f"s{seed}")
+            path = service.save_registry(tmp_path / "registry.json")
         finally:
             service.shutdown(drain=False)
+
+        second = TuningService()
+        assert second.restore_registry(path) == ["s0", "s1"]
+        results = second.drain()
+        assert set(results) == set(expected)
+        for sid, result in expected.items():
+            assert [o.config for o in results[sid].observations] == [
+                o.config for o in result.observations
+            ], sid
 
     def test_auto_ids_skip_restored_sessions(self, tmp_path):
         # A restored registry must not make anonymous submissions collide

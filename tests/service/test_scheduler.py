@@ -7,7 +7,9 @@ import pytest
 from repro.core.baselines import RandomSearchOptimizer
 from repro.service.scheduler import (
     CostAwarePolicy,
+    DeadlinePolicy,
     FifoPolicy,
+    PriorityPolicy,
     RoundRobinPolicy,
     make_policy,
 )
@@ -25,7 +27,13 @@ def sessions(synthetic_job):
 class TestFactory:
     @pytest.mark.parametrize(
         "name, cls",
-        [("fifo", FifoPolicy), ("round-robin", RoundRobinPolicy), ("cost-aware", CostAwarePolicy)],
+        [
+            ("fifo", FifoPolicy),
+            ("round-robin", RoundRobinPolicy),
+            ("cost-aware", CostAwarePolicy),
+            ("priority", PriorityPolicy),
+            ("deadline", DeadlinePolicy),
+        ],
     )
     def test_builds_by_name(self, name, cls):
         policy = make_policy(name)
@@ -89,3 +97,106 @@ class TestCostAware:
     def test_falls_back_to_submission_order_on_ties(self, sessions):
         policy = CostAwarePolicy()
         assert policy.select(sessions) is sessions[0]
+
+
+@pytest.fixture
+def prioritised_sessions(synthetic_job):
+    return [
+        TuningSession(
+            f"p{i}", synthetic_job, RandomSearchOptimizer(),
+            seed=i, priority=priority,
+        )
+        for i, priority in enumerate([0, 5, 2])
+    ]
+
+
+class TestPriority:
+    def test_highest_priority_runs_first(self, prioritised_sessions):
+        policy = PriorityPolicy()
+        assert policy.select(prioritised_sessions) is prioritised_sessions[1]
+
+    def test_ties_fall_back_to_submission_order(self, synthetic_job):
+        sessions = [
+            TuningSession(f"p{i}", synthetic_job, RandomSearchOptimizer(), priority=1)
+            for i in range(3)
+        ]
+        assert PriorityPolicy().select(sessions) is sessions[0]
+
+    def test_aging_eventually_selects_a_low_priority_session(
+        self, prioritised_sessions
+    ):
+        policy = PriorityPolicy()
+        picks = [
+            policy.select(prioritised_sessions).session_id for _ in range(20)
+        ]
+        # Every session — including priority-0 p0 — gets turns.
+        assert set(picks) == {"p0", "p1", "p2"}
+
+    def test_state_dict_round_trips_the_aging_table(self, prioritised_sessions):
+        policy = PriorityPolicy()
+        for _ in range(4):
+            policy.select(prioritised_sessions)
+        resumed = PriorityPolicy()
+        resumed.load_state_dict(policy.state_dict())
+        for _ in range(6):
+            assert (
+                resumed.select(prioritised_sessions).session_id
+                == policy.select(prioritised_sessions).session_id
+            )
+
+    def test_aging_table_stays_bounded_over_session_churn(self):
+        from types import SimpleNamespace
+
+        policy = PriorityPolicy()
+        for wave in range(200):
+            ready = [
+                SimpleNamespace(session_id=f"w{wave}/s{i}", priority=i)
+                for i in range(3)
+            ]
+            policy.select(ready)
+        assert len(policy._age) <= 32
+
+    def test_rejects_non_positive_aging_rate(self):
+        with pytest.raises(ValueError, match="aging_rate"):
+            PriorityPolicy(aging_rate=0.0)
+
+
+class TestDeadline:
+    def test_earliest_absolute_deadline_first(self, synthetic_job):
+        sessions = [
+            TuningSession(
+                f"d{i}", synthetic_job, RandomSearchOptimizer(),
+                deadline_s=deadline, created_at=100.0,
+            )
+            for i, deadline in enumerate([50.0, 10.0, 30.0])
+        ]
+        assert DeadlinePolicy().select(sessions) is sessions[1]
+
+    def test_sessions_without_deadline_sort_last(self, synthetic_job):
+        relaxed = TuningSession(
+            "relaxed", synthetic_job, RandomSearchOptimizer(), created_at=0.0
+        )
+        urgent = TuningSession(
+            "urgent", synthetic_job, RandomSearchOptimizer(),
+            deadline_s=1e9, created_at=0.0,
+        )
+        policy = DeadlinePolicy()
+        assert policy.select([relaxed, urgent]) is urgent
+        assert policy.select([relaxed]) is relaxed
+
+    def test_submission_time_breaks_equal_relative_deadlines(self, synthetic_job):
+        # Same deadline_s, earlier submission → earlier absolute deadline.
+        earlier = TuningSession(
+            "earlier", synthetic_job, RandomSearchOptimizer(),
+            deadline_s=60.0, created_at=10.0,
+        )
+        later = TuningSession(
+            "later", synthetic_job, RandomSearchOptimizer(),
+            deadline_s=60.0, created_at=20.0,
+        )
+        assert DeadlinePolicy().select([later, earlier]) is earlier
+
+    def test_state_dict_is_empty_but_round_trips(self):
+        policy = DeadlinePolicy()
+        assert policy.state_dict() == {}
+        policy.load_state_dict({})  # must be accepted for uniform checkpoints

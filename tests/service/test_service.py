@@ -107,14 +107,20 @@ class TestConcurrentSweep:
             assert a.budget_spent == b.budget_spent
 
     def test_every_policy_drains_to_the_same_results(self, synthetic_job):
+        # A scheduling policy decides only *when* a session advances, never
+        # what it decides: per-session traces must match across all five
+        # built-ins — including the multi-tenant priority/deadline policies,
+        # with mixed priorities and deadlines in play.
         baseline = None
-        for policy in ("fifo", "round-robin", "cost-aware"):
+        for policy in ("fifo", "round-robin", "cost-aware", "priority", "deadline"):
             service = TuningService(policy=policy)
             for seed in range(3):
                 service.submit(synthetic_job, RandomSearchOptimizer(),
-                               session_id=f"s{seed}", seed=seed)
+                               session_id=f"s{seed}", seed=seed,
+                               priority=seed, deadline_s=60.0 * (3 - seed))
             results = {
-                sid: result.best_cost for sid, result in service.drain().items()
+                sid: [o.config for o in result.observations]
+                for sid, result in service.drain().items()
             }
             if baseline is None:
                 baseline = results

@@ -143,3 +143,61 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "executor=thread" in out
         assert "policy=fifo" in out
+
+
+class TestMultiTenantFlags:
+    def test_sweep_parser_accepts_tenancy_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "--jobs", "scout", "--tenant", "acme",
+                "--priority", "3", "--deadline-s", "120",
+                "--server", "http://127.0.0.1:1", "--token", "secret",
+            ]
+        )
+        assert args.tenant == "acme"
+        assert args.priority == 3
+        assert args.deadline_s == 120.0
+        assert args.token == "secret"
+
+    def test_sweep_defaults_leave_tenancy_unset(self):
+        args = build_parser().parse_args(["sweep", "--jobs", "scout"])
+        assert args.tenant is None
+        assert args.priority == 0
+        assert args.deadline_s is None
+        assert args.token is None
+
+    def test_sweep_accepts_the_new_policies(self):
+        for policy in ("priority", "deadline"):
+            args = build_parser().parse_args(
+                ["sweep", "--jobs", "scout", "--policy", policy]
+            )
+            assert args.policy == policy
+
+    def test_sweep_runs_under_a_tenant_with_priorities(self, capsys):
+        code = main(
+            [
+                "sweep", "--jobs", "scout-hadoop-scan", "--optimizer", "rnd",
+                "--trials", "2", "--policy", "priority", "--tenant", "acme",
+                "--priority", "2", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "priority"
+        assert payload["n_sessions"] == 2
+
+    def test_serve_parser_accepts_hardening_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--token-file", "tokens.json", "--tenant-quota", "8",
+                "--state", "reg.json", "--save-interval", "30",
+            ]
+        )
+        assert args.token_file == "tokens.json"
+        assert args.tenant_quota == 8
+        assert args.save_interval == 30.0
+
+    def test_serve_save_interval_requires_state(self, capsys):
+        code = main(["serve", "--save-interval", "5"])
+        assert code == 2
+        assert "--save-interval requires --state" in capsys.readouterr().err
