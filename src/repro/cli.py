@@ -33,6 +33,13 @@ The CLI exposes the library's day-to-day operations without writing Python:
     turns on bearer-token auth with tenant isolation and ``--tenant-quota``
     caps each tenant's active sessions.
 
+``python -m repro metrics --server http://127.0.0.1:8080``
+    Fetch a gateway's ``/v1/metrics`` observability snapshot and print
+    per-tenant latency percentiles, queue wait, fairness counts and gateway
+    request statistics (``--token`` scopes the view to one tenant).  The
+    serving side can additionally log one-line summaries periodically with
+    ``serve --metrics-interval SECONDS``.
+
 All commands print plain text; machine-readable output is available with
 ``--json``.
 """
@@ -228,6 +235,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum active (non-terminal) sessions per tenant; further "
         "submissions get a 429 quota_exceeded error",
     )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a one-line metrics summary (steps, tenants, mean run time) "
+        "to stderr every SECONDS while serving",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics", help="fetch and pretty-print a gateway's /v1/metrics snapshot"
+    )
+    metrics.add_argument(
+        "--server",
+        default="http://127.0.0.1:8080",
+        metavar="URL",
+        help="gateway base URL (default: http://127.0.0.1:8080)",
+    )
+    metrics.add_argument(
+        "--token",
+        default=None,
+        help="bearer token: scopes the snapshot to the token's tenant "
+        "(anonymous requests see the full registry)",
+    )
+    metrics.add_argument("--json", action="store_true", help="emit the raw JSON snapshot")
     return parser
 
 
@@ -399,6 +431,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.save_interval is not None and not args.state:
         print("error: --save-interval requires --state", file=sys.stderr)
         return 2
+    if args.metrics_interval is not None and args.metrics_interval <= 0:
+        print("error: --metrics-interval must be positive", file=sys.stderr)
+        return 2
     autosave: dict = {}
     if args.state and args.save_interval is not None:
         autosave = {
@@ -426,11 +461,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(workers={args.workers}, policy={args.policy}, executor={args.executor}, "
         f"auth={auth}, tenant-quota={args.tenant_quota}); Ctrl-C to stop"
     )
+    metrics_stop = None
+    if args.metrics_interval is not None:
+        import threading
+
+        from repro.observability.report import one_line_summary
+
+        metrics_stop = threading.Event()
+
+        def _log_metrics() -> None:
+            while not metrics_stop.wait(args.metrics_interval):
+                print(one_line_summary(service.metrics_snapshot()), file=sys.stderr)
+
+        threading.Thread(
+            target=_log_metrics, name="repro-metrics-log", daemon=True
+        ).start()
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:
         print("shutting down...")
     finally:
+        if metrics_stop is not None:
+            metrics_stop.set()
         gateway.close()
         try:
             # Raises when sessions failed mid-run; the checkpoint below must
@@ -443,6 +495,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability.report import format_metrics_snapshot
+    from repro.service.client import HttpClient
+
+    snapshot = HttpClient(args.server, token=args.token).metrics()
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    print(format_metrics_snapshot(snapshot))
+    return 0
+
+
 _COMMANDS = {
     "list-jobs": _cmd_list_jobs,
     "describe": _cmd_describe,
@@ -450,6 +514,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
 }
 
 

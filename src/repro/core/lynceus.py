@@ -57,6 +57,7 @@ from repro.core.model import SPECULATION_MODES, CostModel
 from repro.core.optimizer import BaseOptimizer
 from repro.core.space import Configuration
 from repro.core.state import OptimizerState
+from repro.observability.tracing import NULL_TIMINGS
 from repro.sampling.quadrature import GaussHermiteQuadrature
 from repro.workloads.base import Job
 
@@ -255,6 +256,9 @@ class LynceusOptimizer(BaseOptimizer):
         rows = state.untested_rows
         if rows.size == 0:
             return None
+        # Phase spans observe wall-clock only: they never touch ``rng`` or
+        # the decision logic, so traces stay bit-identical either way.
+        timings = state.timings if state.timings is not None else NULL_TIMINGS
         grid = state.grid
         model = CostModel(
             job.space,
@@ -263,29 +267,31 @@ class LynceusOptimizer(BaseOptimizer):
             n_estimators=self.n_estimators,
             grid=grid,
         )
-        model.fit_rows(state.explored_rows, state.observed_costs())
+        with timings.span("fit"):
+            model.fit_rows(state.explored_rows, state.observed_costs())
 
-        prediction = model.predict_rows(rows)
-        means, stds = prediction.mean, prediction.std
-        unit_prices = grid.unit_prices[rows]
+        with timings.span("acquisition"):
+            prediction = model.predict_rows(rows)
+            means, stds = prediction.mean, prediction.std
+            unit_prices = grid.unit_prices[rows]
 
-        viable = budget_viable_mask(
-            means, stds, state.budget_remaining, self.viability_confidence
-        )
-        if not np.any(viable):
-            return None
-
-        eic = self._eic_rows(state, rows, means, stds, tmax)
-        step_costs = np.maximum(means, _EPS)
-        if self.setup_cost_estimator is not None:
-            step_costs = step_costs + np.array(
-                [
-                    self._setup_cost(state.current_config, grid.config_at(int(r)))
-                    for r in rows
-                ],
-                dtype=float,
+            viable = budget_viable_mask(
+                means, stds, state.budget_remaining, self.viability_confidence
             )
-        one_step_ratio = eic / step_costs
+            if not np.any(viable):
+                return None
+
+            eic = self._eic_rows(state, rows, means, stds, tmax)
+            step_costs = np.maximum(means, _EPS)
+            if self.setup_cost_estimator is not None:
+                step_costs = step_costs + np.array(
+                    [
+                        self._setup_cost(state.current_config, grid.config_at(int(r)))
+                        for r in rows
+                    ],
+                    dtype=float,
+                )
+            one_step_ratio = eic / step_costs
 
         viable_indices = np.flatnonzero(viable)
         if self.lookahead == 0:
@@ -299,20 +305,21 @@ class LynceusOptimizer(BaseOptimizer):
         else:
             pool = set(int(i) for i in ranked)
 
-        best_index: int | None = None
-        best_ratio = -np.inf
-        for idx in viable_indices:
-            idx = int(idx)
-            if idx in pool:
-                reward, cost = self._explore_path(
-                    model, state, idx, eic, means, stds, unit_prices, tmax, self.lookahead
-                )
-            else:
-                reward, cost = float(eic[idx]), float(step_costs[idx])
-            ratio = reward / max(cost, _EPS)
-            if ratio > best_ratio:
-                best_ratio = ratio
-                best_index = idx
+        with timings.span("explore_path"):
+            best_index: int | None = None
+            best_ratio = -np.inf
+            for idx in viable_indices:
+                idx = int(idx)
+                if idx in pool:
+                    reward, cost = self._explore_path(
+                        model, state, idx, eic, means, stds, unit_prices, tmax, self.lookahead
+                    )
+                else:
+                    reward, cost = float(eic[idx]), float(step_costs[idx])
+                ratio = reward / max(cost, _EPS)
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_index = idx
         if best_index is None:
             return None
         return grid.config_at(int(rows[best_index]))

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.space import ConfigSpace, Configuration, EncodedSpace
 from repro.core.state import Observation, OptimizerState
+from repro.observability.tracing import PhaseTimings
 from repro.sampling.lhs import latin_hypercube_sample
 from repro.workloads.base import Job, JobOutcome
 
@@ -182,6 +183,7 @@ class SessionState:
     pending: PendingRun | None = None
     finished: bool = False
     finish_reason: str | None = None
+    phase_timings: PhaseTimings = field(default_factory=PhaseTimings)
 
     @property
     def done(self) -> bool:
@@ -330,6 +332,11 @@ class BaseOptimizer:
             untested_rows=np.arange(len(grid), dtype=np.intp),
         )
         self._prepare(job, state, tmax, rng)
+        # The session's phase accumulator doubles as the state's ``timings``
+        # so _next_config implementations can open spans without threading a
+        # new parameter through every optimizer signature.
+        timings = PhaseTimings()
+        state.timings = timings
         return SessionState(
             job=job,
             tmax=tmax,
@@ -338,6 +345,7 @@ class BaseOptimizer:
             rng=rng,
             optimizer_state=state,
             bootstrap_queue=deque(initial),
+            phase_timings=timings,
         )
 
     def ask(self, session: SessionState) -> Configuration | None:

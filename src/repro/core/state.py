@@ -120,6 +120,10 @@ class OptimizerState:
         self._explored_rows: list[int] = []
         self._max_cost = -math.inf
         self._best_feasible: dict[float, Observation | None] = {}
+        # Optional per-session phase-timing accumulator, attached by
+        # BaseOptimizer.start().  Speculative clones never carry one, so the
+        # lookahead recursion is timed only at the root decision.
+        self.timings = None
 
     # -- cache maintenance ---------------------------------------------------
     def _sync(self) -> None:
@@ -201,6 +205,7 @@ class OptimizerState:
             else:
                 clone._best_feasible[tmax] = best
         clone._cache_len = len(clone.observations)
+        clone.timings = None
         return clone
 
     # -- views --------------------------------------------------------------

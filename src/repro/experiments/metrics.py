@@ -18,7 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MetricSummary", "empirical_cdf", "summarize", "fraction_at_optimum"]
+__all__ = [
+    "MetricSummary",
+    "empirical_cdf",
+    "summarize",
+    "histogram_quantile",
+    "fraction_at_optimum",
+]
 
 
 @dataclass(frozen=True)
@@ -30,6 +36,7 @@ class MetricSummary:
     p50: float
     p90: float
     p95: float
+    p99: float
     n: int
 
     def as_dict(self) -> dict[str, float]:
@@ -40,8 +47,57 @@ class MetricSummary:
             "p50": self.p50,
             "p90": self.p90,
             "p95": self.p95,
+            "p99": self.p99,
             "n": float(self.n),
         }
+
+    @classmethod
+    def from_histogram(
+        cls,
+        boundaries: "np.ndarray | list[float]",
+        counts: "np.ndarray | list[float]",
+        *,
+        sum_value: float,
+        min_value: float | None = None,
+        max_value: float | None = None,
+    ) -> "MetricSummary":
+        """Summary of a fixed-boundary histogram snapshot.
+
+        ``boundaries`` are the inclusive upper edges of the finite buckets and
+        ``counts`` has one extra trailing entry for the overflow bucket, as
+        produced by :class:`repro.observability.metrics.Histogram`.  The mean
+        is exact (from ``sum_value``); percentiles interpolate within buckets
+        via :func:`histogram_quantile`; the standard deviation is estimated
+        from bucket midpoints.
+        """
+        boundaries = np.asarray(boundaries, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        if counts.size != boundaries.size + 1:
+            raise ValueError(
+                "counts must have exactly one more entry than boundaries "
+                f"(got {counts.size} counts for {boundaries.size} boundaries)"
+            )
+        n = counts.sum()
+        if n <= 0:
+            raise ValueError("cannot summarise an empty histogram")
+        mean = float(sum_value) / n
+        lower = min_value if min_value is not None else 0.0
+        upper = max_value if max_value is not None else float(boundaries[-1])
+        edges = np.concatenate(([lower], boundaries, [max(upper, float(boundaries[-1]))]))
+        midpoints = (edges[:-1] + edges[1:]) / 2.0
+        variance = float(np.sum(counts * (midpoints - mean) ** 2) / n)
+        quantile = lambda q: histogram_quantile(
+            boundaries, counts, q, minimum=min_value, maximum=max_value
+        )
+        return cls(
+            mean=mean,
+            std=float(np.sqrt(max(variance, 0.0))),
+            p50=quantile(0.50),
+            p90=quantile(0.90),
+            p95=quantile(0.95),
+            p99=quantile(0.99),
+            n=int(n),
+        )
 
 
 def empirical_cdf(values: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
@@ -65,8 +121,47 @@ def summarize(values: np.ndarray | list[float]) -> MetricSummary:
         p50=float(np.percentile(values, 50)),
         p90=float(np.percentile(values, 90)),
         p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
         n=int(values.size),
     )
+
+
+def histogram_quantile(
+    boundaries: np.ndarray | list[float],
+    counts: np.ndarray | list[float],
+    q: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Quantile ``q`` of a fixed-boundary histogram, by linear interpolation.
+
+    ``boundaries`` are the inclusive upper bucket edges; ``counts`` carries
+    one extra trailing overflow count.  The first bucket's lower edge is
+    ``minimum`` (or 0) and the overflow bucket's upper edge is ``maximum``
+    (or the last boundary), so observed extremes tighten the tails when the
+    snapshot recorded them.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    boundaries = np.asarray(boundaries, dtype=float)
+    counts = np.asarray(counts, dtype=float)
+    if counts.size != boundaries.size + 1:
+        raise ValueError("counts must have exactly one more entry than boundaries")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("cannot take a quantile of an empty histogram")
+    lower_edge = float(minimum) if minimum is not None else 0.0
+    upper_edge = float(maximum) if maximum is not None else float(boundaries[-1])
+    edges = np.concatenate(([lower_edge], boundaries, [max(upper_edge, float(boundaries[-1]))]))
+    target = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        if cumulative + count >= target and count > 0:
+            fraction = (target - cumulative) / count
+            return float(edges[i] + fraction * (edges[i + 1] - edges[i]))
+        cumulative += count
+    return float(edges[-1])
 
 
 def fraction_at_optimum(cno_values: np.ndarray | list[float], tolerance: float = 1e-3) -> float:

@@ -76,19 +76,29 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
-def format_summary_table(summaries: Mapping[str, MetricSummary], metric_name: str = "CNO") -> str:
-    """Render per-optimizer metric summaries as a table."""
-    headers = ["optimizer", f"{metric_name} mean", "std", "p50", "p90", "p95", "runs"]
+def format_summary_table(
+    summaries: Mapping[str, MetricSummary],
+    metric_name: str = "CNO",
+    *,
+    percentiles: Sequence[str] = ("p50", "p90", "p95"),
+    key_header: str = "optimizer",
+) -> str:
+    """Render per-key metric summaries as a table.
+
+    The defaults reproduce the historical per-optimizer CNO table exactly;
+    the observability snapshot formatter reuses the same renderer with
+    ``key_header="tenant"`` and tail percentiles ``("p50", "p95", "p99")``.
+    """
+    headers = [key_header, f"{metric_name} mean", "std", *percentiles, "runs"]
     rows = []
     for name, summary in summaries.items():
+        stats = summary.as_dict()
         rows.append(
             [
                 name,
                 f"{summary.mean:.3f}",
                 f"{summary.std:.3f}",
-                f"{summary.p50:.3f}",
-                f"{summary.p90:.3f}",
-                f"{summary.p95:.3f}",
+                *(f"{stats[p]:.3f}" for p in percentiles),
                 summary.n,
             ]
         )

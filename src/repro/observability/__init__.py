@@ -1,0 +1,39 @@
+"""First-class observability: metrics registry + step-level timing traces.
+
+Three pieces, layered so the hot paths stay dependency-free:
+
+* :mod:`repro.observability.runtime` — the global enable switch
+  (:func:`enabled` / :func:`set_enabled`, env ``REPRO_OBSERVABILITY``);
+* :mod:`repro.observability.metrics` — stdlib-only counters, gauges and
+  fixed-boundary histograms with tenant/policy/executor labels, owned by a
+  :class:`MetricsRegistry` whose ``snapshot()`` is JSON-safe;
+* :mod:`repro.observability.tracing` — per-session
+  :class:`PhaseTimings` spans (nanosecond ``perf_counter``) used by the
+  optimizer's fit / acquisition / explore-path phases.
+
+Percentile derivation and ASCII rendering of snapshots live in
+:mod:`repro.observability.report` (numpy-backed, imported lazily by the
+service only when a snapshot is served).
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.runtime import enabled, set_enabled
+from repro.observability.tracing import NULL_TIMINGS, PhaseTimings
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "PhaseTimings",
+    "NULL_TIMINGS",
+    "enabled",
+    "set_enabled",
+]

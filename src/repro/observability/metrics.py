@@ -1,0 +1,308 @@
+"""Dependency-free metrics core: counters, gauges and fixed-boundary histograms.
+
+The design goals, in order:
+
+1. **Cheap updates.**  An instrumented hot path pays one ``enabled()`` branch
+   when instrumentation is off, and one short critical section (a dict lookup
+   plus a few float additions) when it is on.  Boundaries are fixed at
+   histogram creation so ``observe`` is a :func:`bisect.bisect_left` over a
+   tuple, never an allocation.
+2. **Labels without cardinality surprises.**  Metrics declare their label
+   names up front (``tenant``, ``policy``, ``executor``, …); each distinct
+   label-value combination owns one series.  Unknown label names raise.
+3. **Plain-dict snapshots.**  ``MetricsRegistry.snapshot()`` returns nested
+   dicts/lists of JSON-safe scalars, directly servable on ``/v1/metrics``.
+   Snapshots taken while writers are active are *per-series* consistent
+   (each series is copied under its metric's lock).
+
+Everything here is stdlib-only by design — the service layer must not drag
+numpy into its import graph for a counter increment.  Percentile derivation
+from histogram snapshots lives in :mod:`repro.experiments.metrics`
+(:meth:`MetricSummary.from_histogram`), which already owns the repo's one
+quantile implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+from repro.observability import runtime
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDARIES",
+]
+
+# Upper bucket edges in seconds, spanning sub-millisecond decision timings to
+# multi-minute job runs.  A value v lands in the first bucket whose edge
+# satisfies v <= edge; values above the last edge land in the overflow bucket.
+DEFAULT_LATENCY_BOUNDARIES: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _label_value(value: object) -> str:
+    """Normalise a label value to a string key (``None`` → empty string)."""
+    if value is None:
+        return ""
+    return str(value)
+
+
+class _Metric:
+    """Shared label/series plumbing for the three metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self.label_names: tuple[str, ...] = tuple(labels)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        unknown = set(labels) - set(self.label_names)
+        if unknown:
+            raise ValueError(
+                f"metric {self.name!r} has no label(s) {sorted(unknown)}; "
+                f"declared labels are {list(self.label_names)}"
+            )
+        return tuple(_label_value(labels.get(name)) for name in self.label_names)
+
+    def _labels_dict(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def clear(self) -> None:
+        """Drop every recorded series (the metric object itself survives)."""
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label combination."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not runtime._ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def snapshot_series(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._series.items())
+        return [
+            {"labels": self._labels_dict(key), "value": float(value)}
+            for key, value in items
+        ]
+
+
+class Gauge(_Metric):
+    """A point-in-time value per label combination (can go up and down)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        if not runtime._ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not runtime._ENABLED:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def snapshot_series(self) -> list[dict]:
+        with self._lock:
+            items = sorted(self._series.items())
+        return [
+            {"labels": self._labels_dict(key), "value": float(value)}
+            for key, value in items
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+
+class Histogram(_Metric):
+    """Fixed-boundary histogram: counts per bucket plus sum/min/max.
+
+    ``boundaries`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last edge, so a series has
+    ``len(boundaries) + 1`` counts.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDARIES,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} boundaries must be strictly increasing")
+        self.boundaries = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not runtime._ENABLED:
+            return
+        value = float(value)
+        key = self._key(labels)
+        bucket = bisect_left(self.boundaries, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.boundaries) + 1)
+                self._series[key] = series
+            series.counts[bucket] += 1
+            series.count += 1
+            series.sum += value
+            if series.min is None or value < series.min:
+                series.min = value
+            if series.max is None or value > series.max:
+                series.max = value
+
+    def snapshot_series(self) -> list[dict]:
+        with self._lock:
+            items = [
+                (key, list(s.counts), s.count, s.sum, s.min, s.max)
+                for key, s in sorted(self._series.items())
+            ]
+        return [
+            {
+                "labels": self._labels_dict(key),
+                "counts": counts,
+                "count": count,
+                "sum": total,
+                "min": minimum,
+                "max": maximum,
+            }
+            for key, counts, count, total, minimum, maximum in items
+        ]
+
+
+class MetricsRegistry:
+    """Owns a process's metrics and renders them into plain-dict snapshots.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, asking with a conflicting
+    kind, label set or boundaries raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, labels: Sequence[str], **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {existing.kind}"
+                    )
+                if existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{list(existing.label_names)}"
+                    )
+                if cls is Histogram:
+                    bounds = kwargs.get("boundaries", DEFAULT_LATENCY_BOUNDARIES)
+                    if existing.boundaries != tuple(float(b) for b in bounds):
+                        raise ValueError(
+                            f"histogram {name!r} already registered with different boundaries"
+                        )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDARIES,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, boundaries=boundaries)
+
+    def metrics(self) -> Iterable[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def reset(self) -> None:
+        """Clear every series in every metric (registrations survive)."""
+        for metric in self.metrics():
+            metric.clear()
+
+    def snapshot(self, tenant: str | None = None) -> dict:
+        """Render the registry as nested JSON-safe dicts.
+
+        With ``tenant`` given, only metrics carrying a ``tenant`` label are
+        included, filtered down to that tenant's series — the scoped view a
+        multi-tenant client is allowed to see.
+        """
+        counters: dict[str, dict] = {}
+        gauges: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for metric in self.metrics():
+            if tenant is not None and "tenant" not in metric.label_names:
+                continue
+            series = metric.snapshot_series()
+            if tenant is not None:
+                series = [s for s in series if s["labels"].get("tenant") == tenant]
+            entry: dict = {"help": metric.help, "series": series}
+            if isinstance(metric, Histogram):
+                entry["boundaries"] = list(metric.boundaries)
+                histograms[metric.name] = entry
+            elif isinstance(metric, Counter):
+                counters[metric.name] = entry
+            else:
+                gauges[metric.name] = entry
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,219 @@
+"""Turn ``/v1/metrics`` snapshots into per-tenant summaries and ASCII reports.
+
+This module is the bridge between the dependency-free metrics core and the
+experiment harness: histogram series from a registry snapshot are merged per
+tenant and condensed into :class:`~repro.experiments.metrics.MetricSummary`
+objects (p50/p95/p99 via the repo's one quantile implementation,
+:meth:`MetricSummary.from_histogram`), then rendered with the same table
+formatters the benchmark suite uses.  It imports numpy transitively, so the
+service layer only reaches for it when a snapshot is actually being served.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.metrics import MetricSummary
+from repro.experiments.reporting import format_summary_table, format_table
+
+__all__ = ["tenant_summaries", "format_metrics_snapshot", "one_line_summary"]
+
+# Histograms condensed into per-tenant percentile summaries, in report order.
+_TENANT_HISTOGRAMS = (
+    ("session_run_seconds", "run"),
+    ("session_queue_wait_seconds", "queue_wait"),
+    ("session_decision_seconds", "decision"),
+)
+# Counters rolled up per tenant.
+_TENANT_COUNTERS = (
+    ("session_steps_total", "steps"),
+    ("session_budget_spent_total", "budget_spent"),
+    ("sessions_submitted_total", "submitted"),
+    ("sessions_finished_total", "finished"),
+    ("scheduler_picks_total", "scheduler_picks"),
+)
+
+
+def _merge_histogram_series(series: list[dict]) -> dict | None:
+    """Element-wise merge of histogram series that share a tenant label."""
+    merged: dict | None = None
+    for entry in series:
+        if merged is None:
+            merged = {
+                "counts": list(entry["counts"]),
+                "count": entry["count"],
+                "sum": entry["sum"],
+                "min": entry["min"],
+                "max": entry["max"],
+            }
+            continue
+        merged["counts"] = [a + b for a, b in zip(merged["counts"], entry["counts"])]
+        merged["count"] += entry["count"]
+        merged["sum"] += entry["sum"]
+        for key, pick in (("min", min), ("max", max)):
+            if entry[key] is not None:
+                merged[key] = (
+                    entry[key] if merged[key] is None else pick(merged[key], entry[key])
+                )
+    return merged
+
+
+def tenant_summaries(snapshot: dict) -> dict[str, dict]:
+    """Per-tenant latency summaries and counter rollups from a snapshot.
+
+    Returns ``{tenant: {"latency": {name: summary_dict}, "counters":
+    {name: value}}}``.  The anonymous tenant appears under ``""``.  Histogram
+    series that differ only in non-tenant labels (optimizer, policy, …) are
+    merged before summarising, so each tenant gets one p50/p95/p99 triple per
+    instrument.
+    """
+    histograms = snapshot.get("histograms", {})
+    counters = snapshot.get("counters", {})
+    tenants: dict[str, dict] = {}
+
+    def bucket(tenant: str) -> dict:
+        return tenants.setdefault(tenant, {"latency": {}, "counters": {}})
+
+    for metric_name, short in _TENANT_HISTOGRAMS:
+        entry = histograms.get(metric_name)
+        if entry is None:
+            continue
+        by_tenant: dict[str, list[dict]] = {}
+        for series in entry["series"]:
+            tenant = series["labels"].get("tenant", "")
+            by_tenant.setdefault(tenant, []).append(series)
+        for tenant, series_list in by_tenant.items():
+            merged = _merge_histogram_series(series_list)
+            if merged is None or merged["count"] <= 0:
+                continue
+            summary = MetricSummary.from_histogram(
+                entry["boundaries"],
+                merged["counts"],
+                sum_value=merged["sum"],
+                min_value=merged["min"],
+                max_value=merged["max"],
+            )
+            bucket(tenant)["latency"][short] = summary.as_dict()
+
+    for metric_name, short in _TENANT_COUNTERS:
+        entry = counters.get(metric_name)
+        if entry is None:
+            continue
+        for series in entry["series"]:
+            labels = series["labels"]
+            if "tenant" not in labels:
+                continue
+            rollup = bucket(labels["tenant"])["counters"]
+            rollup[short] = rollup.get(short, 0.0) + series["value"]
+
+    return tenants
+
+
+def _latency_summary_objects(tenants: dict[str, dict], short: str) -> dict[str, MetricSummary]:
+    out: dict[str, MetricSummary] = {}
+    for tenant, data in sorted(tenants.items()):
+        stats = data["latency"].get(short)
+        if stats is None:
+            continue
+        out[tenant or "(anonymous)"] = MetricSummary(
+            mean=stats["mean"],
+            std=stats["std"],
+            p50=stats["p50"],
+            p90=stats["p90"],
+            p95=stats["p95"],
+            p99=stats["p99"],
+            n=int(stats["n"]),
+        )
+    return out
+
+
+def format_metrics_snapshot(snapshot: dict) -> str:
+    """Pretty multi-table rendering of a ``/v1/metrics`` snapshot."""
+    lines: list[str] = []
+    header = ", ".join(
+        f"{key}={snapshot[key]}"
+        for key in ("serving", "policy", "n_workers", "executor")
+        if key in snapshot
+    )
+    if header:
+        lines.append(f"service: {header}")
+
+    tenants = snapshot.get("tenants")
+    if tenants is None:
+        tenants = tenant_summaries(snapshot)
+    for short, title in (
+        ("run", "step run seconds"),
+        ("queue_wait", "queue wait seconds (submit -> first ask)"),
+        ("decision", "decision seconds"),
+    ):
+        summaries = _latency_summary_objects(tenants, short)
+        if summaries:
+            lines.append("")
+            lines.append(
+                format_summary_table(
+                    summaries,
+                    title,
+                    percentiles=("p50", "p95", "p99"),
+                    key_header="tenant",
+                )
+            )
+    counter_rows = [
+        [
+            tenant or "(anonymous)",
+            *(data["counters"].get(short, 0.0) for _, short in _TENANT_COUNTERS),
+        ]
+        for tenant, data in sorted(tenants.items())
+        if data["counters"]
+    ]
+    if counter_rows:
+        lines.append("")
+        lines.append(
+            format_table(["tenant", *(short for _, short in _TENANT_COUNTERS)], counter_rows)
+        )
+
+    gateway = snapshot.get("counters", {}).get("gateway_requests_total")
+    if gateway is not None and gateway["series"]:
+        rows = [
+            [
+                s["labels"].get("endpoint", ""),
+                s["labels"].get("method", ""),
+                s["labels"].get("status", ""),
+                int(s["value"]),
+            ]
+            for s in gateway["series"]
+        ]
+        lines.append("")
+        lines.append(format_table(["endpoint", "method", "status", "requests"], rows))
+
+    if not lines:
+        return "(empty metrics snapshot)"
+    return "\n".join(lines)
+
+
+def one_line_summary(snapshot: dict) -> str:
+    """Compact single-line digest, for periodic stderr logging by ``serve``."""
+    counters = snapshot.get("counters", {})
+
+    def total(name: str) -> float:
+        entry = counters.get(name)
+        if entry is None:
+            return 0.0
+        return sum(s["value"] for s in entry["series"])
+
+    histograms = snapshot.get("histograms", {})
+    run = histograms.get("session_run_seconds")
+    run_count = sum(s["count"] for s in run["series"]) if run else 0
+    run_sum = sum(s["sum"] for s in run["series"]) if run else 0.0
+    mean_run = run_sum / run_count if run_count else 0.0
+    tenants = {
+        s["labels"].get("tenant", "")
+        for entry in histograms.values()
+        for s in entry["series"]
+        if "tenant" in s["labels"]
+    }
+    return (
+        f"metrics: steps={total('session_steps_total'):.0f}"
+        f" submitted={total('sessions_submitted_total'):.0f}"
+        f" finished={total('sessions_finished_total'):.0f}"
+        f" tenants={len(tenants)}"
+        f" mean_run={mean_run * 1000:.1f}ms"
+        f" budget_spent={total('session_budget_spent_total'):.2f}"
+    )

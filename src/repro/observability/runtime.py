@@ -1,0 +1,37 @@
+"""Global on/off switch for the observability layer.
+
+Instrumentation is **on by default** — the whole point of the subsystem is
+that a production service exports telemetry without opt-in flags — but both
+the metrics and the tracing layer consult this module's ``_ENABLED`` flag on
+their hot paths so a single branch turns every instrumented call site into a
+no-op.  The flag can be flipped programmatically (:func:`set_enabled`, used
+by the overhead benchmark and the trace-neutrality tests) or at process
+start via the ``REPRO_OBSERVABILITY`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled"]
+
+_OFF_VALUES = {"0", "false", "off", "no"}
+
+_ENABLED = os.environ.get("REPRO_OBSERVABILITY", "1").strip().lower() not in _OFF_VALUES
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn instrumentation on or off; returns the previous value.
+
+    Flipping the flag does not clear anything already recorded — callers that
+    need a clean slate combine this with ``MetricsRegistry.reset()``.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous

@@ -1,0 +1,94 @@
+"""Step-level timing spans for the optimizer's decision phases.
+
+:class:`PhaseTimings` accumulates nanosecond ``perf_counter_ns`` spans under
+phase names ("fit", "acquisition", "explore_path", …).  The contract with
+the optimizer hot path:
+
+* ``span(name)`` is the only call instrumented code makes; when the
+  observability layer is disabled it returns a shared no-op span, so the
+  cost is one branch and zero allocations;
+* recording never touches the random generator or the decision logic —
+  spans observe, they never steer (the golden-trace suites pin this);
+* a ``PhaseTimings`` belongs to one optimization session and is only ever
+  advanced by that session's single ``ask()`` caller, so no lock is needed.
+  Speculative lookahead clones carry no timings at all (``timings=None`` on
+  cloned states) so recursion inside a span never double-counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.observability import runtime
+
+__all__ = ["PhaseTimings", "NULL_TIMINGS"]
+
+
+class _Span:
+    __slots__ = ("_owner", "_name", "_started_ns")
+
+    def __init__(self, owner: "PhaseTimings", name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._started_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._started_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._owner._record(self._name, time.perf_counter_ns() - self._started_ns)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when instrumentation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class PhaseTimings:
+    """Per-session accumulator of wall-clock seconds spent in named phases."""
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def span(self, name: str):
+        """Context manager timing one occurrence of phase ``name``."""
+        if not runtime._ENABLED:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def _record(self, name: str, elapsed_ns: int) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed_ns / 1e9
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def as_dict(self) -> dict[str, float]:
+        """Accumulated seconds per phase, as a plain JSON-safe dict."""
+        return dict(self.seconds)
+
+
+class _NullTimings:
+    """Stand-in for optimizer code paths that have no session timings."""
+
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+
+NULL_TIMINGS = _NullTimings()

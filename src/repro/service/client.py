@@ -142,6 +142,14 @@ class TuningClient(ABC):
     def health(self) -> dict[str, Any]:
         """A JSON-safe liveness snapshot of the service."""
 
+    @abstractmethod
+    def metrics(self) -> dict[str, Any]:
+        """The service's observability snapshot (see ``GET /v1/metrics``).
+
+        A tenant-scoped client sees only its own tenant's label set; an
+        unscoped client gets the full registry plus service metadata.
+        """
+
     def close(self) -> None:
         """Release client-held resources (transport-specific; default no-op)."""
 
@@ -404,6 +412,9 @@ class LocalClient(TuningClient):
             ),
         }
 
+    def metrics(self) -> dict[str, Any]:
+        return self.service.metrics_snapshot(tenant=self.tenant)
+
     def wait(
         self,
         session_ids: Iterable[str] | None = None,
@@ -550,3 +561,6 @@ class HttpClient(TuningClient):
 
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/metrics")

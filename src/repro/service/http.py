@@ -24,6 +24,12 @@ Routes (all JSON, all stamped with the protocol version):
                                            terminal / when cancelled)
 ``GET /v1/healthz``                        liveness + session counts (never
                                            requires auth)
+``GET /v1/metrics``                        observability snapshot: counters,
+                                           gauges, histograms and derived
+                                           per-tenant percentiles.  No auth
+                                           required; a presented bearer
+                                           token scopes the view to its
+                                           tenant's label set
 =========================================  ================================
 
 Authentication
@@ -58,6 +64,7 @@ import json
 import logging
 import math
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -110,6 +117,30 @@ class _GatewayServer(ThreadingHTTPServer):
     gateway_client: LocalClient
     gateway_tokens: dict[str, str] | None
     tenant_clients: dict[str, LocalClient]
+    gateway_metrics: dict[str, Any] | None
+
+
+def _endpoint_label(segments: list[str]) -> str:
+    """Coarse endpoint family for metric labels (bounded cardinality).
+
+    Session ids must never become label values — each live id would mint a
+    fresh series — so everything under ``/v1/sessions/{id}`` collapses to
+    ``"session"`` / ``"result"``.
+    """
+    rest = segments[1:] if segments[:1] == ["v1"] else None
+    if rest is None:
+        return "other"
+    if rest == ["healthz"]:
+        return "healthz"
+    if rest == ["metrics"]:
+        return "metrics"
+    if rest == ["sessions"]:
+        return "sessions"
+    if len(rest) == 2 and rest[0] == "sessions":
+        return "session"
+    if len(rest) == 3 and rest[0] == "sessions" and rest[2] == "result":
+        return "result"
+    return "other"
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -219,10 +250,23 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             client = cache.setdefault(tenant, base.scoped(tenant))
         return client
 
+    def _metrics_client(self) -> LocalClient:
+        """The client serving ``GET /v1/metrics``: unauthenticated by default.
+
+        Anonymous requests (or any request against a token-less gateway) get
+        the base client's full snapshot; a presented bearer token is resolved
+        normally, so authenticated tenants see only their own label set.
+        """
+        if self.server.gateway_tokens is None or not self.headers.get("Authorization"):
+            return self.server.gateway_client
+        return self._client()
+
     def _dispatch(self, method: str) -> None:
         self._body_read = False
+        started = time.perf_counter()
+        segments = self._segments()
         try:
-            status, payload = self._route(method, self._segments())
+            status, payload = self._route(method, segments)
         except ServiceError as error:
             status = error.http_status
             payload = ErrorResponse.from_exception(error).to_dict()
@@ -233,6 +277,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 code="internal", message=f"{type(error).__name__}: {error}"
             ).to_dict()
         self._discard_unread_body()
+        metrics = self.server.gateway_metrics
+        if metrics is not None:
+            endpoint = _endpoint_label(segments)
+            metrics["latency"].observe(
+                time.perf_counter() - started, endpoint=endpoint
+            )
+            metrics["requests"].inc(
+                endpoint=endpoint, method=method, status=str(status)
+            )
         self._send_json(status, payload)
 
     # -- routing -------------------------------------------------------------
@@ -245,6 +298,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if rest == ["healthz"] and method == "GET":
             # Liveness stays open: probes and load balancers carry no token.
             return 200, self.server.gateway_client.health()
+        if rest == ["metrics"] and method == "GET":
+            # Metrics never *require* auth (scrapers carry no token and get
+            # the full registry); a request that does present a bearer token
+            # is validated and served the tenant-scoped view instead.
+            return 200, self._metrics_client().metrics()
         client = self._client()
         if rest == ["sessions"]:
             if method == "GET":
@@ -324,6 +382,21 @@ class TuningGateway:
         self._server.gateway_client = client
         self._server.gateway_tokens = dict(tokens) if tokens is not None else None
         self._server.tenant_clients = {}
+        # Request telemetry lands in the backing service's registry, so one
+        # /v1/metrics scrape covers the gateway and the scheduler alike.
+        registry = client.service.metrics
+        self._server.gateway_metrics = {
+            "latency": registry.histogram(
+                "gateway_request_seconds",
+                "Wall-clock request latency at the gateway",
+                labels=("endpoint",),
+            ),
+            "requests": registry.counter(
+                "gateway_requests_total",
+                "Requests served, by endpoint family, method and status code",
+                labels=("endpoint", "method", "status"),
+            ),
+        }
         self._thread: threading.Thread | None = None
         self._loop_started = False
 

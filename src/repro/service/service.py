@@ -86,6 +86,7 @@ from typing import Any, Mapping
 
 from repro.core.optimizer import BaseOptimizer, OptimizationResult
 from repro.core.space import Configuration
+from repro.observability.metrics import MetricsRegistry
 from repro.service.api import (
     PROTOCOL_VERSION,
     BadRequestError,
@@ -280,6 +281,39 @@ class TuningService:
         self._autosave_stop = threading.Event()
         self._autosave_error: BaseException | None = None
 
+        # Service-wide telemetry.  The registry is shared with every session
+        # (bind_metrics at registration) and with the HTTP gateway; all of it
+        # is exported as one plain-dict snapshot by metrics_snapshot().
+        self.metrics = MetricsRegistry()
+        self._m_submitted = self.metrics.counter(
+            "sessions_submitted_total", "Sessions registered", labels=("tenant",)
+        )
+        self._m_picks = self.metrics.counter(
+            "scheduler_picks_total",
+            "Scheduling decisions, by policy and picked tenant (fairness)",
+            labels=("policy", "tenant"),
+        )
+        self._m_inflight = self.metrics.gauge(
+            "executor_inflight",
+            "Profiling runs currently on the pool",
+            labels=("executor",),
+        )
+        self._m_workers = self.metrics.gauge(
+            "executor_workers", "Configured worker-pool size", labels=("executor",)
+        )
+        self._m_runs = self.metrics.counter(
+            "executor_runs_total",
+            "Profiling runs handed to the pool",
+            labels=("executor",),
+        )
+        self._m_autosave = self.metrics.histogram(
+            "autosave_seconds", "Duration of periodic registry checkpoints"
+        )
+        self._m_autosave_failures = self.metrics.counter(
+            "autosave_failures_total", "Periodic registry checkpoints that failed"
+        )
+        self._m_workers.set(self.n_workers, executor=self.executor_kind)
+
     # -- submission and inspection ------------------------------------------
     def submit(
         self,
@@ -322,7 +356,9 @@ class TuningService:
                 deadline_s=deadline_s,
                 **options,
             )
+            session.bind_metrics(self.metrics)
             self._records[session_id] = _SessionRecord(session)
+            self._m_submitted.inc(tenant=tenant or "")
             self._wakeup.notify_all()
             return session_id
 
@@ -405,9 +441,11 @@ class TuningService:
                 **options,
             )
             session.spec = spec
+            session.bind_metrics(self.metrics)
             self._records[session_id] = _SessionRecord(
                 session, job_ref=job.name if cacheable else None
             )
+            self._m_submitted.inc(tenant=spec.tenant or "")
             self._wakeup.notify_all()
             return session_id
 
@@ -416,7 +454,9 @@ class TuningService:
         with self._wakeup:
             if session.session_id in self._records:
                 raise ValueError(f"duplicate session id {session.session_id!r}")
+            session.bind_metrics(self.metrics)
             self._records[session.session_id] = _SessionRecord(session)
+            self._m_submitted.inc(tenant=session.tenant or "")
             self._wakeup.notify_all()
             return session.session_id
 
@@ -478,6 +518,29 @@ class TuningService:
         surfaces this, and the next successful save clears it.
         """
         return self._autosave_error
+
+    def metrics_snapshot(self, tenant: str | None = None) -> dict[str, Any]:
+        """The ``/v1/metrics`` payload: registry snapshot plus derived summaries.
+
+        With ``tenant`` set, the raw series are filtered to that tenant's
+        label set (the scoped view served to authenticated gateway clients)
+        and the derived ``tenants`` summaries cover only that tenant.
+        """
+        from repro.observability.report import tenant_summaries
+
+        snapshot = self.metrics.snapshot(tenant=tenant)
+        snapshot["tenants"] = tenant_summaries(snapshot)
+        if tenant is None:
+            snapshot.update(
+                {
+                    "protocol_version": PROTOCOL_VERSION,
+                    "serving": self.serving,
+                    "policy": self.policy.name,
+                    "n_workers": self.n_workers,
+                    "executor": self.executor_kind,
+                }
+            )
+        return snapshot
 
     def cancel(self, session_id: str) -> bool:
         """Cancel a session; returns whether the call changed anything.
@@ -625,6 +688,9 @@ class TuningService:
                 if session.session_id in self._records:
                     raise ValueError(f"duplicate session id {session.session_id!r}")
             for session, job_ref in restored:
+                # Restored sessions are not re-counted as submissions; they
+                # only re-join the live instruments.
+                session.bind_metrics(self.metrics)
                 self._records[session.session_id] = _SessionRecord(
                     session, job_ref=job_ref
                 )
@@ -659,6 +725,7 @@ class TuningService:
             if not ready:
                 return False
             session = self.policy.select(ready)
+            self._m_picks.inc(policy=self.policy.name, tenant=session.tenant or "")
             session.step()
             return True
 
@@ -793,11 +860,14 @@ class TuningService:
         """
         while True:
             stopped = self._autosave_stop.wait(self.autosave_interval_s)
+            started = time.perf_counter()
             try:
                 self.save_registry(self.autosave_path, skip_unspecced=True)
                 self._autosave_error = None
             except Exception as error:
                 self._autosave_error = error
+                self._m_autosave_failures.inc()
+            self._m_autosave.observe(time.perf_counter() - started)
             if stopped:
                 return
 
@@ -853,6 +923,7 @@ class TuningService:
                 break
             by_id = {record.session.session_id: record for record in dispatchable}
             session = self.policy.select([record.session for record in dispatchable])
+            self._m_picks.inc(policy=self.policy.name, tenant=session.tenant or "")
             self._dispatch_one_locked(by_id[session.session_id])
 
     def _fail_session_locked(self, record: _SessionRecord, error: BaseException) -> None:
@@ -903,6 +974,8 @@ class TuningService:
             future = self._executor.submit(job.run, dispatch.config)
         dispatch.future = future
         self._n_inflight += 1
+        self._m_runs.inc(executor=self.executor_kind)
+        self._m_inflight.set(self._n_inflight, executor=self.executor_kind)
         future.add_done_callback(
             lambda done, dispatch=dispatch: self._on_run_done(dispatch, done)
         )
@@ -923,6 +996,7 @@ class TuningService:
         while self._completed:
             dispatch = self._completed.popleft()
             self._n_inflight -= 1
+            self._m_inflight.set(self._n_inflight, executor=self.executor_kind)
             record = dispatch.record
             session = record.session
             if not dispatch.batched:

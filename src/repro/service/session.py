@@ -135,6 +135,14 @@ class TuningSession:
         self.state: SessionState | None = None
         self._result: OptimizationResult | None = None
         self._cancelled = False
+        # Service-level telemetry (bound by TuningService via bind_metrics);
+        # every hook below is a no-op for sessions used standalone.
+        self._metrics: dict[str, Any] | None = None
+        self._created_pc = time.perf_counter()
+        self._queue_wait_seconds: float | None = None
+        self._pending_since: float | None = None
+        self._finish_recorded = False
+        self._phase_flushed: dict[str, float] = {}
         #: The declarative JobSpec this session was submitted with, when it
         #: came through the protocol layer (TuningService.submit_spec / a
         #: TuningClient).  Sessions with a spec are fully reconstructable
@@ -166,12 +174,96 @@ class TuningSession:
         if self.state is None:
             self.state = self.optimizer.start(self.job, **self.options)
 
+    def bind_metrics(self, registry) -> None:
+        """Attach service-level instruments (a :class:`MetricsRegistry`).
+
+        Idempotent; called by the service when it adopts the session.  The
+        queue-wait clock starts at construction, so sessions should be bound
+        before their first :meth:`ask`.
+        """
+        self._metrics = {
+            "queue_wait": registry.histogram(
+                "session_queue_wait_seconds",
+                "Seconds between submission and the session's first ask",
+                labels=("tenant",),
+            ),
+            "decision": registry.histogram(
+                "session_decision_seconds",
+                "Wall-clock seconds per next-configuration decision",
+                labels=("tenant", "optimizer"),
+            ),
+            "run": registry.histogram(
+                "session_run_seconds",
+                "Seconds between a config being handed out and its outcome told",
+                labels=("tenant",),
+            ),
+            "steps": registry.counter(
+                "session_steps_total",
+                "Completed ask -> run -> tell cycles",
+                labels=("tenant",),
+            ),
+            "budget": registry.counter(
+                "session_budget_spent_total",
+                "Total profiling cost charged against session budgets",
+                labels=("tenant",),
+            ),
+            "finished": registry.counter(
+                "sessions_finished_total",
+                "Sessions that reached a terminal status",
+                labels=("tenant", "status"),
+            ),
+            "phase": registry.counter(
+                "optimizer_phase_seconds_total",
+                "Optimizer decision time split by phase (fit/acquisition/explore_path)",
+                labels=("tenant", "optimizer", "phase"),
+            ),
+        }
+
+    def _flush_phase_seconds(self) -> None:
+        """Export newly accumulated per-phase decision seconds as counter deltas."""
+        assert self._metrics is not None and self.state is not None
+        tenant = self.tenant or ""
+        for phase, total in self.state.phase_timings.seconds.items():
+            delta = total - self._phase_flushed.get(phase, 0.0)
+            if delta > 0:
+                self._metrics["phase"].inc(
+                    delta, tenant=tenant, optimizer=self.optimizer.name, phase=phase
+                )
+                self._phase_flushed[phase] = total
+
+    def _record_finished(self) -> None:
+        """Count the terminal transition exactly once per session."""
+        if self._metrics is None or self._finish_recorded:
+            return
+        self._finish_recorded = True
+        self._metrics["finished"].inc(tenant=self.tenant or "", status=self.status.value)
+
     def ask(self) -> Configuration | None:
         """Next configuration to profile (starting the session if needed)."""
         if self._cancelled:
             return None
         self.start()
-        return self.optimizer.ask(self.state)
+        if self._queue_wait_seconds is None:
+            self._queue_wait_seconds = time.perf_counter() - self._created_pc
+            if self._metrics is not None:
+                self._metrics["queue_wait"].observe(
+                    self._queue_wait_seconds, tenant=self.tenant or ""
+                )
+        n_decisions = len(self.state.decision_seconds)
+        config = self.optimizer.ask(self.state)
+        if self._metrics is not None:
+            if len(self.state.decision_seconds) > n_decisions:
+                self._metrics["decision"].observe(
+                    self.state.decision_seconds[-1],
+                    tenant=self.tenant or "",
+                    optimizer=self.optimizer.name,
+                )
+            self._flush_phase_seconds()
+            if config is None and self.state.finished:
+                self._record_finished()
+        if config is not None:
+            self._pending_since = time.perf_counter()
+        return config
 
     def bootstrap_batch(self) -> list[Configuration]:
         """The remaining pre-declared bootstrap configurations, in ask order.
@@ -189,7 +281,18 @@ class TuningSession:
         """Report the outcome of the configuration handed out by :meth:`ask`."""
         if self.state is None:
             raise RuntimeError(f"session {self.session_id!r} was never asked")
-        return self.optimizer.tell(self.state, outcome)
+        observation = self.optimizer.tell(self.state, outcome)
+        if self._metrics is not None:
+            tenant = self.tenant or ""
+            if self._pending_since is not None:
+                self._metrics["run"].observe(
+                    time.perf_counter() - self._pending_since, tenant=tenant
+                )
+            self._metrics["steps"].inc(tenant=tenant)
+            if observation.cost > 0:
+                self._metrics["budget"].inc(observation.cost, tenant=tenant)
+        self._pending_since = None
+        return observation
 
     def step(self) -> bool:
         """Advance one full ask → run → tell cycle inline.
@@ -215,6 +318,7 @@ class TuningSession:
         if self.status.terminal:
             return False
         self._cancelled = True
+        self._record_finished()
         return True
 
     def discard_pending(self) -> None:
@@ -226,6 +330,7 @@ class TuningSession:
         """
         if self.state is not None:
             self.state.pending = None
+        self._pending_since = None
 
     def result(self) -> OptimizationResult:
         """The final result; raises unless the session completed."""
@@ -270,6 +375,8 @@ class TuningSession:
                     else 0.0
                 ),
                 "finish_reason": state.finish_reason,
+                "queue_wait_seconds": self._queue_wait_seconds,
+                "phase_seconds": state.phase_timings.as_dict(),
             }
         )
         return snapshot
@@ -421,6 +528,9 @@ class TuningSession:
             finished=saved["finished"],
             finish_reason=saved["finish_reason"],
         )
+        # Fresh starts wire the state's timings to the session accumulator in
+        # BaseOptimizer.start(); mirror that for restored states.
+        optimizer_state.timings = session.state.phase_timings
         return session
 
     @classmethod

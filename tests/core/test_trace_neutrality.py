@@ -1,0 +1,78 @@
+"""Instrumentation must never change optimization traces.
+
+Phase-timing spans wrap the model fit, acquisition scoring, and exploration
+loop inside every optimizer.  These tests pin the invariant the observability
+layer is built on: running with instrumentation enabled (the default) produces
+bit-identical traces to running with it disabled, for every optimizer family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
+from repro.core.lynceus import LynceusOptimizer
+from repro.observability import set_enabled
+
+
+def make_optimizer(name):
+    return {
+        "rnd": RandomSearchOptimizer(),
+        "bo": BayesianOptimizer(n_estimators=5),
+        "lynceus": LynceusOptimizer(
+            lookahead=1, gh_order=3, lookahead_pool_size=6,
+            speculation="believer", n_estimators=5,
+        ),
+    }[name]
+
+
+@pytest.mark.parametrize("name", ["rnd", "bo", "lynceus"])
+def test_traces_identical_with_instrumentation_on_and_off(name, synthetic_job):
+    enabled_result = make_optimizer(name).optimize(synthetic_job, seed=7)
+
+    previous = set_enabled(False)
+    try:
+        disabled_result = make_optimizer(name).optimize(synthetic_job, seed=7)
+    finally:
+        set_enabled(previous)
+
+    assert [o.config for o in enabled_result.observations] == [
+        o.config for o in disabled_result.observations
+    ]
+    assert [o.cost for o in enabled_result.observations] == [
+        o.cost for o in disabled_result.observations
+    ]
+    assert enabled_result.best_config == disabled_result.best_config
+    assert enabled_result.best_cost == disabled_result.best_cost
+    assert enabled_result.budget_spent == disabled_result.budget_spent
+
+
+def test_lynceus_phase_timings_populated_when_enabled(synthetic_job):
+    optimizer = make_optimizer("lynceus")
+    session = optimizer.start(synthetic_job, seed=7)
+    while True:
+        config = optimizer.ask(session)
+        if config is None:
+            break
+        optimizer.tell(session, synthetic_job.run(config))
+
+    timings = session.phase_timings
+    assert {"fit", "acquisition", "explore_path"} <= set(timings.counts)
+    # One fit/acquisition pass per non-bootstrap decision at minimum.
+    assert timings.counts["fit"] >= 1
+    assert all(v >= 0.0 for v in timings.seconds.values())
+
+
+def test_phase_timings_empty_when_disabled(synthetic_job):
+    optimizer = make_optimizer("lynceus")
+    previous = set_enabled(False)
+    try:
+        session = optimizer.start(synthetic_job, seed=7)
+        while True:
+            config = optimizer.ask(session)
+            if config is None:
+                break
+            optimizer.tell(session, synthetic_job.run(config))
+    finally:
+        set_enabled(previous)
+    assert session.phase_timings.as_dict() == {}

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.metrics import empirical_cdf, fraction_at_optimum, summarize
+from repro.experiments.metrics import (
+    MetricSummary,
+    empirical_cdf,
+    fraction_at_optimum,
+    histogram_quantile,
+    summarize,
+)
 
 
 class TestEmpiricalCdf:
@@ -35,16 +41,71 @@ class TestSummarize:
 
     def test_percentile_ordering(self, rng):
         summary = summarize(rng.random(100))
-        assert summary.p50 <= summary.p90 <= summary.p95
+        assert summary.p50 <= summary.p90 <= summary.p95 <= summary.p99
 
     def test_as_dict_round_trip(self):
         summary = summarize([1.0, 2.0])
         data = summary.as_dict()
-        assert set(data) == {"mean", "std", "p50", "p90", "p95", "n"}
+        assert set(data) == {"mean", "std", "p50", "p90", "p95", "p99", "n"}
 
     def test_empty_sample_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
+
+
+class TestHistogramQuantile:
+    # One bucket per unit interval (0,1], (1,2], (2,3], plus overflow.
+    BOUNDS = [1.0, 2.0, 3.0]
+
+    def test_interpolates_within_a_bucket(self):
+        # 10 observations uniformly in (1, 2]: the median sits mid-bucket.
+        assert histogram_quantile(self.BOUNDS, [0, 10, 0, 0], 0.5) == pytest.approx(1.5)
+
+    def test_min_max_tighten_the_tails(self):
+        q = histogram_quantile(
+            self.BOUNDS, [10, 0, 0, 0], 0.0, minimum=0.4, maximum=0.9
+        )
+        assert q == pytest.approx(0.4)
+
+    def test_overflow_bucket_uses_observed_max(self):
+        q = histogram_quantile(self.BOUNDS, [0, 0, 0, 5], 1.0, maximum=7.0)
+        assert q == pytest.approx(7.0)
+
+    def test_monotone_in_q(self):
+        counts = [3, 5, 2, 1]
+        qs = [histogram_quantile(self.BOUNDS, counts, q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_rejects_empty_and_malformed(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [0, 0, 0, 0], 0.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [1, 2], 0.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [1, 0, 0, 0], 1.5)
+
+
+class TestFromHistogram:
+    def test_matches_exact_summary_on_dense_buckets(self):
+        # With every observation exactly on a bucket's upper edge and
+        # min/max recorded, bucket interpolation must land near the truth.
+        values = [0.5, 1.5, 1.5, 2.5]
+        counts = [1, 2, 1, 0]
+        summary = MetricSummary.from_histogram(
+            [1.0, 2.0, 3.0],
+            counts,
+            sum_value=sum(values),
+            min_value=min(values),
+            max_value=max(values),
+        )
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(np.mean(values))
+        assert summary.p50 <= summary.p90 <= summary.p95 <= summary.p99
+        assert min(values) <= summary.p50 <= max(values)
+
+    def test_rejects_empty_histogram(self):
+        with pytest.raises(ValueError):
+            MetricSummary.from_histogram([1.0], [0, 0], sum_value=0.0)
 
 
 class TestFractionAtOptimum:

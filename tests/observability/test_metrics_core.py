@@ -1,0 +1,202 @@
+"""Unit and concurrency tests for the dependency-free metrics core."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.runtime import enabled, set_enabled
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self, registry):
+        c = registry.counter("c_total", labels=("tenant",))
+        c.inc(tenant="a")
+        c.inc(2.5, tenant="a")
+        c.inc(tenant="b")
+        assert c.value(tenant="a") == pytest.approx(3.5)
+        assert c.value(tenant="b") == pytest.approx(1.0)
+        assert c.value(tenant="missing") == 0.0
+
+    def test_none_label_normalises_to_empty_string(self, registry):
+        c = registry.counter("c_total", labels=("tenant",))
+        c.inc(tenant=None)
+        assert c.value(tenant="") == pytest.approx(1.0)
+        assert c.snapshot_series()[0]["labels"] == {"tenant": ""}
+
+    def test_rejects_negative_amounts(self, registry):
+        c = registry.counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_rejects_unknown_label_names(self, registry):
+        c = registry.counter("c_total", labels=("tenant",))
+        with pytest.raises(ValueError, match="no label"):
+            c.inc(tenannt="typo")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g", labels=("executor",))
+        g.set(3, executor="thread")
+        g.inc(-1, executor="thread")
+        assert g.value(executor="thread") == pytest.approx(2.0)
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self, registry):
+        h = registry.histogram("h_seconds", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            h.observe(value)
+        (series,) = h.snapshot_series()
+        # v <= edge lands in that bucket: 0.5 and 1.0 in bucket 0, 1.5 and
+        # 2.0 in bucket 1, 99.0 in the overflow bucket.
+        assert series["counts"] == [2, 2, 1]
+        assert series["count"] == 5
+        assert series["sum"] == pytest.approx(104.0)
+        assert series["min"] == pytest.approx(0.5)
+        assert series["max"] == pytest.approx(99.0)
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one boundary"):
+            Histogram("h", boundaries=())
+
+    def test_default_boundaries_span_sub_ms_to_minutes(self, registry):
+        h = registry.histogram("h_seconds")
+        assert h.boundaries == DEFAULT_LATENCY_BOUNDARIES
+        assert h.boundaries[0] <= 0.001 and h.boundaries[-1] >= 60.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x", labels=("a",)) is registry.counter(
+            "x", labels=("a",)
+        )
+
+    def test_kind_label_and_boundary_conflicts_raise(self, registry):
+        registry.counter("x", labels=("a",))
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("x", labels=("b",))
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="boundaries"):
+            registry.histogram("h", boundaries=(1.0, 3.0))
+
+    def test_snapshot_shape_is_json_safe_plain_dicts(self, registry):
+        import json
+
+        registry.counter("c_total", "help text", labels=("tenant",)).inc(tenant="a")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds", boundaries=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["c_total"]["help"] == "help text"
+        assert snap["counters"]["c_total"]["series"] == [
+            {"labels": {"tenant": "a"}, "value": 1.0}
+        ]
+        assert snap["histograms"]["h_seconds"]["boundaries"] == [1.0]
+        json.dumps(snap)  # must not raise
+
+    def test_tenant_filter_hides_foreign_series_and_unlabelled_metrics(self, registry):
+        c = registry.counter("c_total", labels=("tenant", "policy"))
+        c.inc(tenant="alice", policy="fifo")
+        c.inc(tenant="bob", policy="fifo")
+        registry.gauge("global_gauge").set(1.0)  # no tenant label at all
+        snap = registry.snapshot(tenant="alice")
+        assert "global_gauge" not in snap["gauges"]
+        labels = [s["labels"] for s in snap["counters"]["c_total"]["series"]]
+        assert labels == [{"tenant": "alice", "policy": "fifo"}]
+
+    def test_reset_clears_series_but_keeps_registrations(self, registry):
+        c = registry.counter("c_total")
+        c.inc()
+        registry.reset()
+        assert c.value() == 0.0
+        assert registry.counter("c_total") is c
+
+
+class TestEnableSwitch:
+    def test_disabled_updates_are_no_ops(self, registry):
+        c = registry.counter("c_total")
+        h = registry.histogram("h_seconds")
+        previous = set_enabled(False)
+        try:
+            c.inc()
+            h.observe(1.0)
+            assert c.value() == 0.0
+            assert h.snapshot_series() == []
+        finally:
+            set_enabled(previous)
+
+    def test_set_enabled_returns_previous_value(self):
+        first = set_enabled(False)
+        try:
+            assert not enabled()
+            assert set_enabled(True) is False
+            assert enabled()
+        finally:
+            set_enabled(first)
+
+
+class TestThreadSafety:
+    """4 writer threads; integer amounts keep float sums exact."""
+
+    N_THREADS = 4
+    N_UPDATES = 2_000
+
+    def _hammer(self, update) -> None:
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(k: int) -> None:
+            barrier.wait()
+            for _ in range(self.N_UPDATES):
+                update(k)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_loses_no_increments(self, registry):
+        c = registry.counter("c_total", labels=("tenant",))
+        self._hammer(lambda k: c.inc(tenant=f"t{k % 2}"))
+        expected = self.N_THREADS * self.N_UPDATES / 2
+        assert c.value(tenant="t0") == expected
+        assert c.value(tenant="t1") == expected
+
+    def test_histogram_loses_no_observations(self, registry):
+        h = registry.histogram("h_seconds", labels=("tenant",), boundaries=(1.0, 2.0))
+        # Thread k observes k+0.5: a fixed bucket per thread, so per-bucket
+        # counts are exactly N_UPDATES each and the sum is integral.
+        self._hammer(lambda k: h.observe(k + 0.5, tenant="t"))
+        (series,) = h.snapshot_series()
+        assert series["count"] == self.N_THREADS * self.N_UPDATES
+        assert series["counts"] == [
+            self.N_UPDATES,  # 0.5
+            self.N_UPDATES,  # 1.5
+            2 * self.N_UPDATES,  # 2.5 and 3.5 overflow
+        ]
+        assert series["sum"] == pytest.approx(
+            sum((k + 0.5) * self.N_UPDATES for k in range(self.N_THREADS))
+        )
+        assert series["min"] == pytest.approx(0.5)
+        assert series["max"] == pytest.approx(3.5)

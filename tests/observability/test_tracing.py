@@ -1,0 +1,72 @@
+"""Tests for the phase-timing span layer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.observability.runtime import set_enabled
+from repro.observability.tracing import NULL_TIMINGS, PhaseTimings
+
+
+class TestPhaseTimings:
+    def test_spans_accumulate_seconds_and_counts(self):
+        timings = PhaseTimings()
+        for _ in range(3):
+            with timings.span("fit"):
+                time.sleep(0.001)
+        with timings.span("acquisition"):
+            pass
+        assert timings.counts == {"fit": 3, "acquisition": 1}
+        assert timings.seconds["fit"] >= 0.003
+        assert timings.seconds["acquisition"] >= 0.0
+
+    def test_nested_spans_record_independently(self):
+        timings = PhaseTimings()
+        with timings.span("outer"):
+            with timings.span("inner"):
+                pass
+        assert timings.counts == {"outer": 1, "inner": 1}
+        assert timings.seconds["outer"] >= timings.seconds["inner"]
+
+    def test_span_records_even_when_the_body_raises(self):
+        timings = PhaseTimings()
+        try:
+            with timings.span("fit"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timings.counts == {"fit": 1}
+
+    def test_as_dict_is_a_plain_copy(self):
+        timings = PhaseTimings()
+        with timings.span("fit"):
+            pass
+        data = timings.as_dict()
+        assert set(data) == {"fit"}
+        data["fit"] = -1.0
+        assert timings.seconds["fit"] >= 0.0  # copy, not a view
+
+    def test_disabled_spans_record_nothing(self):
+        timings = PhaseTimings()
+        previous = set_enabled(False)
+        try:
+            with timings.span("fit"):
+                pass
+        finally:
+            set_enabled(previous)
+        assert timings.seconds == {} and timings.counts == {}
+
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        timings = PhaseTimings()
+        previous = set_enabled(False)
+        try:
+            assert timings.span("a") is timings.span("b")
+        finally:
+            set_enabled(previous)
+
+
+class TestNullTimings:
+    def test_null_timings_accepts_spans_and_stays_empty(self):
+        with NULL_TIMINGS.span("anything"):
+            pass
+        assert NULL_TIMINGS.as_dict() == {}

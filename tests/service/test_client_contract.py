@@ -410,3 +410,77 @@ class TestTenantIsolation:
         if tenants.anonymous is None:
             pytest.skip("bearer tokens only exist on the HTTP transport")
         assert tenants.anonymous.health()["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# metrics contract: /v1/metrics on both transports
+# ---------------------------------------------------------------------------
+
+
+def _tenant_label_values(snapshot) -> set:
+    seen = set()
+    for kind in ("counters", "gauges", "histograms"):
+        for metric in snapshot.get(kind, {}).values():
+            for series in metric["series"]:
+                if "tenant" in series["labels"]:
+                    seen.add(series["labels"]["tenant"])
+    return seen
+
+
+class TestMetricsContract:
+    def test_snapshot_shape_and_counts(self, client):
+        response = client.submit(fast_spec(seed=61))
+        client.wait([response.session_id], timeout=60)
+
+        snapshot = client.metrics()
+        assert {"counters", "gauges", "histograms", "tenants"} <= set(snapshot)
+        # The unscoped client sees the service-wide header fields.
+        assert snapshot["serving"] is True
+        assert snapshot["policy"] == "round-robin"
+        assert snapshot["n_workers"] == 2
+
+        submitted = snapshot["counters"]["sessions_submitted_total"]["series"]
+        assert sum(s["value"] for s in submitted) >= 1
+        run = snapshot["histograms"]["session_run_seconds"]["series"]
+        assert sum(s["count"] for s in run) >= 1
+
+        summaries = snapshot["tenants"][""]
+        assert summaries["counters"]["steps"] >= 1
+        latency = summaries["latency"]
+        assert {"run", "queue_wait"} <= set(latency)
+        assert latency["run"]["p50"] <= latency["run"]["p99"]
+
+    def test_snapshot_is_json_round_trippable(self, client):
+        import json
+
+        snapshot = client.metrics()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_session_metrics_expose_queue_wait_and_phases(self, client):
+        response = client.submit(fast_spec(seed=62))
+        client.wait([response.session_id], timeout=60)
+        metrics = client.poll(response.session_id).metrics
+        assert metrics["queue_wait_seconds"] >= 0.0
+        assert isinstance(metrics["phase_seconds"], dict)
+
+    def test_scoped_clients_see_only_their_own_tenant(self, tenants):
+        alice_sid = tenants.alice.submit(fast_spec(seed=63)).session_id
+        bob_sid = tenants.bob.submit(fast_spec(seed=64)).session_id
+        tenants.alice.wait([alice_sid], timeout=60)
+        tenants.bob.wait([bob_sid], timeout=60)
+
+        alice_view = tenants.alice.metrics()
+        assert _tenant_label_values(alice_view) == {"alice"}
+        assert set(alice_view["tenants"]) == {"alice"}
+        # Scoped views omit the service-wide header fields.
+        assert "policy" not in alice_view
+
+        bob_view = tenants.bob.metrics()
+        assert _tenant_label_values(bob_view) == {"bob"}
+
+    def test_metrics_endpoint_needs_no_token(self, tenants):
+        if tenants.anonymous is None:
+            pytest.skip("bearer tokens only exist on the HTTP transport")
+        snapshot = tenants.anonymous.metrics()
+        assert {"counters", "gauges", "histograms", "tenants"} <= set(snapshot)
+        assert snapshot["policy"] == "round-robin"

@@ -23,6 +23,7 @@ from repro.service.api import (
     JobSpec,
     OptimizerSpec,
     QuotaExceededError,
+    UnauthorizedError,
     register_job,
     unregister_job,
 )
@@ -162,3 +163,38 @@ def test_quota_back_pressure_across_the_wire(gateway):
                 client.cancel(sid)
             except ConflictError:
                 pass  # the session already finished; nothing to cancel
+
+
+def test_metrics_endpoint_on_the_authenticated_gateway(gateway):
+    alice = HttpClient(gateway.url, token="alice-token")
+    bob = HttpClient(gateway.url, token="bob-token")
+    alice.wait([alice.submit(_spec(0)).session_id], timeout=60)
+    bob.wait([bob.submit(_spec(1)).session_id], timeout=60)
+
+    # Anonymous scrape: no token required, full service-wide snapshot.
+    anonymous = HttpClient(gateway.url)
+    snapshot = anonymous.metrics()
+    assert {"counters", "gauges", "histograms", "tenants"} <= set(snapshot)
+    assert snapshot["serving"] is True
+    assert {"alice", "bob"} <= set(snapshot["tenants"])
+    submitted = {
+        series["labels"]["tenant"]: series["value"]
+        for series in snapshot["counters"]["sessions_submitted_total"]["series"]
+    }
+    assert submitted["alice"] >= 1 and submitted["bob"] >= 1
+    for tenant in ("alice", "bob"):
+        latency = snapshot["tenants"][tenant]["latency"]
+        assert {"run", "queue_wait"} <= set(latency)
+        assert latency["run"]["p50"] <= latency["run"]["p99"]
+
+    # A token scopes the view to that tenant; the other tenant vanishes.
+    alice_view = alice.metrics()
+    assert set(alice_view["tenants"]) == {"alice"}
+    for kind in ("counters", "gauges", "histograms"):
+        for metric in alice_view[kind].values():
+            for series in metric["series"]:
+                assert series["labels"].get("tenant", "alice") == "alice"
+
+    # An invalid token is still rejected, even on the open endpoint.
+    with pytest.raises(UnauthorizedError):
+        HttpClient(gateway.url, token="stolen").metrics()

@@ -201,3 +201,36 @@ class TestMultiTenantFlags:
         code = main(["serve", "--save-interval", "5"])
         assert code == 2
         assert "--save-interval requires --state" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_serve_parser_accepts_metrics_interval(self):
+        args = build_parser().parse_args(["serve", "--metrics-interval", "30"])
+        assert args.metrics_interval == 30.0
+
+    def test_serve_rejects_non_positive_metrics_interval(self, capsys):
+        code = main(["serve", "--metrics-interval", "0"])
+        assert code == 2
+        assert "--metrics-interval must be positive" in capsys.readouterr().err
+
+    def test_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.server == "http://127.0.0.1:8080"
+        assert args.json is False
+
+    def test_metrics_scrapes_a_live_gateway(self, capsys):
+        from repro.service.http import TuningGateway
+        from repro.service.service import TuningService
+
+        service = TuningService(n_workers=1)
+        service.serve()
+        gateway = TuningGateway(service, port=0).start()
+        try:
+            code = main(["metrics", "--server", gateway.url, "--json"])
+        finally:
+            gateway.close()
+            service.shutdown(drain=False)
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert {"counters", "gauges", "histograms", "tenants"} <= set(snapshot)
+        assert snapshot["serving"] is True
