@@ -9,7 +9,9 @@ daemon mode — sessions submitted live into a running ``serve()`` loop — so
 the dispatch/condition-variable overhead of the long-lived scheduler is
 tracked alongside the batch numbers.  A third runs the identical sweep as
 declarative JobSpecs over the REST gateway (HttpClient → TuningGateway →
-daemon), bounding the full protocol + HTTP round-trip cost.
+daemon), bounding the full protocol + HTTP round-trip cost.  A fourth pits
+a write-ahead-journalled daemon against a bare one (interleaved rounds,
+cleanest-round bar) to keep per-tell durability under its 10% budget.
 
 Profiling runs in this reproduction are table lookups, so the worker pool
 mostly measures the scheduling/dispatch overhead rather than overlap wins;
@@ -203,6 +205,92 @@ def test_daemon_live_submission_throughput(benchmark):
             o.config for o in other.observations
         ], sid
     assert plain["sessions_per_second"] > 0
+
+
+def _run_spec_daemon_sweep(journal_path=None) -> dict:
+    """The daemon sweep submitted as JobSpecs, optionally write-ahead journalled.
+
+    Spec submissions (not live objects) so every tell is journal-eligible —
+    the same shape a durable production daemon runs.
+    """
+    service = TuningService(
+        n_workers=4,
+        policy="round-robin",
+        journal_path=journal_path,
+        journal_sync="interval",
+    )
+    n_sessions = _n_sessions()
+    service.serve()
+    started = time.perf_counter()
+    for index in range(n_sessions):
+        spec = JobSpec(
+            job=_JOB_NAMES[index % len(_JOB_NAMES)],
+            optimizer=optimizer_to_spec(_make_optimizer(index)),
+            seed=index // len(_JOB_NAMES),
+        )
+        service.submit_spec(spec, session_id=f"s{index:03d}")
+    results = service.shutdown(drain=True)
+    wall = time.perf_counter() - started
+    if service.journal is not None:
+        service.journal.close()
+    return {
+        "n_sessions": n_sessions,
+        "wall_seconds": wall,
+        "sessions_per_second": n_sessions / wall,
+        "results": results,
+    }
+
+
+def test_journal_durability_overhead(benchmark, tmp_path):
+    """Journal-on vs journal-off daemon walls, interleaved rounds.
+
+    Same robustness scheme as the observability benchmark: each round times
+    both arms back to back (alternating order), the acceptance bar applies
+    to the cleanest round, and the bar is the issue's durability budget —
+    journalling every tell must cost < 10% daemon throughput (plus a small
+    absolute allowance for sub-second walls).
+    """
+
+    def interleaved_pairs():
+        _run_spec_daemon_sweep()  # warm-up for caches and pools
+        pairs = []
+        last = {}
+        for round_index in range(5):
+            journal = tmp_path / f"round-{round_index}.jsonl"
+            if round_index % 2 == 0:
+                on = _run_spec_daemon_sweep(journal)
+                off = _run_spec_daemon_sweep()
+            else:
+                off = _run_spec_daemon_sweep()
+                on = _run_spec_daemon_sweep(journal)
+            pairs.append((on["wall_seconds"], off["wall_seconds"]))
+            last = {"on": on, "off": off}
+        return pairs, last
+
+    pairs, last = run_once(benchmark, interleaved_pairs)
+    best_on, best_off = min(pairs, key=lambda pair: pair[0] / pair[1])
+    overhead = best_on / best_off - 1.0
+
+    report(
+        "service_throughput",
+        f"\nWrite-ahead journal — {last['on']['n_sessions']}-session spec daemon "
+        "sweep, cleanest of 5 interleaved on/off rounds (sync=interval)\n"
+        + format_table(
+            ["journalled", "bare", "overhead"],
+            [[f"{best_on:.3f} s", f"{best_off:.3f} s", f"{overhead:+.1%}"]],
+        ),
+    )
+
+    # Durability must be invisible in the results, cheap in the wall.
+    assert set(last["on"]["results"]) == set(last["off"]["results"])
+    for sid, result in last["on"]["results"].items():
+        other = last["off"]["results"][sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+    assert best_on <= best_off * 1.10 + 0.05, (
+        f"journal overhead {overhead:+.1%} exceeds the 10% durability budget"
+    )
 
 
 def _run_gateway_sweep(n_workers: int) -> dict:

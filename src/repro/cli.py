@@ -29,9 +29,11 @@ The CLI exposes the library's day-to-day operations without writing Python:
     submit declarative job specs to ``/v1/sessions`` and poll/fetch/cancel
     them over REST.  ``--state`` points at a service-level checkpoint file
     that is restored on boot and written on shutdown (``--save-interval``
-    additionally writes it periodically while serving); ``--token-file``
-    turns on bearer-token auth with tenant isolation and ``--tenant-quota``
-    caps each tenant's active sessions.
+    additionally writes it periodically while serving); ``--journal PATH
+    --journal-sync MODE`` adds a per-tell write-ahead journal on top, so a
+    crashed daemon restores snapshot + journal with zero lost tells;
+    ``--token-file`` turns on bearer-token auth with tenant isolation and
+    ``--tenant-quota`` caps each tenant's active sessions.
 
 ``python -m repro metrics --server http://127.0.0.1:8080``
     Fetch a gateway's ``/v1/metrics`` observability snapshot and print
@@ -57,6 +59,7 @@ from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.core.lynceus import LynceusOptimizer
 from repro.experiments.reporting import format_summary_table, format_table
 from repro.experiments.runner import compare_optimizers
+from repro.service.journal import SYNC_MODES as _JOURNAL_SYNC_MODES
 from repro.service.scheduler import available_policies
 from repro.service.sweep import make_optimizer, run_sweep
 from repro.workloads import available_jobs, load_job
@@ -219,6 +222,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="with --state: also save the checkpoint periodically in the "
         "background while serving, so a crash loses at most one interval",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal file: every tell/submit/cancel is appended "
+        "as one JSONL record, so a crashed daemon loses nothing — on boot "
+        "the journal is replayed on top of the --state snapshot (torn "
+        "trailing records are tolerated)",
+    )
+    serve.add_argument(
+        "--journal-sync",
+        choices=_JOURNAL_SYNC_MODES,
+        default="interval",
+        help="journal durability: 'always' fsyncs every append (zero loss "
+        "even on power failure), 'interval' flushes every append and fsyncs "
+        "periodically (default), 'none' only flushes to the OS",
+    )
+    serve.add_argument(
+        "--journal-sync-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="fsync cadence for --journal-sync interval (default: 1.0)",
     )
     serve.add_argument(
         "--token-file",
@@ -440,6 +467,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "autosave_path": args.state,
             "autosave_interval_s": args.save_interval,
         }
+    journal: dict = {}
+    if args.journal:
+        # Keep a pre-open copy of the journal: opening it below truncates any
+        # torn tail, and replay must happen before new records are appended.
+        journal = {
+            "journal_path": args.journal,
+            "journal_sync": args.journal_sync,
+            "journal_sync_interval_s": args.journal_sync_interval,
+        }
     service = TuningService(
         n_workers=args.workers,
         policy=args.policy,
@@ -447,19 +483,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         bootstrap_parallel=args.bootstrap_parallel,
         tenant_quota=args.tenant_quota,
         **autosave,
+        **journal,
     )
     if args.state and Path(args.state).exists():
         restored = service.restore_registry(args.state)
         print(f"restored {len(restored)} session(s) from {args.state}")
+    if args.journal:
+        replayed = service.replay_journal()
+        print(
+            f"replayed {replayed['applied']} journal record(s) from "
+            f"{args.journal} ({replayed['skipped']} already in the snapshot)"
+        )
+        if args.state:
+            # Fold the replayed suffix into a fresh snapshot so the journal
+            # restarts near-empty and the next boot replays only new work.
+            service.compact_journal(args.state)
     service.serve()
     gateway = TuningGateway(
         service, host=args.host, port=args.port, token_file=args.token_file
     )
     auth = "on" if args.token_file else "off"
+    journal_mode = f"{args.journal_sync}" if args.journal else "off"
     print(
         f"tuning gateway listening on {gateway.url} "
         f"(workers={args.workers}, policy={args.policy}, executor={args.executor}, "
-        f"auth={auth}, tenant-quota={args.tenant_quota}); Ctrl-C to stop"
+        f"auth={auth}, tenant-quota={args.tenant_quota}, journal={journal_mode}); "
+        "Ctrl-C to stop"
     )
     metrics_stop = None
     if args.metrics_interval is not None:
@@ -490,8 +539,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.shutdown(drain=False)
         finally:
             if args.state:
-                service.save_registry(args.state)
+                # With a journal, the final save also compacts it, so the
+                # next boot replays nothing that this snapshot already holds.
+                service.compact_journal(args.state)
                 print(f"saved {len(service.session_ids)} session(s) to {args.state}")
+            if service.journal is not None:
+                service.journal.close()
     return 0
 
 

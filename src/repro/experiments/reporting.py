@@ -17,6 +17,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.experiments.metrics import MetricSummary, empirical_cdf
+from repro.ioutil import atomic_write
 
 __all__ = [
     "ResultsReporter",
@@ -46,14 +47,19 @@ class ResultsReporter:
         self._session_blocks: dict[str, list[str]] = {}
 
     def report(self, name: str, text: str) -> None:
-        """Print ``text`` and rewrite ``<name>.txt`` from this session's blocks."""
+        """Print ``text`` and rewrite ``<name>.txt`` from this session's blocks.
+
+        The rewrite is atomic and durable (scratch file + fsync + rename), so
+        an interrupted benchmark run never leaves a truncated results file in
+        the checked-in ``benchmarks/results/`` directory.
+        """
         print(text)
         blocks = self._session_blocks.setdefault(name, [])
         blocks.append(text)
-        os.makedirs(self.results_dir, exist_ok=True)
         path = os.path.join(self.results_dir, f"{name}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write("".join(block + "\n" for block in blocks))
+        atomic_write(path, lambda handle: handle.write(
+            "".join(block + "\n" for block in blocks)
+        ))
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

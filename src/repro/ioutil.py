@@ -1,0 +1,87 @@
+"""Crash-safe file I/O primitives shared by every persistence layer.
+
+The write-then-rename idiom alone is *not* atomic on a real filesystem: on
+ext4/xfs the rename can be journalled to disk before the file's data blocks,
+so a power loss shortly after ``os.replace`` may surface an empty or
+truncated "committed" file.  Durable commit therefore needs three steps —
+write, ``flush()`` + ``fsync()`` the file, then rename (and, best-effort,
+fsync the directory so the rename itself is durable).  :func:`atomic_write`
+and :func:`atomic_write_json` implement exactly that sequence, and every
+checkpoint writer in the repo (service registry, session checkpoints, the
+write-ahead journal's rotation, benchmark results) goes through them.
+
+Scratch files get a unique name per call (``tempfile.mkstemp`` in the target
+directory), so concurrent writers — e.g. a manual ``save_registry`` racing
+the autosave thread — can never interleave bytes into one shared ``.tmp``
+file; last rename wins with each rename publishing a complete file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, IO
+
+__all__ = ["fsync_handle", "fsync_dir", "atomic_write", "atomic_write_json"]
+
+
+def fsync_handle(handle: IO) -> None:
+    """Force buffered writes on ``handle`` down to the disk, not just the OS."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort fsync of a directory (makes a rename inside it durable).
+
+    Some platforms/filesystems refuse to open directories for fsync; a
+    failure here downgrades durability of the *rename* (the file contents
+    are already synced), so it is deliberately non-fatal.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: str | Path, write: Callable[[IO[str]], None], *, encoding: str = "utf-8"
+) -> Path:
+    """Atomically and durably replace ``path`` with what ``write`` produces.
+
+    ``write`` receives a text handle for a unique scratch file in the target
+    directory; the scratch is flushed, fsynced and renamed over ``path``
+    only after ``write`` returns.  On any failure the scratch is removed and
+    the previous ``path`` (if any) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, scratch = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            write(handle)
+            fsync_handle(handle)
+        os.replace(scratch, path)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_json(path: str | Path, payload: Any, *, indent: int | None = 2) -> Path:
+    """Atomically and durably write ``payload`` as JSON to ``path``."""
+    return atomic_write(path, lambda handle: json.dump(payload, handle, indent=indent))

@@ -32,6 +32,13 @@ sessions concurrently — locally or behind an HTTP gateway:
     ``restore_registry`` checkpoint every spec-submitted session plus the
     scheduler cursor into one JSON file.
 
+``repro.service.journal``
+    :class:`TellJournal` — a write-ahead, append-only JSONL journal of every
+    tell/submit/cancel/finish, with configurable fsync policy, torn-tail
+    tolerance and snapshot+rotate compaction.  Wired into
+    :class:`TuningService` via ``journal_path=``; restore is snapshot +
+    ``replay_journal`` (bit-identical, chaos-suite pinned).
+
 ``repro.service.client``
     :class:`TuningClient` — the transport-agnostic tenant interface — with
     :class:`LocalClient` (in-process) and :class:`HttpClient` (stdlib HTTP)
@@ -76,6 +83,13 @@ from repro.service.api import (
 )
 from repro.service.client import HttpClient, LocalClient, TuningClient
 from repro.service.http import TuningGateway, load_token_file
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    SYNC_MODES,
+    JournalCorruptionError,
+    TellJournal,
+    read_journal,
+)
 from repro.service.scheduler import (
     CostAwarePolicy,
     DeadlinePolicy,
@@ -91,7 +105,9 @@ from repro.service.session import SessionStatus, TuningSession
 from repro.service.sweep import SweepReport, SweepRow, make_optimizer, run_sweep
 
 __all__ = [
+    "JOURNAL_VERSION",
     "PROTOCOL_VERSION",
+    "SYNC_MODES",
     "BadRequestError",
     "CancelResponse",
     "ConflictError",
@@ -101,6 +117,7 @@ __all__ = [
     "FifoPolicy",
     "HttpClient",
     "JobSpec",
+    "JournalCorruptionError",
     "ListResponse",
     "LocalClient",
     "OptimizerSpec",
@@ -119,6 +136,7 @@ __all__ = [
     "SubmitResponse",
     "SweepReport",
     "SweepRow",
+    "TellJournal",
     "TuningClient",
     "TuningGateway",
     "TuningService",
@@ -133,6 +151,7 @@ __all__ = [
     "make_optimizer",
     "make_policy",
     "optimizer_to_spec",
+    "read_journal",
     "register_job",
     "register_optimizer",
     "run_sweep",

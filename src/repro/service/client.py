@@ -401,6 +401,7 @@ class LocalClient(TuningClient):
         for status in statuses.values():
             counts[status.value] = counts.get(status.value, 0) + 1
         autosave_error = self.service.autosave_error
+        journal = self.service.journal
         return {
             "status": "ok" if autosave_error is None else "degraded",
             "protocol_version": PROTOCOL_VERSION,
@@ -409,6 +410,14 @@ class LocalClient(TuningClient):
             "sessions": counts,
             "autosave_error": (
                 None if autosave_error is None else str(autosave_error)
+            ),
+            # "failing now" (error set, stale timestamp) vs "failed once,
+            # recovered" (error None, fresh timestamp).
+            "last_autosave_at": self.service.last_autosave_at,
+            "journal": (
+                None
+                if journal is None
+                else {"path": str(journal.path), "sync": journal.sync}
             ),
         }
 

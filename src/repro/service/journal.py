@@ -1,0 +1,320 @@
+"""Write-ahead journal: every tell survives a crash, not just every autosave.
+
+The periodic registry checkpoint bounds crash loss to one autosave interval.
+For hours-scale cloud-tuning runs that is still real money — every lost tell
+is a profiling run that must be re-bought after a restart.  This module
+closes the gap with a classic WAL design:
+
+* **Append-only JSONL.**  :class:`TellJournal` records every durable service
+  transition — session submission, each tell (the configuration asked plus
+  the outcome told), cancellation and terminal transitions — as one
+  self-describing JSON line.  Appends happen under the service lock, in the
+  same critical section as the state change they record, so no client can
+  ever observe service state that is not (at least) in the OS page cache.
+* **Configurable sync policy.**  ``"always"`` fsyncs the journal fd on every
+  append (zero loss even on power failure), ``"interval"`` (default) flushes
+  every append to the OS and fsyncs at most every ``sync_interval_s``
+  (zero loss on a process crash, bounded loss on power failure), ``"none"``
+  only flushes (cheapest; still beats autosave-only durability).
+* **Torn-tail tolerance.**  A crash mid-append leaves a partial final line.
+  :func:`read_journal` accepts every complete record and silently drops a
+  torn tail — never raises for it — and :class:`TellJournal` truncates the
+  torn bytes away before appending anything new, so the file always converges
+  back to clean JSONL.  An unparsable line *followed by more data* is real
+  corruption and does raise.
+* **Snapshot + rotation compaction.**  Replaying a journal from the dawn of
+  time would make restarts slower the longer a daemon lives.
+  :meth:`TellJournal.rotate` atomically replaces the journal with just the
+  suffix not yet covered by a registry snapshot (written durably via
+  :func:`repro.ioutil.atomic_write_json` first).  Each record carries a
+  per-session sequence number (the observation count after the tell), which
+  makes replay idempotent — so every crash window around the
+  snapshot-then-rotate pair is safe: at worst the journal's prefix overlaps
+  the snapshot and is skipped on replay.
+
+Restore is *snapshot + journal-suffix replay*: see
+:meth:`repro.service.service.TuningService.replay_journal`, which re-asks
+each session (deterministic given the restored optimizer state) and tells the
+recorded outcome back, asserting the asked configuration matches the journal
+bit-for-bit.  The chaos suite pins that a daemon killed at an arbitrary byte
+offset of the journal restores with zero lost (synced) tells and a
+bit-identical continuation trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.ioutil import fsync_dir, fsync_handle
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "SYNC_MODES",
+    "JournalCorruptionError",
+    "TellJournal",
+    "read_journal",
+    "scan_journal",
+]
+
+JOURNAL_VERSION = 1
+
+#: Durability policies for :class:`TellJournal` appends, cheapest first.
+SYNC_MODES = ("none", "interval", "always")
+
+
+class JournalCorruptionError(ValueError):
+    """A journal line that cannot be a torn tail failed to parse."""
+
+
+def scan_journal(data: bytes) -> tuple[list[dict], int]:
+    """Parse ``data`` as JSONL, tolerating a torn final record.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the length of
+    the clean prefix (everything past it is a torn tail to truncate).  A
+    record is accepted when it parses as JSON — including a final record
+    missing its newline (a crash exactly between ``write`` and the newline
+    reaching disk).  An unparsable *complete* line (newline-terminated, with
+    data following) cannot be explained by a torn append and raises
+    :class:`JournalCorruptionError`.
+    """
+    records: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            chunk = data[offset:]
+            try:
+                records.append(json.loads(chunk))
+                offset = len(data)
+            except ValueError:
+                pass  # torn tail: drop it
+            break
+        chunk = data[offset:newline]
+        try:
+            records.append(json.loads(chunk))
+        except ValueError:
+            if data[newline + 1 :].strip():
+                raise JournalCorruptionError(
+                    f"unparsable journal record at byte {offset} with "
+                    "further records after it — this is corruption, not a torn tail"
+                ) from None
+            break  # unparsable final line: treat as torn
+        offset = newline + 1
+    return records, offset
+
+
+def _check_header(records: list[dict]) -> list[dict]:
+    """Validate and strip the journal's version header record, if present."""
+    if records and records[0].get("type") == "journal":
+        header = records[0]
+        if header.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {header.get('version')!r} "
+                f"(this build writes version {JOURNAL_VERSION})"
+            )
+        return records[1:]
+    return records
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """All complete records of the journal at ``path``, torn tail dropped.
+
+    Returns ``[]`` for a missing or empty journal.  Raises on a version
+    mismatch or mid-file corruption (see :func:`scan_journal`).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records, _ = scan_journal(path.read_bytes())
+    return _check_header(records)
+
+
+class TellJournal:
+    """An append-only, crash-tolerant JSONL journal with a sync policy.
+
+    Opening the journal truncates any torn tail left by a previous crash
+    (after the same validation :func:`read_journal` applies), then positions
+    for appends.  All methods are thread-safe; appends and rotation serialise
+    on one internal lock, so a rotation never drops a concurrent append.
+
+    Parameters
+    ----------
+    path:
+        The journal file; parent directories are created.
+    sync:
+        ``"none"`` — flush to the OS only; ``"interval"`` — flush every
+        append, fsync at most every ``sync_interval_s`` seconds;
+        ``"always"`` — flush + fsync every append.
+    sync_interval_s:
+        fsync cadence for ``sync="interval"``.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`; when
+        given, appends/fsyncs/rotations are counted and timed.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        sync: str = "interval",
+        sync_interval_s: float = 1.0,
+        metrics: Any | None = None,
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise ValueError(f"unknown journal sync mode {sync!r}; available: {SYNC_MODES}")
+        if sync_interval_s <= 0:
+            raise ValueError("sync_interval_s must be positive")
+        self.path = Path(path)
+        self.sync = sync
+        self.sync_interval_s = sync_interval_s
+        self._lock = threading.Lock()
+        self._last_fsync = time.monotonic()
+        self._m_appends = self._m_append_s = self._m_fsyncs = None
+        self._m_rotations = self._m_rotation_s = self._m_bytes = None
+        if metrics is not None:
+            self._m_appends = metrics.counter(
+                "journal_appends_total", "Journal records appended", labels=("type",)
+            )
+            self._m_append_s = metrics.histogram(
+                "journal_append_seconds", "Duration of journal appends (incl. fsync)"
+            )
+            self._m_fsyncs = metrics.counter(
+                "journal_fsyncs_total", "fsync() calls on the journal fd"
+            )
+            self._m_rotations = metrics.counter(
+                "journal_compactions_total", "Snapshot+rotate compactions completed"
+            )
+            self._m_rotation_s = metrics.histogram(
+                "journal_compaction_seconds", "Duration of journal rotations"
+            )
+            self._m_bytes = metrics.gauge("journal_bytes", "Current journal size")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self._open_clean()
+
+    def _open_clean(self):
+        """Open the journal, truncating any torn tail, positioned at the end."""
+        handle = open(self.path, "a+b")
+        try:
+            handle.seek(0)
+            data = handle.read()
+            records, valid = scan_journal(data)
+            _check_header(records)  # version gate before we append anything
+            if valid < len(data):
+                handle.truncate(valid)
+            handle.seek(valid)
+            if valid == 0:
+                self._write_line_locked(
+                    handle, {"type": "journal", "version": JOURNAL_VERSION}
+                )
+                fsync_handle(handle)
+        except BaseException:
+            handle.close()
+            raise
+        return handle
+
+    @staticmethod
+    def _write_line_locked(handle, record: dict) -> None:
+        handle.write(json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n")
+
+    def append(self, record: dict) -> None:
+        """Durably (per the sync policy) append one record."""
+        started = time.perf_counter()
+        with self._lock:
+            self._write_line_locked(self._handle, record)
+            self._handle.flush()
+            if self.sync == "always":
+                self._fsync_locked()
+            elif self.sync == "interval":
+                now = time.monotonic()
+                if now - self._last_fsync >= self.sync_interval_s:
+                    self._fsync_locked()
+            if self._m_bytes is not None:
+                self._m_bytes.set(self._handle.tell())
+        if self._m_appends is not None:
+            self._m_appends.inc(type=record.get("type", ""))
+            self._m_append_s.observe(time.perf_counter() - started)
+
+    def _fsync_locked(self) -> None:
+        os.fsync(self._handle.fileno())
+        self._last_fsync = time.monotonic()
+        if self._m_fsyncs is not None:
+            self._m_fsyncs.inc()
+
+    def sync_now(self) -> None:
+        """Force an fsync regardless of policy (shutdown, pre-rotation)."""
+        with self._lock:
+            self._handle.flush()
+            self._fsync_locked()
+
+    def tell_offset(self) -> int:
+        """Current end-of-journal byte offset (everything before it is flushed).
+
+        Capture this under the *service* lock when building a snapshot: all
+        records at offsets below it are covered by the snapshot, and
+        :meth:`rotate` keeps exactly the suffix from this offset on.
+        """
+        with self._lock:
+            self._handle.flush()
+            return self._handle.tell()
+
+    def rotate(self, keep_from: int) -> None:
+        """Atomically replace the journal with its suffix from ``keep_from``.
+
+        Called after a registry snapshot covering every record below
+        ``keep_from`` has been durably written.  The replacement file (fresh
+        header + suffix) is fsynced before the rename, and appends arriving
+        during the rotation are serialised behind it — nothing is lost in
+        any crash window, because replay skips the snapshot-covered prefix
+        via per-session sequence numbers anyway.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            self._handle.flush()
+            self._fsync_locked()
+            end = self._handle.tell()
+            if keep_from > end:
+                raise ValueError(f"keep_from {keep_from} is past the journal end {end}")
+            with open(self.path, "rb") as reader:
+                reader.seek(keep_from)
+                tail = reader.read(end - keep_from)
+            fd, scratch = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fresh:
+                    self._write_line_locked(
+                        fresh, {"type": "journal", "version": JOURNAL_VERSION}
+                    )
+                    fresh.write(tail)
+                    fsync_handle(fresh)
+                os.replace(scratch, self.path)
+            except BaseException:
+                try:
+                    os.unlink(scratch)
+                except OSError:
+                    pass
+                raise
+            fsync_dir(self.path.parent)
+            old = self._handle
+            self._handle = open(self.path, "ab")
+            old.close()
+            if self._m_bytes is not None:
+                self._m_bytes.set(self._handle.tell())
+        if self._m_rotations is not None:
+            self._m_rotations.inc()
+            self._m_rotation_s.observe(time.perf_counter() - started)
+
+    def close(self) -> None:
+        """fsync and close the journal; further appends raise."""
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            self._fsync_locked()
+            self._handle.close()

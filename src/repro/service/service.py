@@ -76,7 +76,6 @@ import itertools
 import json
 import math
 import multiprocessing
-import os
 import threading
 import time
 from collections import deque
@@ -86,6 +85,7 @@ from typing import Any, Mapping
 
 from repro.core.optimizer import BaseOptimizer, OptimizationResult
 from repro.core.space import Configuration
+from repro.ioutil import atomic_write_json
 from repro.observability.metrics import MetricsRegistry
 from repro.service.api import (
     PROTOCOL_VERSION,
@@ -95,6 +95,7 @@ from repro.service.api import (
     QuotaExceededError,
     resolve_spec,
 )
+from repro.service.journal import TellJournal, read_journal
 from repro.service.scheduler import SchedulingPolicy, make_policy
 from repro.service.session import SessionStatus, TuningSession
 from repro.workloads import load_job
@@ -221,8 +222,24 @@ class TuningService:
         thread that calls :meth:`save_registry` every
         ``autosave_interval_s`` seconds (and once more on shutdown), so a
         crashed daemon loses at most one interval of progress.  The write
-        is atomic (write-then-rename) and each session is captured at its
-        most recent step boundary.
+        is atomic and durable (write, fsync, then rename) and each session
+        is captured at its most recent step boundary.  With a journal (see
+        below) each autosave additionally *compacts*: the snapshot covers
+        the journal's prefix, which is rotated away atomically.
+    journal_path / journal_sync / journal_sync_interval_s:
+        When ``journal_path`` is set, every spec-submitted session's durable
+        transition — submission, each tell, cancellation, finish — is
+        appended to a write-ahead JSONL journal
+        (:class:`~repro.service.journal.TellJournal`) in the same critical
+        section as the state change, so a crashed daemon loses *nothing*
+        that reached the journal: :meth:`replay_journal` restores the
+        suffix not covered by the latest snapshot bit-identically.
+        ``journal_sync`` picks the fsync policy (``"none"`` / ``"interval"``
+        / ``"always"``; see the journal module docs for the durability
+        tradeoffs), ``journal_sync_interval_s`` the cadence of the
+        ``"interval"`` mode.  Sessions submitted as live objects (plain
+        :meth:`submit`) are not journalled — as with autosave, only a spec
+        makes a session reconstructable from JSON.
     """
 
     def __init__(
@@ -237,6 +254,9 @@ class TuningService:
         tenant_quota: int | None = None,
         autosave_path: str | Path | None = None,
         autosave_interval_s: float = 30.0,
+        journal_path: str | Path | None = None,
+        journal_sync: str = "interval",
+        journal_sync_interval_s: float = 1.0,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -280,6 +300,7 @@ class TuningService:
         self._autosave_thread: threading.Thread | None = None
         self._autosave_stop = threading.Event()
         self._autosave_error: BaseException | None = None
+        self._last_autosave_at: float | None = None
 
         # Service-wide telemetry.  The registry is shared with every session
         # (bind_metrics at registration) and with the HTTP gateway; all of it
@@ -312,7 +333,26 @@ class TuningService:
         self._m_autosave_failures = self.metrics.counter(
             "autosave_failures_total", "Periodic registry checkpoints that failed"
         )
+        self._m_replayed = self.metrics.counter(
+            "journal_replayed_total",
+            "Journal records processed by replay_journal",
+            labels=("type", "outcome"),
+        )
         self._m_workers.set(self.n_workers, executor=self.executor_kind)
+
+        # Write-ahead journal (opened eagerly: a torn tail from a previous
+        # crash is truncated before anything else touches the file).  Appends
+        # go through _journal_append_locked, which honours _journal_suspended
+        # so replaying a journal never re-journals its own records.
+        self.journal: TellJournal | None = None
+        self._journal_suspended = False
+        if journal_path is not None:
+            self.journal = TellJournal(
+                journal_path,
+                sync=journal_sync,
+                sync_interval_s=journal_sync_interval_s,
+                metrics=self.metrics,
+            )
 
     # -- submission and inspection ------------------------------------------
     def submit(
@@ -446,6 +486,12 @@ class TuningService:
                 session, job_ref=job.name if cacheable else None
             )
             self._m_submitted.inc(tenant=spec.tenant or "")
+            # Journalled inside the same critical section as the
+            # registration: the submit response implies the session is
+            # (at least) in the OS page cache.
+            self._journal_append_locked(
+                {"type": "submit", "session_id": session_id, "spec": spec.to_dict()}
+            )
             self._wakeup.notify_all()
             return session_id
 
@@ -519,6 +565,16 @@ class TuningService:
         """
         return self._autosave_error
 
+    @property
+    def last_autosave_at(self) -> float | None:
+        """Wall-clock time (``time.time()``) of the last *successful* save.
+
+        Together with :attr:`autosave_error` this lets operators distinguish
+        "failing now" (error set, stale timestamp) from "failed once,
+        recovered" (error cleared, fresh timestamp).
+        """
+        return self._last_autosave_at
+
     def metrics_snapshot(self, tenant: str | None = None) -> dict[str, Any]:
         """The ``/v1/metrics`` payload: registry snapshot plus derived summaries.
 
@@ -559,6 +615,7 @@ class TuningService:
                 for dispatch in [record.inflight, *record.batch]:
                     if dispatch is not None and dispatch.future is not None:
                         dispatch.future.cancel()
+                self._journal_transition_locked(record, "cancel")
                 self._wakeup.notify_all()
             return changed
 
@@ -607,41 +664,63 @@ class TuningService:
         at its most recent *step boundary* (sessions with a profiling run in
         flight contribute their cached boundary snapshot, refreshed after
         every tell), so a restore replays every session bit-identically from
-        that boundary.  The write is atomic (write-then-rename).
+        that boundary.  The write is atomic and durable — a unique scratch
+        file (concurrent savers never interleave) is written, fsynced and
+        renamed over ``path``, so a crash at any point leaves either the
+        previous good checkpoint or the complete new one.
         """
         with self._lock:
-            unspecced = [
-                sid for sid, record in self._records.items()
-                if record.session.spec is None
-            ]
-            if unspecced and not skip_unspecced:
-                raise ValueError(
-                    f"sessions without a JobSpec cannot be service-checkpointed: "
-                    f"{unspecced}; submit them via submit_spec()/a TuningClient, "
-                    "or checkpoint them individually with TuningSession.save()"
-                )
-            payload = {
-                "version": _REGISTRY_CHECKPOINT_VERSION,
-                "protocol_version": PROTOCOL_VERSION,
-                "policy": {
-                    "name": self.policy.name,
-                    "state": self.policy.state_dict(),
-                },
-                "sessions": [
-                    self._boundary_checkpoint_locked(record)
-                    for sid, record in self._records.items()
-                    if sid not in unspecced
-                ],
-            }
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename: a crash mid-dump must never destroy the previous
-        # good checkpoint (often the only copy of hours of progress).
-        scratch = path.with_name(path.name + ".tmp")
-        with scratch.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(scratch, path)
-        return path
+            payload = self._registry_payload_locked(skip_unspecced)
+        return atomic_write_json(path, payload)
+
+    def _registry_payload_locked(self, skip_unspecced: bool) -> dict[str, Any]:
+        unspecced = [
+            sid for sid, record in self._records.items()
+            if record.session.spec is None
+        ]
+        if unspecced and not skip_unspecced:
+            raise ValueError(
+                f"sessions without a JobSpec cannot be service-checkpointed: "
+                f"{unspecced}; submit them via submit_spec()/a TuningClient, "
+                "or checkpoint them individually with TuningSession.save()"
+            )
+        return {
+            "version": _REGISTRY_CHECKPOINT_VERSION,
+            "protocol_version": PROTOCOL_VERSION,
+            "policy": {
+                "name": self.policy.name,
+                "state": self.policy.state_dict(),
+            },
+            "sessions": [
+                self._boundary_checkpoint_locked(record)
+                for sid, record in self._records.items()
+                if sid not in unspecced
+            ],
+        }
+
+    def compact_journal(
+        self, path: str | Path, *, skip_unspecced: bool = True
+    ) -> Path:
+        """Snapshot the registry to ``path`` and rotate the journal behind it.
+
+        The compaction step of the WAL design: the snapshot payload and the
+        journal cut-off offset are captured in *one* critical section (no
+        tell can slip between them), the snapshot is written durably, and
+        only then is the journal's covered prefix rotated away.  Every crash
+        window is safe — before the rename the old snapshot + full journal
+        replay; after it the new snapshot plus a journal whose overlapping
+        prefix (if the rotation itself was lost) is skipped by sequence
+        number on replay.  Without a journal this degrades to plain
+        :meth:`save_registry`.
+        """
+        if self.journal is None:
+            return self.save_registry(path, skip_unspecced=skip_unspecced)
+        with self._lock:
+            payload = self._registry_payload_locked(skip_unspecced)
+            cutoff = self.journal.tell_offset()
+        result = atomic_write_json(path, payload)
+        self.journal.rotate(cutoff)
+        return result
 
     def _boundary_checkpoint_locked(self, record: _SessionRecord) -> dict[str, Any]:
         """The session's snapshot at its most recent step boundary.
@@ -700,6 +779,211 @@ class TuningService:
             self._wakeup.notify_all()
         return [session.session_id for session, _ in restored]
 
+    # -- write-ahead journal --------------------------------------------------
+    def _journal_append_locked(self, record: dict[str, Any]) -> None:
+        """Append one record to the journal (no-op without one, or suspended)."""
+        if self.journal is not None and not self._journal_suspended:
+            self.journal.append(record)
+
+    def _journal_tell_locked(
+        self, record: _SessionRecord, config: Configuration, outcome: JobOutcome
+    ) -> None:
+        """Journal one completed tell, then the terminal transition if any.
+
+        ``seq`` is the session's observation count *after* the tell; replay
+        uses it to skip records already covered by a snapshot.  Only
+        spec-submitted sessions are journalled (a session without a spec is
+        not reconstructable from JSON, so its records would be dead weight).
+        """
+        session = record.session
+        if self.journal is None or session.spec is None:
+            return
+        self._journal_append_locked(
+            {
+                "type": "tell",
+                "session_id": session.session_id,
+                "seq": len(session.state.optimizer_state.observations),
+                "config": config.as_dict(),
+                "outcome": {
+                    "runtime_seconds": outcome.runtime_seconds,
+                    "cost": outcome.cost,
+                    "timed_out": outcome.timed_out,
+                },
+            }
+        )
+        if session.status.terminal:
+            self._journal_transition_locked(record, "finish")
+
+    def _journal_transition_locked(self, record: _SessionRecord, kind: str) -> None:
+        """Journal a cancel/finish transition (informational for finish —
+        replaying the tells reproduces it — but a cancel must replay to keep
+        the restored registry identical to the crashed one)."""
+        session = record.session
+        if session.spec is None:
+            return
+        self._journal_append_locked(
+            {
+                "type": kind,
+                "session_id": session.session_id,
+                "status": session.status.value,
+            }
+        )
+
+    def replay_journal(
+        self, path: str | Path | None = None, *, extra_jobs: Mapping[str, Job] | None = None
+    ) -> dict[str, int]:
+        """Replay a write-ahead journal on top of the current registry.
+
+        The restore path is *snapshot + journal-suffix replay*: call
+        :meth:`restore_registry` with the latest snapshot first (if one
+        exists), then this.  Submissions recorded after the snapshot are
+        re-registered from their journalled spec; each journalled tell is
+        re-applied by asking the session (deterministic given its restored
+        state — the asked configuration is asserted against the journal) and
+        telling the recorded outcome back, so the restored trace is
+        bit-identical to the crashed daemon's.  Records already covered by
+        the snapshot (their ``seq`` at or below the session's observation
+        count, or an already-registered submission) are skipped — replay is
+        idempotent, which is what makes every compaction crash window safe.
+        A torn trailing record (the append the crash interrupted) is dropped
+        by the journal reader, never an error.
+
+        Returns ``{"applied": ..., "skipped": ...}``.  Raises ``ValueError``
+        on genuine divergence — a sequence gap, an asked configuration that
+        does not match the journal, or a tell for a session the journal
+        never submitted and no snapshot covers.
+        """
+        if path is None:
+            if self.journal is None:
+                raise ValueError("no journal configured and no path given")
+            path = self.journal.path
+        records = read_journal(path)
+        counts = {"applied": 0, "skipped": 0}
+
+        def count(kind: str, outcome: str) -> None:
+            counts[outcome] += 1
+            self._m_replayed.inc(type=kind, outcome=outcome)
+
+        with self._wakeup:
+            if self._serving:
+                raise RuntimeError("replay_journal() is unavailable while serving")
+            self._journal_suspended = True
+            try:
+                for entry in records:
+                    kind = entry.get("type")
+                    if kind == "submit":
+                        if entry["session_id"] in self._records:
+                            count(kind, "skipped")
+                            continue
+                        self._replay_submit_locked(entry, extra_jobs)
+                        count(kind, "applied")
+                    elif kind == "tell":
+                        outcome = self._replay_tell_locked(entry)
+                        count(kind, outcome)
+                    elif kind == "cancel":
+                        record = self._require_session_locked(entry)
+                        if record.session.cancel():
+                            count(kind, "applied")
+                        else:
+                            count(kind, "skipped")
+                    elif kind == "finish":
+                        outcome = self._replay_finish_locked(entry)
+                        count(kind, outcome)
+                    else:
+                        raise ValueError(f"unknown journal record type {kind!r}")
+            finally:
+                self._journal_suspended = False
+            self._wakeup.notify_all()
+        return counts
+
+    def _require_session_locked(self, entry: dict[str, Any]) -> _SessionRecord:
+        record = self._records.get(entry["session_id"])
+        if record is None:
+            raise ValueError(
+                f"journal names session {entry['session_id']!r} but neither the "
+                "snapshot nor an earlier journal record registered it — the "
+                "snapshot and journal are from different service lifetimes"
+            )
+        return record
+
+    def _replay_submit_locked(
+        self, entry: dict[str, Any], extra_jobs: Mapping[str, Job] | None
+    ) -> None:
+        # Mirrors submit_spec minus the quota check: the submission was
+        # admitted when it was journalled, and a restore must reproduce the
+        # crashed registry even under a since-tightened quota.
+        spec = JobSpec.from_dict(entry["spec"])
+        job, optimizer, options, cacheable = resolve_spec(spec, extra_jobs=extra_jobs)
+        session = TuningSession(
+            entry["session_id"],
+            job,
+            optimizer,
+            tenant=spec.tenant,
+            priority=spec.priority,
+            deadline_s=spec.deadline_s,
+            **options,
+        )
+        session.spec = spec
+        session.bind_metrics(self.metrics)
+        self._records[session.session_id] = _SessionRecord(
+            session, job_ref=job.name if cacheable else None
+        )
+
+    def _replay_tell_locked(self, entry: dict[str, Any]) -> str:
+        record = self._require_session_locked(entry)
+        session = record.session
+        have = (
+            len(session.state.optimizer_state.observations)
+            if session.state is not None
+            else 0
+        )
+        seq = entry["seq"]
+        if seq <= have:
+            return "skipped"  # covered by the snapshot (or a replayed prefix)
+        if seq > have + 1 or session.status.terminal:
+            raise ValueError(
+                f"journal replay diverged for session {session.session_id!r}: "
+                f"record seq {seq} cannot follow {have} observation(s) "
+                f"(status {session.status.value})"
+            )
+        config = session.ask()
+        if config is None or config.as_dict() != entry["config"]:
+            asked = None if config is None else config.as_dict()
+            raise ValueError(
+                f"journal replay diverged for session {session.session_id!r} at "
+                f"seq {seq}: re-asked configuration {asked!r} does not match the "
+                f"journalled {entry['config']!r}"
+            )
+        session.tell(JobOutcome(**entry["outcome"]))
+        self._refresh_clean_checkpoint_locked(record)
+        return "applied"
+
+    def _replay_finish_locked(self, entry: dict[str, Any]) -> str:
+        # A session goes terminal when ``ask()`` detects budget exhaustion or
+        # convergence and returns ``None`` — an event *after* the last tell,
+        # so replaying the tells alone leaves the session RUNNING.  Re-ask the
+        # restored session: deterministically it must decline again, which
+        # flips it terminal exactly as in the crashed daemon.
+        record = self._require_session_locked(entry)
+        session = record.session
+        if session.status.terminal:
+            return "skipped"  # covered by the snapshot (or a replayed cancel)
+        config = session.ask()
+        if config is not None:
+            raise ValueError(
+                f"journal replay diverged for session {session.session_id!r}: "
+                f"journal records a finish but the restored session asked "
+                f"{config.as_dict()!r}"
+            )
+        if session.status.value != entry["status"]:
+            raise ValueError(
+                f"journal replay diverged for session {session.session_id!r}: "
+                f"journal records terminal status {entry['status']!r} but the "
+                f"restored session finished as {session.status.value!r}"
+            )
+        self._refresh_clean_checkpoint_locked(record)
+        return "applied"
+
     # -- serial execution ----------------------------------------------------
     def _ready(self) -> list[TuningSession]:
         return [
@@ -726,7 +1010,17 @@ class TuningService:
                 return False
             session = self.policy.select(ready)
             self._m_picks.inc(policy=self.policy.name, tenant=session.tenant or "")
-            session.step()
+            # Inline ask -> run -> tell (what session.step() does), opened up
+            # so the journal hook sees the config/outcome pair.
+            record = self._records[session.session_id]
+            config = session.ask()
+            if config is None:
+                self._journal_transition_locked(record, "finish")
+                return True
+            outcome = session.job.run(config)
+            session.tell(outcome)
+            self._journal_tell_locked(record, config, outcome)
+            self._refresh_clean_checkpoint_locked(record)
             return True
 
     def drain(self) -> dict[str, OptimizationResult]:
@@ -854,16 +1148,21 @@ class TuningService:
     def _autosave_loop(self) -> None:
         """Periodically checkpoint the registry until shutdown, then once more.
 
-        A failing save is recorded on ``self._autosave_error`` and retried at
-        the next tick — persistence trouble (disk full, permissions) must
-        degrade durability, not availability.
+        With a journal configured each tick is a *compaction* — snapshot plus
+        journal rotation — so restart replay cost stays bounded by one
+        interval's worth of journal, not the daemon's lifetime.  A failing
+        save is recorded on ``self._autosave_error`` and retried at the next
+        tick — persistence trouble (disk full, permissions) must degrade
+        durability, not availability; a later success clears the error and
+        stamps ``last_autosave_at``.
         """
         while True:
             stopped = self._autosave_stop.wait(self.autosave_interval_s)
             started = time.perf_counter()
             try:
-                self.save_registry(self.autosave_path, skip_unspecced=True)
+                self.compact_journal(self.autosave_path, skip_unspecced=True)
                 self._autosave_error = None
+                self._last_autosave_at = time.time()
             except Exception as error:
                 self._autosave_error = error
                 self._m_autosave_failures.inc()
@@ -929,7 +1228,8 @@ class TuningService:
     def _fail_session_locked(self, record: _SessionRecord, error: BaseException) -> None:
         """One session's failure must not take down the daemon or its peers."""
         self._errors[record.session.session_id] = error
-        record.session.cancel()
+        if record.session.cancel():
+            self._journal_transition_locked(record, "cancel")
         record.session.discard_pending()
         self._refresh_clean_checkpoint_locked(record)
 
@@ -954,7 +1254,9 @@ class TuningService:
             assert not record.batch, "dispatch requested while bootstrap batch in flight"
         config = session.ask()
         if config is None:
-            return  # the session just went terminal; the ready set re-evaluates
+            # The session just went terminal; the ready set re-evaluates.
+            self._journal_transition_locked(record, "finish")
+            return
         dispatch = _Dispatch(record, config, batched=False)
         record.inflight = dispatch
         self._submit_run_locked(dispatch)
@@ -1015,6 +1317,7 @@ class TuningService:
                     self._drain_batch_locked(record)
                 else:
                     session.tell(dispatch.outcome)
+                    self._journal_tell_locked(record, dispatch.config, dispatch.outcome)
                 self._refresh_clean_checkpoint_locked(record)
             except Exception as error:
                 self._fail_session_locked(record, error)
@@ -1038,3 +1341,4 @@ class TuningService:
             config = session.ask()  # pops the queue head == slot.config
             assert config == slot.config, "bootstrap queue desynchronised"
             session.tell(slot.outcome)
+            self._journal_tell_locked(record, slot.config, slot.outcome)

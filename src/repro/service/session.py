@@ -433,12 +433,15 @@ class TuningSession:
         return payload
 
     def save(self, path: str | Path) -> Path:
-        """Write :meth:`checkpoint` to ``path`` as JSON."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(self.checkpoint(), handle, indent=2)
-        return path
+        """Write :meth:`checkpoint` to ``path`` as JSON.
+
+        The write is atomic and durable (unique scratch file, fsync, rename):
+        a crash mid-save leaves either the previous checkpoint or the
+        complete new one, never a truncated file.
+        """
+        from repro.ioutil import atomic_write_json
+
+        return atomic_write_json(path, self.checkpoint())
 
     @classmethod
     def restore(

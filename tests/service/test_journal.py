@@ -1,0 +1,463 @@
+"""Zero-loss durability: the write-ahead journal and its replay path.
+
+Four invariant families, all pinned against bit-identical golden runs:
+
+* **Journal mechanics.**  JSONL scan with torn-tail tolerance (a partial
+  final line is the crash we designed for, never an error), hard failure on
+  mid-file corruption and version mismatches, and atomic suffix rotation.
+* **Replay.**  Restoring a fresh service from journal (or snapshot +
+  journal suffix) reproduces the crashed service's registry and traces
+  bit-for-bit, is idempotent, and refuses to paper over divergence —
+  a tampered record raises instead of silently corrupting state.
+* **Kill-at-every-offset chaos.**  The journal file truncated at *every*
+  byte offset of its final record (plus a stride across the whole file)
+  must always replay without raising, lose nothing but the torn record,
+  and continue to the undisturbed result.
+* **Durable atomic writes.**  Every checkpoint writer commits via unique
+  scratch + fsync + rename, so concurrent writers can never interleave
+  bytes and a reader can never observe a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.ioutil import atomic_write
+from repro.service.api import (
+    JobSpec,
+    OptimizerSpec,
+    register_job,
+    unregister_job,
+)
+from repro.service.client import LocalClient
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalCorruptionError,
+    TellJournal,
+    read_journal,
+    scan_journal,
+)
+from repro.service.service import TuningService
+from repro.service.session import SessionStatus
+from repro.workloads.generators import make_synthetic_job
+
+JOURNAL_JOB = "journal-synthetic"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_jobs():
+    register_job(JOURNAL_JOB, lambda: make_synthetic_job(seed=31, name=JOURNAL_JOB))
+    yield
+    unregister_job(JOURNAL_JOB)
+
+
+def _spec(seed: int, **overrides) -> JobSpec:
+    kwargs = dict(
+        job=JOURNAL_JOB,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def _golden(n: int = 2):
+    reference = TuningService()
+    for seed in range(n):
+        reference.submit_spec(_spec(seed), session_id=f"s{seed}")
+    return reference, reference.drain()
+
+
+def _journalled_run(tmp_path, n: int = 2):
+    """A complete batch run with every record journalled (sync="always")."""
+    path = tmp_path / "journal.jsonl"
+    service = TuningService(journal_path=path, journal_sync="always")
+    for seed in range(n):
+        service.submit_spec(_spec(seed), session_id=f"s{seed}")
+    service.drain()
+    service.journal.close()
+    return path
+
+
+def _assert_traces_identical(results, golden) -> None:
+    assert set(results) == set(golden)
+    for sid, result in golden.items():
+        other = results[sid]
+        assert [o.config for o in result.observations] == [
+            o.config for o in other.observations
+        ], sid
+        assert result.best_cost == other.best_cost
+        assert result.budget_spent == other.budget_spent
+
+
+def _wait_until(predicate, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestScanJournal:
+    def test_torn_tail_is_dropped_not_fatal(self):
+        data = b'{"a":1}\n{"b":2}\n{"torn'
+        records, valid = scan_journal(data)
+        assert records == [{"a": 1}, {"b": 2}]
+        assert valid == len(b'{"a":1}\n{"b":2}\n')
+
+    def test_final_record_without_newline_is_still_accepted(self):
+        # The crash can land exactly between the record's bytes and its
+        # newline; the record itself is complete and must not be lost.
+        records, valid = scan_journal(b'{"a":1}\n{"b":2}')
+        assert records == [{"a": 1}, {"b": 2}]
+        assert valid == len(b'{"a":1}\n{"b":2}')
+
+    def test_corruption_before_further_records_raises(self):
+        with pytest.raises(JournalCorruptionError):
+            scan_journal(b'{"a":1}\nnot json\n{"b":2}\n')
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type":"journal","version":999}\n')
+        with pytest.raises(ValueError, match="version"):
+            read_journal(path)
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.jsonl") == []
+
+
+class TestTellJournal:
+    def test_rejects_unknown_sync_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="sync mode"):
+            TellJournal(tmp_path / "j.jsonl", sync="sometimes")
+
+    def test_append_read_roundtrip_strips_the_header(self, tmp_path):
+        journal = TellJournal(tmp_path / "j.jsonl", sync="always")
+        journal.append({"type": "tell", "seq": 1})
+        journal.append({"type": "tell", "seq": 2})
+        journal.close()
+        assert read_journal(journal.path) == [
+            {"type": "tell", "seq": 1},
+            {"type": "tell", "seq": 2},
+        ]
+        # The header is physically first in the file, logically invisible.
+        first = json.loads(journal.path.read_bytes().splitlines()[0])
+        assert first == {"type": "journal", "version": JOURNAL_VERSION}
+
+    def test_reopen_truncates_a_torn_tail(self, tmp_path):
+        journal = TellJournal(tmp_path / "j.jsonl", sync="always")
+        journal.append({"type": "tell", "seq": 1})
+        journal.close()
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"type":"tell","se')  # the interrupted append
+        reopened = TellJournal(journal.path, sync="always")
+        reopened.append({"type": "tell", "seq": 2})
+        reopened.close()
+        assert [r["seq"] for r in read_journal(journal.path)] == [1, 2]
+
+    def test_rotate_keeps_exactly_the_suffix(self, tmp_path):
+        journal = TellJournal(tmp_path / "j.jsonl", sync="always")
+        journal.append({"type": "tell", "seq": 1})
+        cutoff = journal.tell_offset()
+        journal.append({"type": "tell", "seq": 2})
+        journal.rotate(cutoff)
+        journal.append({"type": "tell", "seq": 3})
+        journal.close()
+        assert [r["seq"] for r in read_journal(journal.path)] == [2, 3]
+
+    def test_rotate_past_end_raises(self, tmp_path):
+        journal = TellJournal(tmp_path / "j.jsonl")
+        try:
+            with pytest.raises(ValueError, match="past the journal end"):
+                journal.rotate(10**9)
+        finally:
+            journal.close()
+
+
+class TestReplay:
+    def test_replay_from_empty_registry_is_bit_identical(self, tmp_path):
+        _, golden = _golden()
+        path = _journalled_run(tmp_path)
+
+        fresh = TuningService()
+        counts = fresh.replay_journal(path)
+        assert counts["applied"] > 0
+        _assert_traces_identical(fresh.results(), golden)
+        # Terminal transitions replay too: the sessions are finished, not
+        # frozen in RUNNING waiting for a drain.
+        assert all(status.terminal for status in fresh.statuses().values())
+
+    def test_replay_is_idempotent(self, tmp_path):
+        path = _journalled_run(tmp_path)
+        fresh = TuningService()
+        first = fresh.replay_journal(path)
+        second = fresh.replay_journal(path)
+        assert second == {"applied": 0, "skipped": first["applied"] + first["skipped"]}
+
+    def test_replay_bypasses_a_since_tightened_quota(self, tmp_path):
+        path = _journalled_run(tmp_path, n=2)
+        strict = TuningService(tenant_quota=1)
+        strict.replay_journal(path)
+        assert sorted(strict.session_ids) == ["s0", "s1"]
+
+    def test_tampered_config_raises_instead_of_corrupting(self, tmp_path):
+        path = _journalled_run(tmp_path)
+        records = read_journal(path)
+        for record in records:
+            if record["type"] == "tell":
+                key = next(iter(record["config"]))
+                record["config"][key] = -12345
+                break
+        tampered = tmp_path / "tampered.jsonl"
+        with open(tampered, "w") as handle:
+            handle.write(json.dumps({"type": "journal", "version": JOURNAL_VERSION}) + "\n")
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="does not match the journalled"):
+            TuningService().replay_journal(tampered)
+
+    def test_session_never_submitted_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = TellJournal(path, sync="always")
+        journal.append(
+            {"type": "tell", "session_id": "ghost", "seq": 1, "config": {}, "outcome": {}}
+        )
+        journal.close()
+        with pytest.raises(ValueError, match="different service lifetimes"):
+            TuningService().replay_journal(path)
+
+    def test_cancellation_replays(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        service = TuningService(journal_path=path, journal_sync="always")
+        service.submit_spec(_spec(0), session_id="victim")
+        service.step()  # some progress before the cancel
+        service.cancel("victim")
+        service.journal.close()
+
+        fresh = TuningService()
+        fresh.replay_journal(path)
+        assert fresh.statuses()["victim"] == SessionStatus.CANCELLED
+
+    def test_live_object_sessions_are_not_journalled(self, tmp_path, synthetic_job):
+        from repro.core.baselines import RandomSearchOptimizer
+
+        path = tmp_path / "journal.jsonl"
+        service = TuningService(journal_path=path, journal_sync="always")
+        service.submit(synthetic_job, RandomSearchOptimizer(), session_id="live", seed=0)
+        service.submit_spec(_spec(1), session_id="specced")
+        service.drain()
+        service.journal.close()
+        # Same constraint as the autosave: a live-object session has no spec
+        # to re-register from, so journalling it would poison every replay.
+        named = {r.get("session_id") for r in read_journal(path)}
+        assert named == {"specced"}
+
+    def test_replay_refused_while_serving(self, tmp_path):
+        path = _journalled_run(tmp_path)
+        service = TuningService()
+        service.serve()
+        try:
+            with pytest.raises(RuntimeError, match="while serving"):
+                service.replay_journal(path)
+        finally:
+            service.shutdown(drain=False)
+
+
+class TestCompaction:
+    def test_snapshot_plus_suffix_restores_bit_identically(self, tmp_path):
+        _, golden = _golden()
+        journal_path = tmp_path / "journal.jsonl"
+        snapshot = tmp_path / "registry.json"
+
+        service = TuningService(journal_path=journal_path, journal_sync="always")
+        service.submit_spec(_spec(0), session_id="s0")
+        service.drain()
+        service.compact_journal(snapshot)
+        # Compaction rotated away everything the snapshot covers.
+        assert read_journal(journal_path) == []
+        service.submit_spec(_spec(1), session_id="s1")
+        for _ in range(2):
+            service.step()  # partial progress lives only in the journal
+        service.journal.close()
+
+        fresh = TuningService()
+        assert fresh.restore_registry(snapshot) == ["s0"]
+        counts = fresh.replay_journal(journal_path)
+        assert counts["applied"] > 0
+        _assert_traces_identical(fresh.drain(), golden)
+
+    def test_autosave_compacts_the_journal(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        snapshot = tmp_path / "registry.json"
+        service = TuningService(
+            journal_path=journal_path,
+            journal_sync="always",
+            autosave_path=snapshot,
+            autosave_interval_s=0.05,
+        )
+        service.serve()
+        service.submit_spec(_spec(0), session_id="s0")
+        service.shutdown(drain=True)
+        assert service.autosave_error is None
+        assert service.last_autosave_at is not None
+        # The final compaction covered the whole run: restoring needs only
+        # the snapshot, and the journal suffix replays as a no-op.
+        fresh = TuningService()
+        fresh.restore_registry(snapshot)
+        counts = fresh.replay_journal(journal_path)
+        assert counts["applied"] == 0
+        assert fresh.statuses()["s0"].terminal
+
+    def test_every_compaction_crash_window_restores(self, tmp_path):
+        """Crash between snapshot write and rotation must replay cleanly."""
+        _, golden = _golden(n=1)
+        journal_path = tmp_path / "journal.jsonl"
+        snapshot = tmp_path / "registry.json"
+
+        service = TuningService(journal_path=journal_path, journal_sync="always")
+        service.submit_spec(_spec(0), session_id="s0")
+        service.drain()
+        # The crash window: snapshot durably written, journal NOT rotated —
+        # its full prefix overlaps the snapshot and must be skipped via seq.
+        service.save_registry(snapshot, skip_unspecced=True)
+        service.journal.close()
+
+        fresh = TuningService()
+        fresh.restore_registry(snapshot)
+        counts = fresh.replay_journal(journal_path)
+        assert counts["applied"] == 0  # everything was snapshot-covered
+        _assert_traces_identical(fresh.results(), golden)
+
+
+class TestKillAtEveryOffset:
+    def test_truncation_at_any_offset_replays_and_continues(self, tmp_path):
+        _, golden = _golden()
+        path = _journalled_run(tmp_path)
+        data = path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        last_record_start = len(data) - len(lines[-1])
+
+        # Every byte of the final record — the torn-append window a real
+        # SIGKILL hits — plus a stride across the whole file.
+        offsets = sorted(
+            set(range(last_record_start, len(data) + 1))
+            | set(range(0, len(data), 41))
+        )
+        torn_path = tmp_path / "torn.jsonl"
+        for offset in offsets:
+            torn_path.write_bytes(data[:offset])
+            expected_tells = sum(
+                1 for r in read_journal(torn_path) if r["type"] == "tell"
+            )
+            fresh = TuningService()
+            fresh.replay_journal(torn_path)  # must never raise
+            restored = sum(
+                len(record.session.state.optimizer_state.observations)
+                for record in fresh._records.values()
+                if record.session.state is not None
+            )
+            # Zero loss: every complete journalled tell is restored.
+            assert restored == expected_tells, f"offset {offset}"
+            # ... and the continuation converges to the undisturbed result.
+            results = fresh.drain()
+            for sid in results:
+                assert [o.config for o in results[sid].observations] == [
+                    o.config for o in golden[sid].observations
+                ], f"offset {offset}, session {sid}"
+
+
+class TestDurableAtomicWrites:
+    def test_nested_writers_cannot_interleave_scratch_files(self, tmp_path):
+        # Regression for the fixed "<name>.tmp" scratch name: a second
+        # writer starting while the first is mid-write used to clobber the
+        # first writer's scratch bytes.  With per-call unique scratch names
+        # each rename publishes a complete, internally consistent file.
+        target = tmp_path / "state.json"
+
+        def outer(handle):
+            handle.write('{"writer": ')
+            atomic_write(target, lambda inner: inner.write('{"writer": "inner"}'))
+            handle.write('"outer"}')
+
+        atomic_write(target, outer)
+        assert json.loads(target.read_text()) == {"writer": "outer"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_save_registry_always_leaves_valid_json(self, tmp_path):
+        service = TuningService()
+        service.submit_spec(_spec(0), session_id="s0")
+        service.drain()
+        path = tmp_path / "registry.json"
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    service.save_registry(path)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=hammer) for _ in range(3)]
+        for writer in writers:
+            writer.start()
+        deadline = time.monotonic() + 0.5
+        try:
+            while time.monotonic() < deadline:
+                if path.exists():
+                    payload = json.loads(path.read_text())  # never torn
+                    assert payload["sessions"][0]["session_id"] == "s0"
+        finally:
+            stop.set()
+            for writer in writers:
+                writer.join()
+        assert not errors
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestAutosaveHealth:
+    def test_autosave_failure_is_cleared_by_the_next_success(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the state directory should be")
+        state = blocker / "registry.json"
+        service = TuningService(autosave_path=state, autosave_interval_s=0.05)
+        service.serve()
+        service.submit_spec(_spec(0), session_id="s0")
+        try:
+            assert _wait_until(lambda: service.autosave_error is not None)
+            assert service.last_autosave_at is None
+            blocker.unlink()  # repair the disk; the next tick must recover
+            assert _wait_until(lambda: service.autosave_error is None)
+            assert _wait_until(lambda: service.last_autosave_at is not None)
+        finally:
+            service.shutdown(drain=True)
+        assert json.loads(state.read_text())["sessions"][0]["session_id"] == "s0"
+
+    def test_health_exposes_journal_and_autosave_status(self, tmp_path):
+        service = TuningService(
+            journal_path=tmp_path / "journal.jsonl", journal_sync="always"
+        )
+        health = LocalClient(service).health()
+        assert health["journal"] == {
+            "path": str(tmp_path / "journal.jsonl"),
+            "sync": "always",
+        }
+        assert health["last_autosave_at"] is None
+        service.journal.close()
+
+    def test_journal_metrics_are_registered(self, tmp_path):
+        path = _journalled_run(tmp_path)
+        service = TuningService(journal_path=path, journal_sync="always")
+        service.replay_journal()
+        snapshot = service.metrics_snapshot()
+        assert "journal_appends_total" in snapshot["counters"]
+        assert "journal_replayed_total" in snapshot["counters"]
+        replayed = snapshot["counters"]["journal_replayed_total"]["series"]
+        assert sum(s["value"] for s in replayed) > 0
+        service.journal.close()
