@@ -1,0 +1,50 @@
+"""repro.analysis — invariant-checking static analysis + runtime lock guard.
+
+The engine (:mod:`repro.analysis.engine`) is a dependency-free pass
+framework over the :mod:`ast` module; the battery of repo-specific passes
+lives in :mod:`repro.analysis.rules`, the guarded-field registry they share
+with the runtime lock-assertion mode in :mod:`repro.analysis.registry`, and
+the ``REPRO_DEBUG_LOCKS=1`` runtime guard in
+:mod:`repro.analysis.lockguard`.  Entry point: ``python -m repro lint``.
+"""
+
+from repro.analysis.engine import (
+    AnalysisPass,
+    Finding,
+    Report,
+    SourceFile,
+    analyze_paths,
+    iter_python_files,
+    run_passes,
+)
+from repro.analysis.lockguard import (
+    LockDisciplineError,
+    guards_enabled,
+    install_default_guards,
+    install_lock_guard,
+    maybe_install_from_env,
+    uninstall_lock_guard,
+)
+from repro.analysis.registry import DEFAULT_LOCK_NAMES, GUARDED_CLASSES, GuardedClass
+from repro.analysis.rules import default_passes, rule_table
+
+__all__ = [
+    "AnalysisPass",
+    "DEFAULT_LOCK_NAMES",
+    "Finding",
+    "GUARDED_CLASSES",
+    "GuardedClass",
+    "LockDisciplineError",
+    "Report",
+    "SourceFile",
+    "analyze_paths",
+    "default_passes",
+    "guards_enabled",
+    "install_default_guards",
+    "install_lock_guard",
+    "iter_python_files",
+    "maybe_install_from_env",
+    "rule_table",
+    "run_passes",
+    "uninstall_lock_guard",
+]

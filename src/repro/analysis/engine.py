@@ -1,0 +1,224 @@
+"""The analysis engine: files → passes → findings, with waivers.
+
+A *pass* implements the :class:`AnalysisPass` protocol: it owns one or more
+rule ids and yields :class:`Finding` objects for one parsed
+:class:`SourceFile` at a time.  The engine handles everything around that —
+deterministic file discovery (sorted paths, our own DET discipline),
+parsing, waiver application and aggregation into a :class:`Report` that the
+CLI renders as text or JSON.
+
+Waivers
+-------
+
+A finding is intentional sometimes — an ``open()`` during construction, a
+deliberately unbounded fallback.  Such sites carry a waiver comment on the
+flagged line or the line directly above it::
+
+    # repro: allow[LOCK-001] construction-time append; not shared yet
+    self._write_line_locked(handle, header)
+
+Waivers are rule-specific (``allow[LOCK-001]`` does not silence an IO-001
+finding on the same line) and must carry a justification; the findings stay
+in the report, marked ``waived``, so ``--json`` consumers can audit them.
+
+The engine is dependency-free by design: :mod:`ast` plus the standard
+library, nothing else, so the lint CI leg needs no extra installs and the
+passes can analyse code whose own imports are unavailable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "AnalysisPass",
+    "Finding",
+    "Report",
+    "SourceFile",
+    "WAIVER_RE",
+    "analyze_paths",
+    "iter_python_files",
+    "run_passes",
+]
+
+#: ``# repro: allow[RULE-ID] reason`` — the waiver comment grammar.
+WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]{2,}-\d{3})\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    waived: bool = False
+    waiver_reason: str | None = None
+
+    def format(self) -> str:
+        suffix = f" (waived: {self.waiver_reason})" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{suffix}"
+
+
+class SourceFile:
+    """One parsed python file: source text, AST and waiver comments.
+
+    ``rel`` is the path the findings report (relative to the analysis root
+    where possible) and what the path-scoped passes match against — fixture
+    tests exploit this by parsing a snippet under an arbitrary ``rel``.
+    """
+
+    def __init__(self, rel: str, text: str, tree: ast.AST) -> None:
+        self.rel = rel
+        self.text = text
+        self.tree = tree
+        #: line number -> {rule id -> justification}
+        self.waivers: dict[int, dict[str, str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = WAIVER_RE.search(line)
+            if match is not None:
+                self.waivers.setdefault(lineno, {})[match.group(1)] = match.group(2)
+
+    @classmethod
+    def from_source(cls, text: str, rel: str) -> "SourceFile":
+        """Parse a source string (raises :class:`SyntaxError` on bad input)."""
+        return cls(rel, text, ast.parse(text, filename=rel))
+
+    def apply_waiver(self, finding: Finding) -> Finding:
+        """Mark ``finding`` waived when a matching comment covers its line."""
+        for lineno in (finding.line, finding.line - 1):
+            reason = self.waivers.get(lineno, {}).get(finding.rule)
+            if reason is not None:
+                return replace(finding, waived=True, waiver_reason=reason or None)
+        return finding
+
+
+@runtime_checkable
+class AnalysisPass(Protocol):
+    """One analysis pass: a named owner of rule ids that checks files."""
+
+    name: str
+    #: rule id -> one-line description (the ``lint --rules`` catalogue).
+    rules: dict
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one file; never mutates shared state."""
+        ...  # pragma: no cover - protocol
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list.
+
+    Sorted so a report (and the CI log diff) is byte-stable across runs and
+    filesystems — the same determinism discipline DET-002 enforces on the
+    code under analysis.
+    """
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise ValueError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def run_passes(source: SourceFile, passes: Iterable[AnalysisPass]) -> list[Finding]:
+    """Run every pass over one file; findings come back waiver-applied and sorted."""
+    findings = [
+        source.apply_waiver(finding)
+        for analysis_pass in passes
+        for finding in analysis_pass.check(source)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+@dataclass
+class Report:
+    """Aggregated findings over one analysis run."""
+
+    findings: list = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def unwaived(self) -> list:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> list:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run should exit 0: no unwaived findings."""
+        return not self.unwaived
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "n_files": self.n_files,
+            "findings": [asdict(f) for f in self.unwaived],
+            "waived": [asdict(f) for f in self.waived],
+        }
+
+    def format_text(self) -> str:
+        lines = [finding.format() for finding in self.unwaived]
+        lines.append(
+            f"{len(self.unwaived)} finding(s), {len(self.waived)} waived, "
+            f"{self.n_files} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    passes: Iterable[AnalysisPass] | None = None,
+    root: str | Path | None = None,
+) -> Report:
+    """Analyse every python file under ``paths`` and return a :class:`Report`.
+
+    ``root`` anchors the relative paths findings report (and that the
+    path-scoped passes match against); it defaults to the current working
+    directory.  A file that fails to parse is itself a finding (ENGINE-001)
+    rather than an abort — one broken file must not hide the rest of the
+    report.
+    """
+    if passes is None:
+        from repro.analysis.rules import default_passes
+
+        passes = default_passes()
+    passes = list(passes)
+    root = Path(root) if root is not None else Path.cwd()
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            source = SourceFile.from_source(path.read_text(encoding="utf-8"), rel)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="ENGINE-001",
+                    path=rel,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        findings.extend(run_passes(source, passes))
+    return Report(findings=findings, n_files=len(files))

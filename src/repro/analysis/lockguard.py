@@ -1,0 +1,147 @@
+"""Runtime lock-assertion mode — ThreadSanitizer-lite for guarded fields.
+
+The static pass (:class:`repro.analysis.rules.LockDisciplinePass`) proves
+lock discipline syntactically, but only for the shapes it can see.  This
+module covers the dynamic side: with ``REPRO_DEBUG_LOCKS=1``, importing
+:mod:`repro.service` installs a ``__setattr__`` hook on every class in
+:data:`repro.analysis.registry.GUARDED_CLASSES` that raises
+:class:`LockDisciplineError` the instant a guarded field is *rebound*
+without the instance's lock held.  The chaos/stress suites then double as a
+race detector in CI.
+
+Scope and limits:
+
+- Only attribute **rebinding** trips the hook.  In-place container
+  mutation (``self._records[sid] = ...``, ``.append()``) bypasses
+  ``__setattr__`` by construction — that half belongs to the static pass.
+- ``__init__`` is exempt: the hook arms itself only after ``__init__``
+  returns, because an object under construction is not yet shared (the
+  same exemption the static pass grants).
+- Lock-held detection is exact for :class:`threading.RLock`
+  (``_is_owned``) and :class:`threading.Condition`; for a plain
+  :class:`threading.Lock` the best python offers is ``locked()`` —
+  "somebody holds it" — which still catches every unlocked mutation,
+  just not mutation under *somebody else's* critical section.
+
+The guard costs one extra dict lookup and method call per attribute write,
+so it stays opt-in; production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from typing import Iterable
+
+from repro.analysis.registry import GUARDED_CLASSES
+
+__all__ = [
+    "LockDisciplineError",
+    "guards_enabled",
+    "install_default_guards",
+    "install_lock_guard",
+    "maybe_install_from_env",
+    "uninstall_lock_guard",
+]
+
+#: Sentinel attribute set (lock-free, via the original ``__setattr__``) once
+#: ``__init__`` returns; its absence means the object is still being built.
+_ARMED_FLAG = "_repro_lock_guard_armed"
+
+#: class -> (original __setattr__, original __init__), for uninstall.
+_installed: dict = {}
+
+
+class LockDisciplineError(AssertionError):
+    """A guarded field was mutated without the owning lock held."""
+
+
+def guards_enabled() -> bool:
+    """Whether ``REPRO_DEBUG_LOCKS`` asks for the runtime guard."""
+    return os.environ.get("REPRO_DEBUG_LOCKS", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def _lock_held(lock) -> bool:
+    """Best-effort "does the current thread hold ``lock``" for stdlib locks."""
+    if lock is None:
+        return True  # construction order: field set before the lock exists
+    is_owned = getattr(lock, "_is_owned", None)  # RLock, Condition
+    if callable(is_owned):
+        return bool(is_owned())
+    locked = getattr(lock, "locked", None)  # plain Lock: held-by-somebody
+    if callable(locked):
+        return bool(locked())
+    return True  # unknown lock type: never false-positive
+
+
+def install_lock_guard(cls, *, lock_attr: str, fields: Iterable[str]) -> None:
+    """Install the ``__setattr__`` guard on ``cls`` (idempotent)."""
+    if cls in _installed:
+        return
+    guarded = frozenset(fields)
+    original_setattr = cls.__setattr__
+    original_init = cls.__init__
+
+    def guarded_setattr(self, name, value):
+        if (
+            name in guarded
+            and self.__dict__.get(_ARMED_FLAG)
+            and not _lock_held(getattr(self, lock_attr, None))
+        ):
+            raise LockDisciplineError(
+                f"{type(self).__name__}.{name} mutated without "
+                f"self.{lock_attr} held (REPRO_DEBUG_LOCKS); see LOCK-002"
+            )
+        original_setattr(self, name, value)
+
+    @functools.wraps(original_init)
+    def arming_init(self, *args, **kwargs):
+        try:
+            return original_init(self, *args, **kwargs)
+        finally:
+            original_setattr(self, _ARMED_FLAG, True)
+
+    cls.__setattr__ = guarded_setattr
+    cls.__init__ = arming_init
+    _installed[cls] = (original_setattr, original_init)
+
+
+def uninstall_lock_guard(cls) -> None:
+    """Remove a previously installed guard (no-op when absent)."""
+    originals = _installed.pop(cls, None)
+    if originals is not None:
+        cls.__setattr__, cls.__init__ = originals
+
+
+def install_default_guards() -> list:
+    """Install guards on every registry class; returns the classes touched.
+
+    Imports are local so this module stays importable (and the static pass
+    usable) even where the service stack's dependencies are not.
+    """
+    from repro.service.journal import TellJournal
+    from repro.service.service import TuningService
+
+    classes = {"TuningService": TuningService, "TellJournal": TellJournal}
+    touched = []
+    for name, contract in GUARDED_CLASSES.items():
+        cls = classes.get(name)
+        if cls is None:
+            continue
+        install_lock_guard(cls, lock_attr=contract.lock_attr, fields=contract.fields)
+        touched.append(cls)
+    return touched
+
+
+def maybe_install_from_env() -> bool:
+    """Install the default guards iff ``REPRO_DEBUG_LOCKS`` is on."""
+    if not guards_enabled():
+        return False
+    install_default_guards()
+    return True

@@ -1,0 +1,87 @@
+"""The guarded-field registry: which attributes are owned by which lock.
+
+This is the single source of truth shared by the *static* lock-discipline
+pass (:class:`repro.analysis.rules.LockDisciplinePass`) and the *runtime*
+lock-assertion mode (:mod:`repro.analysis.lockguard`).  A field listed here
+may only be mutated while the instance's lock is held; the static pass
+enforces that syntactically (`with self._lock:` scope or a ``*_locked``
+method), the runtime guard enforces it dynamically via ``__setattr__`` hooks
+when ``REPRO_DEBUG_LOCKS=1``.
+
+The registry is keyed by *class name* rather than class object so the static
+pass can use it without importing (or even being able to import) the code
+under analysis.
+
+Container-valued fields (``_records``, ``_completed``, ``_errors``) are
+special: the static pass additionally checks item assignment and mutator
+calls (``self._completed.append(...)``), while the runtime guard only sees
+attribute *rebinding* — in-place container mutation bypasses
+``__setattr__``.  That asymmetry is intrinsic to the mechanism and is why
+both halves exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DEFAULT_LOCK_NAMES", "GUARDED_CLASSES", "GuardedClass"]
+
+#: Attribute names that count as "the lock" in ``with self.<name>:`` for
+#: classes with no registry entry.  ``_wakeup`` is a ``Condition`` wrapping
+#: ``_lock`` in :class:`~repro.service.service.TuningService`, so acquiring
+#: either acquires the same underlying lock.
+DEFAULT_LOCK_NAMES = frozenset({"_lock", "_wakeup"})
+
+
+@dataclass(frozen=True)
+class GuardedClass:
+    """Lock-discipline contract for one class.
+
+    ``lock_attr`` is the instance attribute holding the actual lock object
+    (what the runtime guard interrogates); ``lock_names`` are the attribute
+    names whose ``with self.<name>:`` blocks count as holding that lock
+    (what the static pass recognises); ``fields`` are the attributes that
+    must only be mutated under it.  ``__init__`` is always exempt — an
+    object under construction is not yet shared.
+    """
+
+    lock_attr: str
+    lock_names: frozenset
+    fields: frozenset
+
+
+GUARDED_CLASSES: dict[str, GuardedClass] = {
+    # One reentrant lock (wrapped by the _wakeup condition) guards all
+    # mutable service state; see the "Locking discipline" section of
+    # repro/service/service.py.
+    "TuningService": GuardedClass(
+        lock_attr="_lock",
+        lock_names=frozenset({"_lock", "_wakeup"}),
+        fields=frozenset(
+            {
+                "_records",
+                "_completed",
+                "_errors",
+                "_serving",
+                "_stop",
+                "_drain_on_stop",
+                "_n_inflight",
+                "_thread",
+                "_executor",
+                "_serve_error",
+                "_journal_suspended",
+                "_autosave_thread",
+                "_autosave_stop",
+                "_autosave_error",
+                "_last_autosave_at",
+            }
+        ),
+    ),
+    # Appends and rotation serialise on one plain mutex; the handle may only
+    # be swapped (rotation) or advanced (fsync bookkeeping) under it.
+    "TellJournal": GuardedClass(
+        lock_attr="_lock",
+        lock_names=frozenset({"_lock"}),
+        fields=frozenset({"_handle", "_last_fsync"}),
+    ),
+}

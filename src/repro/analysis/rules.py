@@ -1,0 +1,658 @@
+"""The repo-specific analysis passes.
+
+Four families of rules, each enforcing one of the repo's standing
+invariants (see ROADMAP.md):
+
+LOCK-001 / LOCK-002 — lock discipline
+    A ``self.*_locked(...)`` call is a contract: the callee assumes the
+    class lock is held.  LOCK-001 requires every such call to sit inside a
+    ``with self._lock:`` / ``with self._wakeup:`` block or inside another
+    ``*_locked`` method.  LOCK-002 requires every mutation of a *guarded
+    field* (the registry in :mod:`repro.analysis.registry`) — attribute
+    rebinding, item assignment, or a mutator call like ``.append()`` — to
+    sit in such a scope too.  Because the write-ahead journal hooks are
+    themselves ``*_locked`` methods, LOCK-001 also enforces the PR 7
+    invariant that journal appends happen in the same critical section as
+    the state change they record.
+
+IO-001 / IO-002 — durable writes
+    Checkpoint writers must go through :mod:`repro.ioutil` (unique scratch
+    file, fsync, rename).  IO-001 flags a bare ``open(..., "w")`` in any
+    function that also calls ``os.rename``/``os.replace`` — a hand-rolled
+    write-then-rename that skips the fsync.  IO-002 flags ``json.dump``
+    through a bare ``open(..., "w")`` handle — a checkpoint/results write
+    that is neither atomic nor durable.
+
+DET-001 / DET-002 — determinism of trace-affecting code
+    Inside ``repro.core``/``repro.learning``/``repro.sampling`` (the code
+    that decides exploration traces), DET-001 flags wall-clock and unseeded
+    randomness — ``time.time()``, zero-argument ``np.random.default_rng()``,
+    the ``random`` module's global RNG and numpy's legacy global RNG.
+    DET-002 flags iteration over unordered sources — ``set`` values and
+    ``os.listdir``-style calls — unless wrapped in ``sorted(...)``.
+
+OBS-001 — bounded metric labels
+    Metric label values must come from finite sources.  Flags f-strings,
+    string concatenation/formatting, ``**``-expanded label sets and
+    identifiers that look session/request-supplied (``session_id`` etc.).
+    The per-tenant label is deliberately *not* flagged: tenants are bounded
+    by the operator's token file, and per-tenant telemetry is the point.
+
+Every pass is purely syntactic — an approximation, documented per rule.
+The known blind spots (a closure defined under the lock but invoked later,
+a handle passed across functions) are accepted; the runtime lock-assertion
+mode (:mod:`repro.analysis.lockguard`) covers the dynamic side.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, SourceFile
+from repro.analysis.registry import DEFAULT_LOCK_NAMES, GUARDED_CLASSES
+
+__all__ = [
+    "BoundedLabelsPass",
+    "DeterminismPass",
+    "DurableWritesPass",
+    "LockDisciplinePass",
+    "default_passes",
+    "rule_table",
+]
+
+
+def _in_repro(rel: str, *subpackages: str) -> bool:
+    """Whether ``rel`` is repro package source (optionally of a subpackage).
+
+    Test trees are excluded: scratch writes and deliberate chaos in tests
+    are not production invariant violations.
+    """
+    probe = "/" + rel.replace("\\", "/")
+    if "/tests/" in probe:
+        return False
+    if subpackages:
+        return any(f"/repro/{sub}/" in probe for sub in subpackages)
+    return "/repro/" in probe
+
+
+def _local_nodes(scope: ast.AST) -> list[ast.AST]:
+    """Every node of ``scope`` without descending into nested functions."""
+    found: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        found.append(node)
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# LOCK-001 / LOCK-002
+# ---------------------------------------------------------------------------
+
+#: In-place container mutations the static pass treats as writes.  ``set``
+#: is deliberately absent: ``Event.set()`` / ``Gauge.set()`` are not
+#: container mutations.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+
+class _LockedScopeVisitor(ast.NodeVisitor):
+    """Walk one method body tracking whether the class lock is held.
+
+    Nested functions and lambdas *inherit* the lock state of their
+    definition site: closures in this codebase (completion callbacks,
+    replay counters) run either inline under the lock or against
+    non-guarded state, and the inherited approximation avoids false
+    positives on both.  The runtime guard catches what this misses.
+    """
+
+    def __init__(
+        self,
+        source: SourceFile,
+        lock_names: frozenset,
+        fields: frozenset,
+        locked: bool,
+    ) -> None:
+        self.source = source
+        self.lock_names = lock_names
+        self.fields = fields
+        self.locked = locked
+        self.findings: list[Finding] = []
+
+    def _is_lock_acquire(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.lock_names
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        acquires = any(self._is_lock_acquire(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        previous, self.locked = self.locked, self.locked or acquires
+        for statement in node.body:
+            self.visit(statement)
+        self.locked = previous
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            not self.locked
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr.endswith("_locked")
+        ):
+            self.findings.append(
+                Finding(
+                    rule="LOCK-001",
+                    path=self.source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"self.{func.attr}() called outside a "
+                        "`with self._lock:` scope — *_locked methods assume "
+                        "the lock is held"
+                    ),
+                )
+            )
+        if (
+            not self.locked
+            and isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and func.value.attr in self.fields
+        ):
+            self.findings.append(
+                self._guarded_mutation(node, func.value.attr, f".{func.attr}()")
+            )
+        self.generic_visit(node)
+
+    def _guarded_mutation(self, node: ast.AST, field: str, how: str) -> Finding:
+        return Finding(
+            rule="LOCK-002",
+            path=self.source.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"guarded field self.{field} mutated ({how}) outside a "
+                "`with self._lock:` scope"
+            ),
+        )
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        node = target
+        how = "rebound"
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            how = "item assignment"
+        if (
+            not self.locked
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.fields
+        ):
+            self.findings.append(self._guarded_mutation(target, node.attr, how))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+
+class LockDisciplinePass:
+    """LOCK-001/LOCK-002: the class lock guards ``*_locked`` calls and fields."""
+
+    name = "locks"
+    rules = {
+        "LOCK-001": (
+            "self.*_locked() may only be called with the class lock held "
+            "(inside `with self._lock:` or another *_locked method)"
+        ),
+        "LOCK-002": (
+            "registry-guarded fields may only be mutated with the class "
+            "lock held (__init__ exempt)"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        guarded = GUARDED_CLASSES.get(cls.name)
+        lock_names = guarded.lock_names if guarded else DEFAULT_LOCK_NAMES
+        fields = guarded.fields if guarded else frozenset()
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue  # an object under construction is not yet shared
+            visitor = _LockedScopeVisitor(
+                source, lock_names, fields, locked=item.name.endswith("_locked")
+            )
+            for statement in item.body:
+                visitor.visit(statement)
+            yield from visitor.findings
+
+
+# ---------------------------------------------------------------------------
+# IO-001 / IO-002
+# ---------------------------------------------------------------------------
+
+def _open_write_mode(node: ast.AST) -> bool:
+    """Whether ``node`` is an ``open``/``.open`` call with a "w"/"x" mode."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id != "open":
+            return False
+        mode_pos = 1  # builtin open(path, mode)
+    elif isinstance(func, ast.Attribute):
+        if func.attr != "open":
+            return False  # os.fdopen and friends are not the bare builtin
+        mode_pos = 0  # Path.open(mode)
+    else:
+        return False
+    mode: ast.expr | None = None
+    if len(node.args) > mode_pos:
+        mode = node.args[mode_pos]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and mode.value[:1] in ("w", "x")
+    )
+
+
+def _calls_attr(node: ast.AST, owner: str, attrs: frozenset) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in attrs
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == owner
+    )
+
+
+class DurableWritesPass:
+    """IO-001/IO-002: checkpoint writers must go through ``repro.ioutil``."""
+
+    name = "durable-writes"
+    rules = {
+        "IO-001": (
+            "bare open(.., 'w') in a function that renames the result — "
+            "write-then-rename without fsync; use repro.ioutil.atomic_write"
+        ),
+        "IO-002": (
+            "json.dump through a bare open(.., 'w') handle — non-durable "
+            "checkpoint/results write; use repro.ioutil.atomic_write_json"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        rel = source.rel.replace("\\", "/")
+        if not _in_repro(rel) or rel.endswith("/repro/ioutil.py"):
+            return  # ioutil *implements* the durable idiom
+        scopes: list[ast.AST] = [source.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            nodes = _local_nodes(scope)
+            opens = [node for node in nodes if _open_write_mode(node)]
+            if not opens:
+                continue
+            renames = any(
+                _calls_attr(node, "os", frozenset({"rename", "replace"}))
+                for node in nodes
+            )
+            dumps = any(
+                _calls_attr(node, "json", frozenset({"dump"})) for node in nodes
+            )
+            for node in opens:
+                if renames:
+                    yield Finding(
+                        rule="IO-001",
+                        path=source.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "bare open() write feeding os.rename/os.replace "
+                            "skips the fsync step; use repro.ioutil.atomic_write"
+                        ),
+                    )
+                elif dumps:
+                    yield Finding(
+                        rule="IO-002",
+                        path=source.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "json.dump via a bare open() handle is neither "
+                            "atomic nor durable; use repro.ioutil.atomic_write_json"
+                        ),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET-001 / DET-002
+# ---------------------------------------------------------------------------
+
+#: ``random`` module functions that draw from (or reseed) the global RNG.
+_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "normalvariate",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "uniform",
+        "vonmisesvariate",
+    }
+)
+
+#: numpy's legacy global-RNG entry points (``np.random.<func>``).
+_NP_LEGACY = frozenset(
+    {
+        "choice",
+        "normal",
+        "permutation",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "seed",
+        "shuffle",
+        "uniform",
+    }
+)
+
+_UNORDERED_CALLS = frozenset({"listdir", "scandir", "iterdir"})
+
+
+def _is_unordered_iterable(expr: ast.expr) -> str | None:
+    """A human-readable description when ``expr`` iterates unordered, else None."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr in _UNORDERED_CALLS:
+            return f"{func.attr}(...)"
+    return None
+
+
+class DeterminismPass:
+    """DET-001/DET-002: trace-affecting code must be replay-deterministic."""
+
+    name = "determinism"
+    #: Subpackages whose code decides exploration traces.
+    scope = ("core", "learning", "sampling")
+    rules = {
+        "DET-001": (
+            "wall-clock or unseeded randomness in trace-affecting code: "
+            "time.time(), unseeded np.random.default_rng(), the random "
+            "module's global RNG, numpy's legacy global RNG"
+        ),
+        "DET-002": (
+            "iteration over an unordered source (set / os.listdir) in "
+            "trace-affecting code; wrap in sorted(...)"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not _in_repro(source.rel, *self.scope):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                message = self._nondeterministic_call(node)
+                if message is not None:
+                    yield Finding(
+                        rule="DET-001",
+                        path=source.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=message,
+                    )
+            iter_expr: ast.expr | None = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_expr = node.iter
+            elif isinstance(node, ast.comprehension):
+                iter_expr = node.iter
+            if iter_expr is not None:
+                what = _is_unordered_iterable(iter_expr)
+                if what is not None:
+                    yield Finding(
+                        rule="DET-002",
+                        path=source.rel,
+                        line=iter_expr.lineno,
+                        col=iter_expr.col_offset,
+                        message=(
+                            f"iterating over {what} has no stable order; "
+                            "wrap it in sorted(...)"
+                        ),
+                    )
+
+    @staticmethod
+    def _nondeterministic_call(node: ast.Call) -> str | None:
+        func = node.func
+        if _calls_attr(node, "time", frozenset({"time"})):
+            return "time.time() is wall-clock; trace-affecting code must not read it"
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "default_rng" and not node.args and not node.keywords:
+            return (
+                "unseeded np.random.default_rng() makes the trace "
+                "irreproducible; thread an explicit rng or seed through"
+            )
+        if _calls_attr(node, "random", _RANDOM_GLOBALS):
+            return (
+                f"random.{func.attr}() draws from the process-global RNG; "
+                "use an explicit np.random.Generator"
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _NP_LEGACY
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+        ):
+            return (
+                f"np.random.{func.attr}() uses numpy's legacy global RNG; "
+                "use an explicit np.random.Generator"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# OBS-001
+# ---------------------------------------------------------------------------
+
+_UNBOUNDED_NAME = re.compile(r"(session_?ids?|request_?id|trace_?id|uuid|token)", re.I)
+
+
+class BoundedLabelsPass:
+    """OBS-001: metric label values must come from finite sources."""
+
+    name = "metric-labels"
+    #: The instrument methods that accept label keyword arguments.
+    methods = frozenset({"inc", "observe", "set"})
+    rules = {
+        "OBS-001": (
+            "metric label values must be provably bounded: no f-strings, "
+            "string building, **-expanded label sets or session/request ids"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if not _in_repro(source.rel):
+            return
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.methods
+                and node.keywords
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    yield self._finding(
+                        source,
+                        keyword.value,
+                        "**-expanded label set cannot be proven bounded; "
+                        "pass each label explicitly",
+                    )
+                    continue
+                if _UNBOUNDED_NAME.search(keyword.arg):
+                    yield self._finding(
+                        source,
+                        keyword.value,
+                        f"label {keyword.arg!r} is per-session/request by name; "
+                        "such ids have unbounded cardinality and do not belong "
+                        "in metric labels",
+                    )
+                    continue
+                reason = self._unbounded(keyword.value)
+                if reason is not None:
+                    yield self._finding(
+                        source,
+                        keyword.value,
+                        f"label {keyword.arg}={reason}; label values must "
+                        "come from a finite literal/enum source",
+                    )
+
+    @staticmethod
+    def _finding(source: SourceFile, node: ast.expr, message: str) -> Finding:
+        return Finding(
+            rule="OBS-001",
+            path=source.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )
+
+    def _unbounded(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.JoinedStr):
+            return "an f-string (unbounded cardinality)"
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Mod)):
+            return "built by string concatenation/formatting"
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "format"
+        ):
+            return "built with str.format()"
+        terminal = None
+        if isinstance(expr, ast.Name):
+            terminal = expr.id
+        elif isinstance(expr, ast.Attribute):
+            terminal = expr.attr
+        if terminal is not None and _UNBOUNDED_NAME.search(terminal):
+            return f"the identifier {terminal!r}, which looks session/request-scoped"
+        children: list[ast.expr] = []
+        if isinstance(expr, ast.BoolOp):
+            children = expr.values
+        elif isinstance(expr, ast.IfExp):
+            children = [expr.body, expr.orelse]
+        elif isinstance(expr, ast.Call):
+            children = list(expr.args) + [k.value for k in expr.keywords]
+        for child in children:
+            reason = self._unbounded(child)
+            if reason is not None:
+                return reason
+        return None
+
+
+# ---------------------------------------------------------------------------
+# the battery
+# ---------------------------------------------------------------------------
+
+def default_passes() -> list:
+    """The full pass battery, in reporting order."""
+    return [
+        LockDisciplinePass(),
+        DurableWritesPass(),
+        DeterminismPass(),
+        BoundedLabelsPass(),
+    ]
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """``(rule id, pass name, description)`` rows for every known rule.
+
+    ENGINE-001 (parse failure) is included so ``lint --rules`` documents
+    every id a report can contain.
+    """
+    rows = [("ENGINE-001", "engine", "the file must parse as python")]
+    for analysis_pass in default_passes():
+        for rule, description in analysis_pass.rules.items():
+            rows.append((rule, analysis_pass.name, description))
+    return sorted(rows)

@@ -42,6 +42,12 @@ The CLI exposes the library's day-to-day operations without writing Python:
     serving side can additionally log one-line summaries periodically with
     ``serve --metrics-interval SECONDS``.
 
+``python -m repro lint [--json] [paths...]``
+    Run the repo's invariant-checking static analysis (lock discipline,
+    durable writes, determinism, bounded metric labels — see
+    :mod:`repro.analysis`) and exit non-zero on any unwaived finding.
+    ``--rules`` prints the rule catalogue.
+
 All commands print plain text; machine-readable output is available with
 ``--json``.
 """
@@ -287,6 +293,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(anonymous requests see the full registry)",
     )
     metrics.add_argument("--json", action="store_true", help="emit the raw JSON snapshot")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo's invariant-checking static analysis"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="python files or directories to analyse (default: src/ and tests/ "
+        "when present, else the current directory)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit the report as JSON")
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
     return parser
 
 
@@ -548,6 +569,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import analyze_paths
+    from repro.analysis.rules import rule_table
+
+    if args.rules:
+        print(format_table(["rule", "pass", "description"], rule_table()))
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in ("src", "tests") if Path(p).is_dir()] or ["."]
+    report = analyze_paths(paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.clean else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.observability.report import format_metrics_snapshot
     from repro.service.client import HttpClient
@@ -568,6 +609,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "lint": _cmd_lint,
 }
 
 

@@ -18,6 +18,7 @@ from repro.core.optimizer import OptimizationResult
 from repro.core.space import Configuration
 from repro.core.state import Observation
 from repro.experiments.runner import ComparisonResult, TrialOutcome
+from repro.ioutil import atomic_write
 
 __all__ = [
     "observation_to_dict",
@@ -139,12 +140,13 @@ def comparison_from_dict(data: dict) -> ComparisonResult:
 
 
 def save_comparison(comparison: ComparisonResult, path: str | Path) -> Path:
-    """Write a comparison to ``path`` as JSON and return the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(comparison_to_dict(comparison), handle, indent=2, default=float)
-    return path
+    """Write a comparison to ``path`` as JSON, durably, and return the path."""
+    return atomic_write(
+        path,
+        lambda handle: json.dump(
+            comparison_to_dict(comparison), handle, indent=2, default=float
+        ),
+    )
 
 
 def load_comparison(path: str | Path) -> ComparisonResult:

@@ -107,7 +107,10 @@ class RegressionTree(Regressor):
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # A fixed-seed fallback keeps a bare RegressionTree() trace-safe:
+        # _rng only matters when max_features subsamples, and bagging always
+        # injects per-tree generators.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._root: TreeNode | None = None
         self._n_features: int | None = None
         # Flattened representation used by the vectorised predictor:

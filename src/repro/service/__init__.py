@@ -157,3 +157,10 @@ __all__ = [
     "run_sweep",
     "unregister_job",
 ]
+
+# ThreadSanitizer-lite: with REPRO_DEBUG_LOCKS=1 every guarded-field mutation
+# on TuningService/TellJournal asserts the class lock is held (see
+# repro.analysis.lockguard).  A no-op unless the env var is set.
+from repro.analysis.lockguard import maybe_install_from_env as _maybe_install_lock_guards
+
+_maybe_install_lock_guards()

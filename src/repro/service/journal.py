@@ -209,6 +209,7 @@ class TellJournal:
                 handle.truncate(valid)
             handle.seek(valid)
             if valid == 0:
+                # repro: allow[LOCK-001] construction-time append; the journal is not shared until __init__ returns
                 self._write_line_locked(
                     handle, {"type": "journal", "version": JOURNAL_VERSION}
                 )

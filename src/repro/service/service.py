@@ -1107,8 +1107,8 @@ class TuningService:
         if saver is not None:
             self._autosave_stop.set()
             saver.join()
-            self._autosave_thread = None
         with self._lock:
+            self._autosave_thread = None
             self._thread = None
             if self._serve_error is not None:
                 error = self._serve_error
@@ -1161,10 +1161,12 @@ class TuningService:
             started = time.perf_counter()
             try:
                 self.compact_journal(self.autosave_path, skip_unspecced=True)
-                self._autosave_error = None
-                self._last_autosave_at = time.time()
+                with self._lock:
+                    self._autosave_error = None
+                    self._last_autosave_at = time.time()
             except Exception as error:
-                self._autosave_error = error
+                with self._lock:
+                    self._autosave_error = error
                 self._m_autosave_failures.inc()
             self._m_autosave.observe(time.perf_counter() - started)
             if stopped:
@@ -1192,8 +1194,11 @@ class TuningService:
             with self._lock:
                 self._serve_error = error
         finally:
-            executor = self._executor
-            self._executor = None
+            with self._wakeup:
+                executor = self._executor
+                self._executor = None
+            # Shut down outside the lock: done-callbacks take it to record
+            # completions, so holding it here would deadlock the join.
             if executor is not None:
                 executor.shutdown(wait=True)
             with self._wakeup:

@@ -1,0 +1,231 @@
+"""Fixture tests for DET-001/DET-002 (determinism) and OBS-001 (labels)."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import SourceFile
+from repro.analysis.rules import BoundedLabelsPass, DeterminismPass
+
+
+def check_det(text, rel="src/repro/core/lynceus.py"):
+    source = SourceFile.from_source(text, rel)
+    return [source.apply_waiver(f) for f in DeterminismPass().check(source)]
+
+
+def check_obs(text, rel="src/repro/service/http.py"):
+    source = SourceFile.from_source(text, rel)
+    return [source.apply_waiver(f) for f in BoundedLabelsPass().check(source)]
+
+
+class TestDet001:
+    def test_time_time_flagged(self):
+        findings = check_det(
+            """
+import time
+def step():
+    return time.time()
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        # The exact pre-fix shape of RegressionTree.__init__ (tree.py:110).
+        findings = check_det(
+            """
+import numpy as np
+def make(rng=None):
+    return rng if rng is not None else np.random.default_rng()
+""",
+            rel="src/repro/learning/tree.py",
+        )
+        assert [f.rule for f in findings] == ["DET-001"]
+
+    def test_seeded_default_rng_clean(self):
+        findings = check_det(
+            """
+import numpy as np
+def make(seed):
+    return np.random.default_rng(seed)
+"""
+        )
+        assert findings == []
+
+    def test_random_module_global_rng_flagged(self):
+        findings = check_det(
+            """
+import random
+def pick(xs):
+    return random.choice(xs)
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-001"]
+
+    def test_numpy_legacy_global_rng_flagged(self):
+        findings = check_det(
+            """
+import numpy as np
+def draw(n):
+    return np.random.uniform(size=n)
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-001"]
+
+    def test_generator_method_named_like_global_clean(self):
+        # rng.choice / rng.shuffle on an explicit Generator are the fix, not
+        # the violation.
+        findings = check_det(
+            """
+def pick(rng, xs):
+    rng.shuffle(xs)
+    return rng.choice(xs)
+"""
+        )
+        assert findings == []
+
+
+class TestDet002:
+    def test_set_iteration_flagged(self):
+        findings = check_det(
+            """
+def walk(names):
+    for name in set(names):
+        yield name
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-002"]
+
+    def test_set_literal_comprehension_flagged(self):
+        findings = check_det(
+            """
+def walk(xs):
+    return [x for x in {x for x in xs}]
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-002"]
+
+    def test_listdir_iteration_flagged(self):
+        findings = check_det(
+            """
+import os
+def walk(root):
+    for name in os.listdir(root):
+        yield name
+"""
+        )
+        assert [f.rule for f in findings] == ["DET-002"]
+
+    def test_sorted_wrapping_clean(self):
+        findings = check_det(
+            """
+import os
+def walk(root, names):
+    for name in sorted(set(names)):
+        yield name
+    for name in sorted(os.listdir(root)):
+        yield name
+"""
+        )
+        assert findings == []
+
+
+class TestDetScope:
+    VIOLATION = """
+import time
+def step():
+    return time.time()
+"""
+
+    def test_service_code_out_of_scope(self):
+        # Wall-clock reads are legitimate in the service tier (latency
+        # metrics, autosave stamps); DET rules bind trace-affecting code only.
+        assert check_det(self.VIOLATION, rel="src/repro/service/service.py") == []
+
+    def test_sampling_in_scope(self):
+        assert len(check_det(self.VIOLATION, rel="src/repro/sampling/mc.py")) == 1
+
+    def test_waiver_applies(self):
+        findings = check_det(
+            """
+import time
+def step():
+    # repro: allow[DET-001] perf counter only, never in the trace
+    return time.time()
+"""
+        )
+        assert findings[0].waived
+
+
+class TestObs001:
+    def test_fstring_label_flagged(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, sid):
+        self._m_requests.inc(endpoint=f"/v1/sessions/{sid}")
+"""
+        )
+        assert [f.rule for f in findings] == ["OBS-001"]
+
+    def test_session_id_label_flagged_by_name(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, sid):
+        self._m_requests.inc(session_id=sid)
+"""
+        )
+        assert [f.rule for f in findings] == ["OBS-001"]
+
+    def test_star_star_labels_flagged(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, labels):
+        self._m_requests.inc(**labels)
+"""
+        )
+        assert [f.rule for f in findings] == ["OBS-001"]
+
+    def test_concatenated_label_flagged(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, suffix):
+        self._m_requests.inc(endpoint="/v1/" + suffix)
+"""
+        )
+        assert [f.rule for f in findings] == ["OBS-001"]
+
+    def test_bounded_labels_clean(self):
+        # The real gateway shapes: a literal status, a helper that collapses
+        # paths to a finite endpoint set, and the (operator-bounded) tenant.
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, segments, status, tenant):
+        self._m_requests.inc(
+            endpoint=_endpoint_label(segments), status=str(status), tenant=tenant
+        )
+"""
+        )
+        assert findings == []
+
+    def test_positional_observe_value_ignored(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, seconds):
+        self._m_latency.observe(seconds)
+"""
+        )
+        assert findings == []
+
+    def test_non_repro_code_out_of_scope(self):
+        findings = check_obs(
+            """
+class Gateway:
+    def handle(self, sid):
+        self._m_requests.inc(session_id=sid)
+""",
+            rel="scripts/export.py",
+        )
+        assert findings == []

@@ -1,0 +1,124 @@
+"""Tests for the analysis engine itself: discovery, waivers, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    Finding,
+    SourceFile,
+    analyze_paths,
+    iter_python_files,
+    run_passes,
+)
+
+
+class CountingPass:
+    """A toy pass flagging every call to a function named ``boom``."""
+
+    name = "toy"
+    rules = {"TOY-001": "no calls to boom()"}
+
+    def check(self, source):
+        import ast
+
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "boom"
+            ):
+                yield Finding(
+                    rule="TOY-001",
+                    path=source.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message="boom() called",
+                )
+
+
+class TestFileDiscovery:
+    def test_expands_directories_sorted_and_deduped(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("y = 2\n")
+        (tmp_path / "top.py").write_text("z = 3\n")
+        files = iter_python_files([tmp_path, tmp_path / "top.py", tmp_path / "pkg"])
+        assert files == sorted(files)
+        assert [f.name for f in files] == ["a.py", "b.py", "top.py"]
+
+    def test_rejects_non_python_files(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n")
+        with pytest.raises(ValueError, match="not a python file"):
+            iter_python_files([target])
+
+
+class TestWaivers:
+    def run(self, text):
+        source = SourceFile.from_source(text, "src/repro/x.py")
+        return run_passes(source, [CountingPass()])
+
+    def test_unwaived_finding_reported(self):
+        findings = self.run("boom()\n")
+        assert len(findings) == 1
+        assert not findings[0].waived
+        assert findings[0].rule == "TOY-001"
+
+    def test_waiver_on_same_line(self):
+        findings = self.run("boom()  # repro: allow[TOY-001] intentional kaboom\n")
+        assert findings[0].waived
+        assert findings[0].waiver_reason == "intentional kaboom"
+
+    def test_waiver_on_line_above(self):
+        findings = self.run(
+            "# repro: allow[TOY-001] intentional kaboom\nboom()\n"
+        )
+        assert findings[0].waived
+
+    def test_waiver_is_rule_specific(self):
+        findings = self.run("boom()  # repro: allow[ZZZ-999] wrong rule\n")
+        assert not findings[0].waived
+
+    def test_waiver_two_lines_up_does_not_apply(self):
+        findings = self.run(
+            "# repro: allow[TOY-001] too far away\npass\nboom()\n"
+        )
+        assert not findings[0].waived
+
+
+class TestAnalyzePaths:
+    def test_report_over_files(self, tmp_path):
+        (tmp_path / "bad.py").write_text("boom()\n")
+        (tmp_path / "ok.py").write_text(
+            "boom()  # repro: allow[TOY-001] fixture\n"
+        )
+        report = analyze_paths([tmp_path], passes=[CountingPass()], root=tmp_path)
+        assert report.n_files == 2
+        assert [f.path for f in report.unwaived] == ["bad.py"]
+        assert [f.path for f in report.waived] == ["ok.py"]
+        assert not report.clean
+
+    def test_syntax_error_becomes_finding_not_abort(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "fine.py").write_text("boom()\n")
+        report = analyze_paths([tmp_path], passes=[CountingPass()], root=tmp_path)
+        rules = {f.rule for f in report.unwaived}
+        assert rules == {"ENGINE-001", "TOY-001"}
+
+    def test_json_report_shape(self, tmp_path):
+        (tmp_path / "bad.py").write_text("boom()\n")
+        report = analyze_paths([tmp_path], passes=[CountingPass()], root=tmp_path)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["clean"] is False
+        assert payload["n_files"] == 1
+        assert payload["findings"][0]["rule"] == "TOY-001"
+
+    def test_findings_sorted_deterministically(self, tmp_path):
+        (tmp_path / "b.py").write_text("boom()\nboom()\n")
+        (tmp_path / "a.py").write_text("boom()\n")
+        report = analyze_paths([tmp_path], passes=[CountingPass()], root=tmp_path)
+        keys = [(f.path, f.line) for f in report.findings]
+        assert keys == sorted(keys)

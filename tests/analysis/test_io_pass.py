@@ -1,0 +1,153 @@
+"""Fixture tests for IO-001/IO-002 (durable writes)."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import SourceFile
+from repro.analysis.rules import DurableWritesPass
+
+
+def check(text, rel="src/repro/experiments/persistence.py"):
+    source = SourceFile.from_source(text, rel)
+    return [source.apply_waiver(f) for f in DurableWritesPass().check(source)]
+
+
+class TestIO001:
+    def test_write_then_rename_flagged(self):
+        findings = check(
+            """
+import os
+def save(path):
+    with open(path + ".tmp", "w") as handle:
+        handle.write("data")
+    os.replace(path + ".tmp", path)
+"""
+        )
+        assert [f.rule for f in findings] == ["IO-001"]
+
+    def test_os_rename_also_flagged(self):
+        findings = check(
+            """
+import os
+def save(path):
+    handle = open(path, "wb")
+    handle.write(b"data")
+    handle.close()
+    os.rename(path, path + ".bak")
+"""
+        )
+        assert [f.rule for f in findings] == ["IO-001"]
+
+    def test_atomic_write_idiom_clean(self):
+        findings = check(
+            """
+from repro.ioutil import atomic_write
+def save(path, payload):
+    return atomic_write(path, lambda handle: handle.write(payload))
+"""
+        )
+        assert findings == []
+
+
+class TestIO002:
+    def test_json_dump_via_bare_open_flagged(self):
+        # The exact pre-fix shape of save_comparison (the violation that
+        # motivated this pass).
+        findings = check(
+            """
+import json
+def save_comparison(comparison, path):
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(comparison, handle, indent=2)
+"""
+        )
+        assert [f.rule for f in findings] == ["IO-002"]
+
+    def test_mode_keyword_detected(self):
+        findings = check(
+            """
+import json
+def save(path, payload):
+    with open(path, mode="w") as handle:
+        json.dump(payload, handle)
+"""
+        )
+        assert [f.rule for f in findings] == ["IO-002"]
+
+    def test_read_mode_clean(self):
+        findings = check(
+            """
+import json
+def load(path):
+    with open(path, "r") as handle:
+        return json.load(handle)
+"""
+        )
+        assert findings == []
+
+    def test_plain_text_write_without_rename_or_dump_clean(self):
+        # An append-style results writer is out of scope for both IO rules.
+        findings = check(
+            """
+def log_line(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)
+"""
+        )
+        assert findings == []
+
+    def test_waived_write_marked(self):
+        findings = check(
+            """
+import json
+def save(path, payload):
+    # repro: allow[IO-002] scratch debug dump, durability not required
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+"""
+        )
+        assert len(findings) == 1
+        assert findings[0].waived
+
+
+class TestScope:
+    VIOLATION = """
+import json
+def save(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+"""
+
+    def test_ioutil_is_exempt(self):
+        assert check(self.VIOLATION, rel="src/repro/ioutil.py") == []
+
+    def test_tests_are_exempt(self):
+        assert check(self.VIOLATION, rel="tests/service/test_x.py") == []
+
+    def test_non_repro_code_is_exempt(self):
+        assert check(self.VIOLATION, rel="scripts/oneoff.py") == []
+
+    def test_os_fdopen_not_mistaken_for_open(self):
+        findings = check(
+            """
+import os, json
+def save(fd, payload):
+    with os.fdopen(fd, "w") as handle:
+        json.dump(payload, handle)
+"""
+        )
+        assert findings == []
+
+    def test_sibling_function_rename_does_not_taint(self):
+        # The rename lives in a different function: per-scope analysis must
+        # not conflate them (the open-w alone, with no dump, is clean).
+        findings = check(
+            """
+import os
+def write(path):
+    with open(path, "w") as handle:
+        handle.write("x")
+def promote(path):
+    os.replace(path, path + ".final")
+"""
+        )
+        assert findings == []

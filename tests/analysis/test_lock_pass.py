@@ -1,0 +1,209 @@
+"""Fixture tests for LOCK-001/LOCK-002 (lock discipline)."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import SourceFile
+from repro.analysis.rules import LockDisciplinePass
+
+
+def check(text, rel="src/repro/service/service.py"):
+    source = SourceFile.from_source(text, rel)
+    return [source.apply_waiver(f) for f in LockDisciplinePass().check(source)]
+
+
+class TestLock001:
+    def test_unlocked_call_to_locked_method_flagged(self):
+        findings = check(
+            """
+class AnyClass:
+    def tick(self):
+        self._process_completions_locked()
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-001"]
+
+    def test_call_under_lock_clean(self):
+        findings = check(
+            """
+class AnyClass:
+    def tick(self):
+        with self._lock:
+            self._process_completions_locked()
+"""
+        )
+        assert findings == []
+
+    def test_call_under_wakeup_condition_clean(self):
+        findings = check(
+            """
+class AnyClass:
+    def tick(self):
+        with self._wakeup:
+            self._process_completions_locked()
+"""
+        )
+        assert findings == []
+
+    def test_locked_method_may_call_locked_method(self):
+        findings = check(
+            """
+class AnyClass:
+    def _dispatch_locked(self):
+        self._record_tell_locked()
+"""
+        )
+        assert findings == []
+
+    def test_lock_released_after_with_block(self):
+        findings = check(
+            """
+class AnyClass:
+    def tick(self):
+        with self._lock:
+            pass
+        self._record_tell_locked()
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-001"]
+
+    def test_nested_function_inherits_lock_state(self):
+        findings = check(
+            """
+class AnyClass:
+    def tick(self):
+        with self._lock:
+            def count():
+                self._bump_locked()
+            count()
+"""
+        )
+        assert findings == []
+
+    def test_waived_call_marked(self):
+        findings = check(
+            """
+class AnyClass:
+    def _open(self):
+        # repro: allow[LOCK-001] construction-time, not shared yet
+        self._write_line_locked()
+"""
+        )
+        assert len(findings) == 1
+        assert findings[0].waived
+
+
+class TestLock002:
+    def test_guarded_field_rebound_outside_lock_flagged(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self):
+        self._serving = False
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-002"]
+
+    def test_guarded_item_assignment_outside_lock_flagged(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self, sid, record):
+        self._records[sid] = record
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-002"]
+
+    def test_guarded_mutator_call_outside_lock_flagged(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self, outcome):
+        self._completed.append(outcome)
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-002"]
+
+    def test_guarded_augassign_outside_lock_flagged(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self):
+        self._n_inflight += 1
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-002"]
+
+    def test_mutation_under_lock_clean(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self, sid, record):
+        with self._lock:
+            self._records[sid] = record
+            self._n_inflight += 1
+            self._completed.append(record)
+"""
+        )
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        findings = check(
+            """
+class TuningService:
+    def __init__(self):
+        self._records = {}
+        self._serving = False
+"""
+        )
+        assert findings == []
+
+    def test_unguarded_field_ignored(self):
+        findings = check(
+            """
+class TuningService:
+    def tick(self):
+        self._scratch = 1
+"""
+        )
+        assert findings == []
+
+    def test_event_set_is_not_a_container_mutation(self):
+        # Event.set() / Gauge.set(v) must not be mistaken for set.add-style
+        # container mutators on guarded fields.
+        findings = check(
+            """
+class TuningService:
+    def stop(self):
+        self._autosave_stop.set()
+"""
+        )
+        assert findings == []
+
+    def test_unregistered_class_has_no_guarded_fields(self):
+        findings = check(
+            """
+class SomethingElse:
+    def tick(self):
+        self._records["x"] = 1
+"""
+        )
+        assert findings == []
+
+    def test_tell_journal_handle_guarded_by_plain_lock(self):
+        findings = check(
+            """
+class TellJournal:
+    def rotate(self, handle):
+        self._handle = handle
+"""
+        )
+        assert [f.rule for f in findings] == ["LOCK-002"]
+        findings = check(
+            """
+class TellJournal:
+    def rotate(self, handle):
+        with self._lock:
+            self._handle = handle
+"""
+        )
+        assert findings == []

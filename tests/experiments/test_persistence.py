@@ -58,3 +58,29 @@ class TestRoundTrip:
             payload = json.load(handle)
         assert payload["job_name"] == comparison.job_name
         assert "rnd" in payload["outcomes"]
+
+
+class TestDurability:
+    def test_crash_mid_write_preserves_previous_file(
+        self, comparison, tmp_path, monkeypatch
+    ):
+        """A save killed mid-write must leave the previous file intact.
+
+        save_comparison goes through repro.ioutil.atomic_write (IO-002), so
+        the torn scratch never reaches the target path and is cleaned up.
+        """
+        import repro.experiments.persistence as persistence
+
+        path = save_comparison(comparison, tmp_path / "comparison.json")
+        before = path.read_bytes()
+
+        def torn_dump(obj, handle, **kwargs):
+            handle.write('{"torn": ')
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(persistence.json, "dump", torn_dump)
+        with pytest.raises(OSError, match="mid-write"):
+            save_comparison(comparison, path)
+        assert path.read_bytes() == before
+        assert load_comparison(path).n_trials == comparison.n_trials
+        assert not list(path.parent.glob("*.tmp"))

@@ -234,3 +234,79 @@ class TestMetricsCommand:
         snapshot = json.loads(capsys.readouterr().out)
         assert {"counters", "gauges", "histograms", "tenants"} <= set(snapshot)
         assert snapshot["serving"] is True
+
+
+class TestLintCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert args.json is False
+        assert args.rules is False
+
+    def test_rules_catalogue_lists_every_rule(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "LOCK-001",
+            "LOCK-002",
+            "IO-001",
+            "IO-002",
+            "DET-001",
+            "DET-002",
+            "OBS-001",
+            "ENGINE-001",
+        ):
+            assert rule in out
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_with_location(self, capsys, tmp_path):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import json\n"
+            "def save(path, payload):\n"
+            '    with open(path, "w") as handle:\n'
+            "        json.dump(payload, handle)\n"
+        )
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "IO-002" in out
+        assert "bad.py:3" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import json\n"
+            "def save(path, payload):\n"
+            '    with open(path, "w") as handle:\n'
+            "        json.dump(payload, handle)\n"
+        )
+        assert main(["lint", "--json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "IO-002"
+
+    def test_waived_violation_exits_zero(self, capsys, tmp_path):
+        target = tmp_path / "src" / "repro" / "waived.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import json\n"
+            "def save(path, payload):\n"
+            "    # repro: allow[IO-002] scratch file, durability not needed\n"
+            '    with open(path, "w") as handle:\n'
+            "        json.dump(payload, handle)\n"
+        )
+        assert main(["lint", str(target)]) == 0
+        assert "1 waived" in capsys.readouterr().out
+
+    def test_non_python_path_is_an_error(self, capsys, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n")
+        assert main(["lint", str(target)]) == 2
+        assert "error" in capsys.readouterr().err
