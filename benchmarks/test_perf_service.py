@@ -23,18 +23,28 @@ scales the sweep (default 50).
 from __future__ import annotations
 
 import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from conftest import report, run_once
 from repro.core.baselines import BayesianOptimizer, RandomSearchOptimizer
 from repro.experiments.reporting import format_table
 from repro.observability import set_enabled
 from repro.observability.report import format_metrics_snapshot
-from repro.service.api import JobSpec, optimizer_to_spec
+from repro.service.api import (
+    JobSpec,
+    OptimizerSpec,
+    optimizer_to_spec,
+    register_job,
+    unregister_job,
+)
+from repro.service.asyncio_gateway import AsyncTuningGateway
 from repro.service.client import HttpClient
 from repro.service.http import TuningGateway
 from repro.service.service import TuningService
 from repro.workloads import load_job
+from repro.workloads.generators import make_synthetic_job
 
 _JOB_NAMES = (
     "scout-spark-kmeans",
@@ -429,3 +439,120 @@ def test_observability_overhead(benchmark):
     assert best_on <= best_off * 1.05 + 0.02, (
         f"observability overhead {overhead:+.1%} exceeds the 5% budget"
     )
+
+
+_PARKED_JOB = "bench-parked-poll"
+
+
+def _n_parked_polls() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARKED_POLLS", "100"))
+
+
+def _make_parked_job():
+    """A synthetic job slow enough (~100 ms/run) that one session stays
+    live for several seconds — long enough to park every poll on it."""
+    base = make_synthetic_job(seed=11, name=_PARKED_JOB)
+
+    class _Slow(type(base)):
+        def run(self, config):
+            time.sleep(0.1)
+            return super().run(config)
+
+    return _Slow(
+        name=base.name,
+        _space=base.space,
+        runs=base.runs,
+        timeout_seconds=base.timeout_seconds,
+        metadata=dict(base.metadata),
+    )
+
+
+def _parked_poll_fanout(gateway_cls, n_polls: int) -> dict:
+    """``n_polls`` concurrent ``wait_s`` long-polls parked on one live
+    session, all woken by its completion.
+
+    The figure of merit is the gateway-side cost of a parked poll: the
+    threaded front-end pins one handler thread per waiter, the asyncio one
+    holds an ``asyncio.Event``.  ``extra_threads`` counts process threads
+    beyond the client pool and the pre-existing baseline while everyone is
+    parked; ``wake_spread`` is first-to-last response delay at wake-up.
+    """
+    register_job(_PARKED_JOB, _make_parked_job)
+    service = TuningService(n_workers=2, policy="round-robin")
+    service.serve()
+    gateway = gateway_cls(service, port=0).start()
+    client = HttpClient(gateway.url)
+    try:
+        baseline = threading.active_count()
+        sid = client.submit(
+            JobSpec(
+                job=_PARKED_JOB,
+                optimizer=OptimizerSpec("rnd"),
+                tmax=1.0,
+                budget=10_000,
+                seed=0,
+            )
+        ).session_id
+        done_at = []
+
+        def one_poll():
+            response = client.poll(sid, wait_s=60.0)
+            done_at.append(time.perf_counter())
+            return response.status
+
+        with ThreadPoolExecutor(max_workers=n_polls) as pool:
+            started = time.perf_counter()
+            futures = [pool.submit(one_poll) for _ in range(n_polls)]
+            time.sleep(1.0)  # everyone should be parked by now
+            extra_threads = threading.active_count() - baseline - n_polls
+            statuses = [f.result(timeout=120) for f in futures]
+            wall = time.perf_counter() - started
+    finally:
+        gateway.close()
+        service.shutdown(drain=False)
+        unregister_job(_PARKED_JOB)
+    assert len(statuses) == n_polls
+    return {
+        "n_polls": n_polls,
+        "wall_seconds": wall,
+        "extra_threads": extra_threads,
+        "wake_spread_seconds": max(done_at) - min(done_at),
+    }
+
+
+def test_gateway_parked_poll_scaling(benchmark):
+    """Threaded vs asyncio front-end under concurrent parked long-polls."""
+    n_polls = _n_parked_polls()
+
+    def both():
+        return {
+            "threaded": _parked_poll_fanout(TuningGateway, n_polls),
+            "asyncio": _parked_poll_fanout(AsyncTuningGateway, n_polls),
+        }
+
+    out = run_once(benchmark, both)
+    report(
+        "service_gateway_throughput",
+        f"\nParked long-polls — {n_polls} concurrent wait_s polls on one live "
+        "session, woken by its completion (gateway threads beyond the client "
+        "pool, first-to-last wake delay)\n"
+        + format_table(
+            ["gateway", "polls", "wall", "extra threads", "wake spread"],
+            [
+                [
+                    label,
+                    f"{row['n_polls']}",
+                    f"{row['wall_seconds']:.2f} s",
+                    f"{row['extra_threads']}",
+                    f"{row['wake_spread_seconds'] * 1000:.0f} ms",
+                ]
+                for label, row in out.items()
+            ],
+        ),
+    )
+
+    # The tentpole property: parked polls must not pin asyncio threads.
+    # (The threaded gateway holds ~one handler thread per waiter by design;
+    # the asyncio one parks them all on events over a flat thread count.)
+    assert out["asyncio"]["extra_threads"] < 40
+    assert out["asyncio"]["extra_threads"] < out["threaded"]["extra_threads"]

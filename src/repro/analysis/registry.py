@@ -84,4 +84,12 @@ GUARDED_CLASSES: dict[str, GuardedClass] = {
         lock_names=frozenset({"_lock"}),
         fields=frozenset({"_handle", "_last_fsync"}),
     ),
+    # The live-rotating token → tenant map (repro/service/http.py): the
+    # table and its file stamp swap together atomically under the mutex so
+    # a reader never sees a half-applied rotation.
+    "TokenTable": GuardedClass(
+        lock_attr="_lock",
+        lock_names=frozenset({"_lock"}),
+        fields=frozenset({"_tokens", "_stamp"}),
+    ),
 }

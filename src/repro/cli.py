@@ -276,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="log a one-line metrics summary (steps, tenants, mean run time) "
         "to stderr every SECONDS while serving",
     )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve with the asyncio gateway: identical wire protocol, but "
+        "parked long-polls hold coroutines instead of threads, so "
+        "thousands of concurrent wait_s polls stay cheap",
+    )
 
     metrics = subparsers.add_parser(
         "metrics", help="fetch and pretty-print a gateway's /v1/metrics snapshot"
@@ -520,13 +528,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # restarts near-empty and the next boot replays only new work.
             service.compact_journal(args.state)
     service.serve()
-    gateway = TuningGateway(
-        service, host=args.host, port=args.port, token_file=args.token_file
-    )
+    if args.use_async:
+        from repro.service.asyncio_gateway import AsyncTuningGateway
+
+        gateway = AsyncTuningGateway(
+            service, host=args.host, port=args.port, token_file=args.token_file
+        )
+        # The asyncio gateway binds inside its event loop; start it on the
+        # background thread so the URL below is the real (ephemeral) port,
+        # then park this thread on the loop via join-on-close semantics.
+        gateway.start()
+    else:
+        gateway = TuningGateway(
+            service, host=args.host, port=args.port, token_file=args.token_file
+        )
     auth = "on" if args.token_file else "off"
     journal_mode = f"{args.journal_sync}" if args.journal else "off"
+    flavor = "asyncio " if args.use_async else ""
     print(
-        f"tuning gateway listening on {gateway.url} "
+        f"{flavor}tuning gateway listening on {gateway.url} "
         f"(workers={args.workers}, policy={args.policy}, executor={args.executor}, "
         f"auth={auth}, tenant-quota={args.tenant_quota}, journal={journal_mode}); "
         "Ctrl-C to stop"
@@ -547,7 +567,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             target=_log_metrics, name="repro-metrics-log", daemon=True
         ).start()
     try:
-        gateway.serve_forever()
+        if args.use_async:
+            gateway.join()
+        else:
+            gateway.serve_forever()
     except KeyboardInterrupt:
         print("shutting down...")
     finally:

@@ -46,7 +46,21 @@ sessions concurrently — locally or behind an HTTP gateway:
 
 ``repro.service.http``
     :class:`TuningGateway` — a ``ThreadingHTTPServer`` REST front-end over a
-    serving :class:`TuningService` (``python -m repro serve``).
+    serving :class:`TuningService` (``python -m repro serve``), plus
+    :class:`TokenTable`, the live-rotating bearer-token → tenant map both
+    gateways authenticate against.
+
+``repro.service.asyncio_gateway``
+    :class:`AsyncTuningGateway` — the same wire protocol served from one
+    asyncio event loop (``python -m repro serve --async``): parked
+    ``wait_s`` long-polls hold per-session events instead of threads, so
+    thousands of concurrent polls stay cheap.
+
+``repro.service.async_client``
+    :class:`AsyncTuningClient` — awaitable stdlib client with transient-
+    failure retry (exponential back-off), 429 ``Retry-After`` honouring and
+    bounded-concurrency ``wait_all``; :class:`BridgedAsyncClient` adapts it
+    to the synchronous :class:`TuningClient` interface.
 
 ``repro.service.sweep``
     :func:`run_sweep` — a mixed-suite convenience front-end over any
@@ -54,6 +68,7 @@ sessions concurrently — locally or behind an HTTP gateway:
 """
 
 from repro.service.api import (
+    MAX_WAIT_SECONDS,
     PROTOCOL_VERSION,
     BadRequestError,
     CancelResponse,
@@ -81,8 +96,10 @@ from repro.service.api import (
     register_optimizer,
     unregister_job,
 )
+from repro.service.async_client import AsyncTuningClient, BridgedAsyncClient
+from repro.service.asyncio_gateway import AsyncTuningGateway
 from repro.service.client import HttpClient, LocalClient, TuningClient
-from repro.service.http import TuningGateway, load_token_file
+from repro.service.http import TokenTable, TuningGateway, load_token_file
 from repro.service.journal import (
     JOURNAL_VERSION,
     SYNC_MODES,
@@ -106,9 +123,13 @@ from repro.service.sweep import SweepReport, SweepRow, make_optimizer, run_sweep
 
 __all__ = [
     "JOURNAL_VERSION",
+    "MAX_WAIT_SECONDS",
     "PROTOCOL_VERSION",
     "SYNC_MODES",
+    "AsyncTuningClient",
+    "AsyncTuningGateway",
     "BadRequestError",
+    "BridgedAsyncClient",
     "CancelResponse",
     "ConflictError",
     "CostAwarePolicy",
@@ -137,6 +158,7 @@ __all__ = [
     "SweepReport",
     "SweepRow",
     "TellJournal",
+    "TokenTable",
     "TuningClient",
     "TuningGateway",
     "TuningService",

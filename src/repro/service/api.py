@@ -59,7 +59,13 @@ code                    exception              HTTP
 
 Both transports raise the *same* exceptions: an ``HttpClient`` decodes the
 gateway's :class:`ErrorResponse` back into the exception a ``LocalClient``
-would have raised in-process.
+would have raised in-process.  Quota rejections additionally carry a
+``retry_after_s`` back-off hint (and an HTTP ``Retry-After`` header over the
+wire), surfaced on the raised :class:`QuotaExceededError`.
+
+Long polls (``poll(..., wait_s=N)`` / ``GET .../{id}?wait_s=N``) are capped
+server-side at :data:`MAX_WAIT_SECONDS` per leg; clients size their socket
+timeouts against the cap, not the requested wait.
 
 Registries
 ----------
@@ -89,6 +95,7 @@ from repro.workloads.base import Job
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MAX_WAIT_SECONDS",
     "COMPLETED_STATUSES",
     "TERMINAL_STATUSES",
     "ErrorCode",
@@ -127,6 +134,12 @@ __all__ = [
 #: peers reject mismatches instead of guessing.
 PROTOCOL_VERSION = 1
 
+#: Protocol-wide cap on one long-poll leg (``?wait_s=N``): every gateway
+#: silently clamps the server-side park to this, so clients must not extend
+#: their socket timeouts past it — a longer wait would only delay detecting a
+#: dead server.  Callers chunk longer waits into multiple polls.
+MAX_WAIT_SECONDS = 60.0
+
 #: Session statuses after which a session will never change again.
 TERMINAL_STATUSES = ("done", "exhausted", "cancelled")
 
@@ -155,10 +168,16 @@ class ErrorCode:
 
 
 class ServiceError(Exception):
-    """Base protocol error; subclasses pin a stable code and HTTP status."""
+    """Base protocol error; subclasses pin a stable code and HTTP status.
+
+    ``retry_after_s`` is an optional back-pressure hint: when set, gateways
+    emit it as an HTTP ``Retry-After`` header and clients surface it on the
+    decoded exception, so callers know how long to back off before retrying.
+    """
 
     code = ErrorCode.INTERNAL
     http_status = 500
+    retry_after_s: float | None = None
 
 
 class BadRequestError(ServiceError):
@@ -220,10 +239,21 @@ class SessionCancelledError(ConflictError):
 
 
 class QuotaExceededError(ServiceError):
-    """The tenant's active-session budget is spent (429-style back-pressure)."""
+    """The tenant's active-session budget is spent (429-style back-pressure).
+
+    Carries :attr:`~ServiceError.retry_after_s` — the service's suggested
+    back-off before the next submit attempt — which both gateways emit as a
+    ``Retry-After`` header and both HTTP clients surface on the raised
+    exception.
+    """
 
     code = ErrorCode.QUOTA_EXCEEDED
     http_status = 429
+
+    def __init__(self, message: str = "", *, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
 
 
 _ERRORS_BY_CODE: dict[str, type[ServiceError]] = {
@@ -624,32 +654,64 @@ class CancelResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """A stable error code plus human-readable message."""
+    """A stable error code plus human-readable message.
+
+    ``retry_after_s`` is optional back-pressure metadata (today carried by
+    quota rejections).  It is an *additive* field: decoding tolerates its
+    absence and older peers drop it as an unknown key, so no protocol
+    version bump is needed.
+    """
 
     code: str
     message: str
+    retry_after_s: float | None = None
     protocol_version: int = PROTOCOL_VERSION
 
     @classmethod
     def from_exception(cls, error: ServiceError) -> "ErrorResponse":
-        return cls(code=error.code, message=str(error))
+        return cls(
+            code=error.code,
+            message=str(error),
+            retry_after_s=getattr(error, "retry_after_s", None),
+        )
 
     def to_exception(self) -> ServiceError:
         """The :class:`ServiceError` subclass this response encodes."""
-        return _ERRORS_BY_CODE.get(self.code, ServiceError)(self.message)
+        error = _ERRORS_BY_CODE.get(self.code, ServiceError)(self.message)
+        if self.retry_after_s is not None:
+            error.retry_after_s = self.retry_after_s
+        return error
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "code": self.code,
             "message": self.message,
             "protocol_version": self.protocol_version,
         }
+        if self.retry_after_s is not None:
+            data["retry_after_s"] = self.retry_after_s
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ErrorResponse":
         # No version check: an error *about* a version mismatch must decode.
         data = _known_fields(cls, data)
-        return cls(code=data.get("code", ErrorCode.INTERNAL), message=data.get("message", ""))
+        retry_after = data.get("retry_after_s")
+        if retry_after is not None:
+            if (
+                not isinstance(retry_after, (int, float))
+                or isinstance(retry_after, bool)
+                or not math.isfinite(retry_after)
+                or retry_after < 0
+            ):
+                retry_after = None  # a garbage hint must not break error decoding
+            else:
+                retry_after = float(retry_after)
+        return cls(
+            code=data.get("code", ErrorCode.INTERNAL),
+            message=data.get("message", ""),
+            retry_after_s=retry_after,
+        )
 
 
 # ---------------------------------------------------------------------------

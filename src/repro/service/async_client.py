@@ -1,0 +1,455 @@
+"""Asyncio tuning client: the wire contract of :class:`HttpClient`, awaitable.
+
+:class:`AsyncTuningClient` speaks the exact versioned protocol of
+:mod:`repro.service.api` to any tuning gateway (threaded or asyncio) using
+only the standard library — one short-lived ``asyncio.open_connection`` per
+request, no third-party HTTP stack.  On top of the bare transport it adds
+the client-side half of back-pressure handling:
+
+* **Transient-failure retry** — connection refusals, resets and timeouts
+  are retried with exponential back-off (``backoff_s * 2**attempt``, capped
+  at ``max_backoff_s``).  Once bytes have been sent, only ``GET`` requests
+  are retried: re-sending a ``POST /v1/sessions`` whose response was lost
+  could double-submit, and a replayed ``DELETE`` could turn a clean cancel
+  into a spurious :class:`~repro.service.api.ConflictError`.
+* **429 honouring** — a :class:`~repro.service.api.QuotaExceededError`
+  carries the service's ``retry_after_s`` hint (from the JSON body, or the
+  ``Retry-After`` header as fallback).  With ``quota_retries > 0`` the
+  client sleeps that long and retries instead of raising.
+* **Bounded-concurrency fan-out** — :meth:`wait_all` drives any number of
+  sessions to completion with at most ``concurrency`` long-polls in flight,
+  so a 500-session sweep does not open 500 sockets.
+
+:class:`BridgedAsyncClient` wraps all of it behind the *synchronous*
+:class:`~repro.service.client.TuningClient` interface (a private event loop
+on a daemon thread), which is how the shared contract suite runs the async
+transport through the same tests as the others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import urllib.parse
+from collections.abc import Iterable
+from typing import Any, Callable
+
+from repro.service.api import (
+    COMPLETED_STATUSES,
+    MAX_WAIT_SECONDS,
+    BadRequestError,
+    CancelResponse,
+    ErrorResponse,
+    JobSpec,
+    ListResponse,
+    PollResponse,
+    QuotaExceededError,
+    ResultResponse,
+    ServiceError,
+    SubmitRequest,
+    SubmitResponse,
+)
+from repro.service.client import _WAIT_CHUNK_SECONDS, HttpClient, TuningClient
+
+__all__ = ["AsyncTuningClient", "BridgedAsyncClient"]
+
+#: Responses larger than this are garbage, not protocol traffic.
+_MAX_RESPONSE_BYTES = 64 * 1024 * 1024
+
+
+class AsyncTuningClient:
+    """Asyncio client for a tuning gateway (see module docs).
+
+    Parameters
+    ----------
+    base_url:
+        The gateway root, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-request wall-clock budget in seconds; long-polls extend it by
+        their ``wait_s``, capped at the protocol's
+        :data:`~repro.service.api.MAX_WAIT_SECONDS`.
+    token:
+        Bearer token sent as ``Authorization: Bearer <token>`` on every
+        request.
+    max_retries:
+        How many times a *transient* transport failure is retried before
+        :class:`~repro.service.api.ServiceError` is raised; the first
+        attempt is free, so ``max_retries=3`` means up to four connections.
+    backoff_s / max_backoff_s:
+        Exponential back-off schedule between retry attempts.
+    quota_retries:
+        How many 429 (:class:`~repro.service.api.QuotaExceededError`)
+        responses to absorb per request by sleeping the service's
+        ``retry_after_s`` hint.  ``0`` (the default) raises immediately,
+        with the hint attached to the exception.
+    on_retry:
+        Optional ``(attempt, delay_s, error)`` callback invoked before each
+        retry sleep — a telemetry/testing hook, never part of control flow.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        token: str | None = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        quota_retries: int = 0,
+        on_retry: Callable[[int, float, BaseException], None] | None = None,
+    ) -> None:
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must be an http://host[:port] URL, got {base_url!r}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.token = token
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.quota_retries = quota_retries
+        self.on_retry = on_retry
+        self._host: str = parts.hostname
+        self._port: int = parts.port if parts.port is not None else 80
+        self._path_prefix = parts.path.rstrip("/")
+
+    # -- transport -----------------------------------------------------------
+    async def _open(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(self._host, self._port)
+
+    async def _once(
+        self, method: str, path: str, body: bytes | None, timeout: float
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request over one fresh connection; returns (status, headers, body).
+
+        Raising before the request bytes went out is always safe to retry;
+        the caller distinguishes the two phases by whether the returned
+        ``sent`` marker was flipped — so this function reports the phase via
+        the exception's ``_repro_sent`` attribute instead of a return value.
+        """
+        sent = False
+        try:
+            reader, writer = await self._open()
+        except OSError as error:
+            raise _TransportError(str(error) or type(error).__name__, sent=False) from error
+        try:
+            head = [
+                f"{method} {self._path_prefix}{path} HTTP/1.1",
+                f"Host: {self._host}:{self._port}",
+                "Accept: application/json",
+                "Connection: close",
+            ]
+            if self.token is not None:
+                head.append(f"Authorization: Bearer {self.token}")
+            if body is not None:
+                head.append("Content-Type: application/json")
+                head.append(f"Content-Length: {len(body)}")
+            payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + (body or b"")
+            try:
+                writer.write(payload)
+                await writer.drain()
+                sent = True
+                status_line = await reader.readline()
+                if not status_line:
+                    raise _TransportError("connection closed before response", sent=True)
+                try:
+                    _, status_text, *_ = status_line.decode("latin-1").split(" ", 2)
+                    status = int(status_text)
+                except ValueError:
+                    raise _TransportError(
+                        f"malformed status line {status_line!r}", sent=True
+                    ) from None
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, sep, value = line.decode("latin-1").partition(":")
+                    if sep:
+                        headers[name.strip().lower()] = value.strip()
+                length_header = headers.get("content-length")
+                if length_header is not None:
+                    length = int(length_header)
+                    if length < 0 or length > _MAX_RESPONSE_BYTES:
+                        raise _TransportError(
+                            f"unreasonable Content-Length {length}", sent=True
+                        )
+                    raw = await reader.readexactly(length) if length else b""
+                else:
+                    raw = await reader.read(_MAX_RESPONSE_BYTES)
+                return status, headers, raw
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as error:
+                raise _TransportError(
+                    str(error) or type(error).__name__, sent=sent
+                ) from error
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        extra_timeout: float = 0.0,
+    ) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        timeout = self.timeout + extra_timeout
+        attempt = 0
+        quota_left = self.quota_retries
+        while True:
+            try:
+                status, headers, raw = await asyncio.wait_for(
+                    self._once(method, path, body, timeout), timeout=timeout
+                )
+            except (_TransportError, TimeoutError) as error:
+                # A timeout means the request may have been received, so it
+                # follows the post-send rule: only idempotent reads retry.
+                sent = getattr(error, "sent", True)
+                retryable = not sent or method == "GET"
+                if not retryable or attempt >= self.max_retries:
+                    raise ServiceError(
+                        f"cannot reach tuning gateway at {self.base_url} after "
+                        f"{attempt + 1} attempt(s): {error}"
+                    ) from error
+                delay = min(self.backoff_s * (2**attempt), self.max_backoff_s)
+                if self.on_retry is not None:
+                    self.on_retry(attempt, delay, error)
+                await asyncio.sleep(delay)
+                attempt += 1
+                continue
+            if status >= 400:
+                error = self._decode_error(status, headers, raw, path)
+                if isinstance(error, QuotaExceededError) and quota_left > 0:
+                    quota_left -= 1
+                    hint = getattr(error, "retry_after_s", None)
+                    delay = (
+                        hint
+                        if hint is not None
+                        else min(self.backoff_s * (2**attempt), self.max_backoff_s)
+                    )
+                    if self.on_retry is not None:
+                        self.on_retry(attempt, delay, error)
+                    await asyncio.sleep(delay)
+                    continue
+                raise error
+            return json.loads(raw) if raw else {}
+
+    def _decode_error(
+        self, status: int, headers: dict[str, str], raw: bytes, path: str
+    ) -> ServiceError:
+        try:
+            data = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            return ServiceError(
+                f"HTTP {status} from {self.base_url}{path}: {raw[:200]!r}"
+            )
+        retry_header = headers.get("retry-after")
+        header_view = None if retry_header is None else {"Retry-After": retry_header}
+        return HttpClient._decode_error(data, header_view)
+
+    # -- protocol calls ------------------------------------------------------
+    @staticmethod
+    def _session_path(session_id: str, suffix: str = "") -> str:
+        # Session ids may contain "/" (e.g. "job/trial-0"): quote everything.
+        return f"/v1/sessions/{urllib.parse.quote(session_id, safe='')}{suffix}"
+
+    async def submit(
+        self, spec: JobSpec, *, session_id: str | None = None
+    ) -> SubmitResponse:
+        request = SubmitRequest(spec=spec, session_id=session_id)
+        return SubmitResponse.from_dict(
+            await self._request("POST", "/v1/sessions", request.to_dict())
+        )
+
+    async def poll(
+        self, session_id: str, *, wait_s: float | None = None
+    ) -> PollResponse:
+        suffix = ""
+        extra_timeout = 0.0
+        if wait_s is not None:
+            if not math.isfinite(wait_s) or wait_s < 0:
+                raise BadRequestError("wait_s must be a finite, non-negative number")
+            suffix = f"?wait_s={float(wait_s):g}"
+            # The gateway clamps the park at MAX_WAIT_SECONDS; extending the
+            # request budget past that would mistake a dead peer for a
+            # patient one (same cap as HttpClient.poll).
+            extra_timeout = min(float(wait_s), MAX_WAIT_SECONDS)
+        return PollResponse.from_dict(
+            await self._request(
+                "GET",
+                self._session_path(session_id) + suffix,
+                extra_timeout=extra_timeout,
+            )
+        )
+
+    async def sessions(self) -> list[PollResponse]:
+        return list(
+            ListResponse.from_dict(await self._request("GET", "/v1/sessions")).sessions
+        )
+
+    async def result(self, session_id: str) -> ResultResponse:
+        return ResultResponse.from_dict(
+            await self._request("GET", self._session_path(session_id, "/result"))
+        )
+
+    async def cancel(self, session_id: str) -> CancelResponse:
+        return CancelResponse.from_dict(
+            await self._request("DELETE", self._session_path(session_id))
+        )
+
+    async def health(self) -> dict[str, Any]:
+        return await self._request("GET", "/v1/healthz")
+
+    async def metrics(self) -> dict[str, Any]:
+        return await self._request("GET", "/v1/metrics")
+
+    # -- fan-out helpers -----------------------------------------------------
+    async def wait(
+        self, session_id: str, *, timeout: float | None = None
+    ) -> PollResponse:
+        """Long-poll one session until terminal; raises ``TimeoutError``.
+
+        Issues capped legs (``_WAIT_CHUNK_SECONDS`` each, like the sync
+        client's :meth:`~repro.service.client.TuningClient.wait`) so no
+        single request — or gateway park — outlives the chunk size.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                snapshot = await self.poll(session_id)
+                if snapshot.terminal:
+                    return snapshot
+                raise TimeoutError(
+                    f"session {session_id!r} not terminal after {timeout}s"
+                )
+            chunk = (
+                _WAIT_CHUNK_SECONDS
+                if remaining is None
+                else min(_WAIT_CHUNK_SECONDS, remaining)
+            )
+            asked = loop.time()
+            snapshot = await self.poll(session_id, wait_s=chunk)
+            if snapshot.terminal:
+                return snapshot
+            if loop.time() - asked < min(chunk, 0.05):
+                # The service answered without parking (no daemon); back off
+                # instead of spinning at request speed.
+                await asyncio.sleep(0.05)
+
+    async def wait_all(
+        self,
+        session_ids: Iterable[str],
+        *,
+        concurrency: int = 8,
+        timeout: float | None = None,
+    ) -> dict[str, ResultResponse]:
+        """Drive many sessions to completion, ``concurrency`` polls at a time.
+
+        Returns ``{session_id: ResultResponse}`` for sessions that completed
+        with a result; cancelled sessions terminate but are absent, exactly
+        like the sync client's ``wait``.  Raises :class:`TimeoutError` when
+        any session outlives ``timeout``.
+        """
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        ids = list(session_ids)
+        gate = asyncio.Semaphore(concurrency)
+
+        async def _one(sid: str) -> tuple[str, ResultResponse | None]:
+            async with gate:
+                snapshot = await self.wait(sid, timeout=timeout)
+                if snapshot.status not in COMPLETED_STATUSES:
+                    return sid, None
+                return sid, await self.result(sid)
+
+        results = await asyncio.gather(*(_one(sid) for sid in ids))
+        return {sid: result for sid, result in results if result is not None}
+
+    async def close(self) -> None:
+        """Symmetry hook: connections are per-request, nothing is held."""
+
+    async def __aenter__(self) -> "AsyncTuningClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+class _TransportError(Exception):
+    """A transport-layer failure, tagged with whether request bytes went out."""
+
+    def __init__(self, message: str, *, sent: bool) -> None:
+        super().__init__(message)
+        self.sent = sent
+
+
+class BridgedAsyncClient(TuningClient):
+    """:class:`AsyncTuningClient` behind the synchronous client interface.
+
+    Owns a private event loop on a daemon thread and bridges every call
+    with ``run_coroutine_threadsafe``.  This is how the shared contract
+    suite (and any synchronous caller) exercises the asyncio transport
+    without itself becoming async; production asyncio code should use
+    :class:`AsyncTuningClient` directly.
+    """
+
+    def __init__(self, base_url: str, **kwargs: Any) -> None:
+        self._async = AsyncTuningClient(base_url, **kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-bridged-async-client",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def base_url(self) -> str:
+        return self._async.base_url
+
+    def _call(self, coro: Any) -> Any:
+        if not self._thread.is_alive():
+            coro.close()  # never scheduled; suppress the unawaited warning
+            raise RuntimeError("client is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def submit(self, spec: JobSpec, *, session_id: str | None = None) -> SubmitResponse:
+        return self._call(self._async.submit(spec, session_id=session_id))
+
+    def poll(self, session_id: str, *, wait_s: float | None = None) -> PollResponse:
+        return self._call(self._async.poll(session_id, wait_s=wait_s))
+
+    def sessions(self) -> list[PollResponse]:
+        return self._call(self._async.sessions())
+
+    def result(self, session_id: str) -> ResultResponse:
+        return self._call(self._async.result(session_id))
+
+    def cancel(self, session_id: str) -> CancelResponse:
+        return self._call(self._async.cancel(session_id))
+
+    def health(self) -> dict[str, Any]:
+        return self._call(self._async.health())
+
+    def metrics(self) -> dict[str, Any]:
+        return self._call(self._async.metrics())
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()

@@ -1,0 +1,585 @@
+"""Asyncio gateway: thousands of parked long-polls on a handful of threads.
+
+:class:`AsyncTuningGateway` serves the exact wire protocol of
+:class:`~repro.service.http.TuningGateway` — same routes, same error codes,
+same bearer-token auth (including live token rotation), same ``%2F``-quoted
+session ids, same ``/v1/metrics`` instruments — from a single
+:mod:`asyncio` event loop instead of one thread per connection.  The two
+gateways are interchangeable behind the client contract suite and behind
+``python -m repro serve`` (``--async`` selects this one).
+
+Why it exists
+-------------
+
+``ThreadingHTTPServer`` parks one whole thread inside
+:meth:`TuningService.wait_for` for every in-flight long-poll.  That is fine
+at tens of tenants and dead at thousands: 10k parked polls would mean 10k
+stacks.  Here a parked poll is a coroutine awaiting a per-session
+:class:`asyncio.Event` — a few hundred bytes — so concurrent parked polls
+scale with memory, not threads.
+
+The thread⇄loop bridge
+----------------------
+
+The service signals state changes on a :class:`threading.Condition`
+(``_wakeup``); coroutines cannot wait on it.  One dedicated *watcher*
+thread runs :meth:`TuningService.watch_state`, which holds the service lock
+between waits (so no notification is ever missed) and invokes a tiny
+callback on every notify; the callback bounces to the loop with
+``call_soon_threadsafe``, where :meth:`_scan_waiters` snapshots
+``service.statuses()`` once and sets the events of every session that went
+terminal (or all of them once the daemon stops serving).  Waiter
+registration and scanning both happen on the loop thread, so the classic
+check-then-park race cannot lose a wakeup: any notification that fires
+after a coroutine's status check is delivered by a scan that runs only
+once the coroutine is parked.
+
+Service calls (submit, poll, cancel, …) acquire the service lock, and the
+lock can be held for a while (a session's first ``ask`` may profile its
+bootstrap inline).  They therefore never run on the loop thread — each one
+is a short hop through the loop's default thread pool
+(``run_in_executor``), so a slow critical section delays the requests that
+need the lock, not unrelated connections, timers, or parked polls.  The
+pool is bounded (``min(32, cpus + 4)`` threads) and parked polls do not
+occupy it, which is what keeps the thread count flat under thousands of
+concurrent long-polls.  The protocol behaviour (and every per-session
+trace) is bit-identical to the threaded gateway's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from http import HTTPStatus
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.service.api import (
+    BadRequestError,
+    ErrorResponse,
+    ListResponse,
+    ServiceError,
+    SubmitRequest,
+)
+from repro.service.client import LocalClient
+from repro.service.http import (
+    _MAX_BODY_BYTES,
+    TokenTable,
+    UnknownRouteError,
+    _endpoint_label,
+    _gateway_instruments,
+    _parse_wait_seconds,
+    _resolve_client,
+    _retry_after_headers,
+)
+from repro.service.service import TuningService
+
+__all__ = ["AsyncTuningGateway"]
+
+_LOG = logging.getLogger("repro.service.asyncio_gateway")
+
+#: Cap on one request line plus headers; beyond this is garbage or abuse.
+_MAX_HEADER_BYTES = 64 * 1024
+
+#: Watcher heartbeat: the scan also runs on this cadence, bounding wakeup
+#: latency even in the (structurally excluded) case of a lost notification,
+#: and bounding how long gateway shutdown waits for the watcher thread.
+_WATCH_TICK_SECONDS = 0.2
+
+
+class _BadHttpRequest(Exception):
+    """The bytes on the wire are not a parseable HTTP request."""
+
+
+@dataclass
+class _Request:
+    """One parsed HTTP request (header names lower-cased)."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def segments(self) -> list[str]:
+        # Split *before* unquoting so %2F inside a session id survives —
+        # the same rule as the threaded gateway.
+        path = urllib.parse.urlsplit(self.target).path
+        return [urllib.parse.unquote(part) for part in path.split("/") if part]
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json_body(self) -> dict[str, Any]:
+        if not self.body:
+            raise BadRequestError("request requires a JSON body")
+        try:
+            data = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError):
+            raise BadRequestError("request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return data
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF between requests."""
+    line = await reader.readline()
+    if not line:
+        return None
+    if len(line) > _MAX_HEADER_BYTES or not line.endswith(b"\n"):
+        raise _BadHttpRequest("oversized or truncated request line")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise _BadHttpRequest(f"malformed request line {line!r}") from None
+    headers: dict[str, str] = {}
+    total = len(line)
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise _BadHttpRequest("oversized request headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line.endswith(b"\n"):
+            raise _BadHttpRequest("connection closed mid-headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadHttpRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _BadHttpRequest("invalid Content-Length header") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _BadHttpRequest(
+                f"Content-Length must be between 0 and {_MAX_BODY_BYTES}"
+            )
+        if length:
+            body = await reader.readexactly(length)
+    return _Request(method, target, version, headers, body)
+
+
+class AsyncTuningGateway:
+    """An asyncio HTTP front-end over a tuning service.
+
+    Drop-in interchangeable with :class:`~repro.service.http.TuningGateway`:
+    same constructor shape, same :meth:`start` / :meth:`serve_forever` /
+    :meth:`close` lifecycle, same :attr:`url` for clients — and the same
+    wire behaviour, verified by running the full client-contract, tenant
+    and chaos suites against both.  The difference is purely mechanical:
+    ``wait_s`` long-polls park coroutines on per-session events (see the
+    module docstring), so concurrent parked polls cost memory, not threads.
+    """
+
+    def __init__(
+        self,
+        service: TuningService | LocalClient,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        tokens: Mapping[str, str] | None = None,
+        token_file: str | Path | None = None,
+    ) -> None:
+        if tokens is not None and token_file is not None:
+            raise ValueError("pass either tokens or token_file, not both")
+        client = service if isinstance(service, LocalClient) else LocalClient(service)
+        self._client = client
+        self._service = client.service
+        self.tenant_clients: dict[str, LocalClient] = {}
+        self._token_table: TokenTable | None = None
+        if tokens is not None or token_file is not None:
+            self._token_table = TokenTable(
+                tokens=tokens,
+                token_file=token_file,
+                tenant_clients=self.tenant_clients,
+            )
+        self._metrics = _gateway_instruments(client.service.metrics)
+        self._requested = (host, port)
+        self._sockname: tuple[str, int] | None = None
+        self._bound = threading.Event()
+        self._boot_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_async: asyncio.Event | None = None
+        self._scan_wakeup: asyncio.Event | None = None
+        self._watch_stop = threading.Event()
+        self._watch_thread: threading.Thread | None = None
+        self._thread: threading.Thread | None = None
+        self._loop_started = False
+        # Parked long-polls, keyed by session id.  Loop-confined: only ever
+        # touched from the event-loop thread, so it needs no lock.
+        self._waiters: dict[str, set[asyncio.Event]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return (self._sockname or self._requested)[0]
+
+    @property
+    def port(self) -> int:
+        return (self._sockname or self._requested)[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL an ``HttpClient`` / ``AsyncTuningClient`` connects to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AsyncTuningGateway":
+        """Serve on a background thread; returns once the socket is bound."""
+        if self._loop_started:
+            raise RuntimeError("gateway already started")
+        self._loop_started = True
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name="repro-async-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        self._bound.wait(timeout=10)
+        if self._boot_error is not None:
+            raise RuntimeError(
+                f"asyncio gateway failed to start: {self._boot_error}"
+            ) from self._boot_error
+        if self._sockname is None:
+            raise RuntimeError("asyncio gateway failed to bind within 10s")
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or Ctrl-C)."""
+        if self._loop_started:
+            raise RuntimeError("gateway already started")
+        self._loop_started = True
+        self._run_loop()
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:
+            self._boot_error = error
+            raise
+        finally:
+            self._bound.set()  # unblock start() even when binding failed
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        self._scan_wakeup = asyncio.Event()
+        scanner = self._loop.create_task(self._scanner(), name="repro-waiter-scan")
+        server = await asyncio.start_server(
+            self._handle_connection, self._requested[0], self._requested[1]
+        )
+        self._sockname = server.sockets[0].getsockname()[:2]
+        self._watch_thread = threading.Thread(
+            target=self._service.watch_state,
+            args=(self._on_service_event, self._watch_stop),
+            kwargs={"tick": _WATCH_TICK_SECONDS},
+            name="repro-async-gateway-watch",
+            daemon=True,
+        )
+        self._watch_thread.start()
+        self._bound.set()
+        try:
+            async with server:
+                await self._stop_async.wait()
+        finally:
+            # Unparked coroutines are cancelled by asyncio.run()'s cleanup;
+            # release them first so in-flight responses can still finish
+            # inside the grace the cancellation machinery allows.
+            self._watch_stop.set()
+            scanner.cancel()
+            for events in self._waiters.values():
+                for event in events:
+                    event.set()
+            self._waiters.clear()
+
+    def join(self) -> None:
+        """Block until a :meth:`start`-ed gateway stops (Ctrl-C friendly)."""
+        thread = self._thread
+        if thread is None:
+            raise RuntimeError("join() requires a gateway started with start()")
+        while thread.is_alive():
+            thread.join(timeout=0.5)  # finite timeout keeps signals deliverable
+
+    def close(self) -> None:
+        """Stop accepting requests, release parked polls, join the threads."""
+        self._watch_stop.set()
+        loop, stop = self._loop, self._stop_async
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        # Pop the watcher thread out of its current condition wait promptly.
+        self._service.notify_watchers()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=10)
+            self._watch_thread = None
+
+    def __enter__(self) -> "AsyncTuningGateway":
+        if not self._loop_started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the thread⇄loop wakeup bridge ---------------------------------------
+    async def _call(self, fn: Any, *args: Any) -> Any:
+        """Run one lock-taking service call in the default thread pool.
+
+        The loop thread itself must never acquire the service lock: a
+        session's first ``ask`` can hold it for seconds (inline bootstrap
+        profiling), and a blocked loop would stall every connection and
+        timer, not just the one request that needs the lock.
+        """
+        assert self._loop is not None
+        return await self._loop.run_in_executor(None, fn, *args)
+
+    def _on_service_event(self) -> None:
+        # Runs on the watcher thread WHILE the service lock is held: do no
+        # service calls here, just flip the scanner's flag on the loop.
+        loop, wakeup = self._loop, self._scan_wakeup
+        if loop is None or wakeup is None:
+            return
+        try:
+            loop.call_soon_threadsafe(wakeup.set)
+        except RuntimeError:
+            pass  # loop shut down mid-event; close() handles the waiters
+
+    async def _scanner(self) -> None:
+        """Wake parked polls whose sessions went terminal — one task, forever.
+
+        A single scanner with an :class:`asyncio.Event` trigger coalesces
+        notification storms: a burst of tells costs one in-flight status
+        snapshot plus at most one queued re-scan, no matter how many
+        notifications arrived.  The snapshot itself takes the service lock,
+        so it runs through :meth:`_call`; waiter bookkeeping stays on the
+        loop thread.
+        """
+        assert self._scan_wakeup is not None
+        while True:
+            await self._scan_wakeup.wait()
+            self._scan_wakeup.clear()
+            if not self._waiters:
+                continue
+            serving, statuses = await self._call(
+                lambda: (self._service.serving, self._service.statuses())
+            )
+            for session_id in list(self._waiters):
+                status = statuses.get(session_id)
+                if serving and status is not None and not status.terminal:
+                    continue
+                for event in self._waiters.pop(session_id, ()):
+                    event.set()
+
+    async def _poll_parked(
+        self, client: LocalClient, session_id: str, wait_s: float
+    ) -> Any:
+        """The asyncio long-poll: park on a per-session event, no thread held.
+
+        Equivalent to the threaded gateway's ``client.poll(sid, wait_s=N)``
+        — including the 404-before-blocking rule for unknown/foreign ids and
+        the immediate return when no daemon is serving — but the park is an
+        awaitable event, so ten thousand of these cost ten thousand small
+        objects, not ten thousand stacks.
+
+        A status change landing between a snapshot and the event
+        registration that follows it cannot strand the waiter: the watcher
+        thread re-triggers the scanner on every tick
+        (:data:`_WATCH_TICK_SECONDS`), so a missed edge costs at most one
+        tick of latency, never a lost wakeup.
+        """
+        assert self._loop is not None
+        # Validate visibility first: unknown and foreign ids must 404
+        # without blocking, exactly like the threaded transport.
+        snapshot, serving = await self._call(
+            lambda: (client.poll(session_id), self._service.serving)
+        )
+        deadline = self._loop.time() + wait_s
+        while not snapshot.terminal and serving:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                break
+            event = asyncio.Event()
+            self._waiters.setdefault(session_id, set()).add(event)
+            try:
+                await asyncio.wait_for(event.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                events = self._waiters.get(session_id)
+                if events is not None:
+                    events.discard(event)
+                    if not events:
+                        self._waiters.pop(session_id, None)
+            snapshot, serving = await self._call(
+                lambda: (client.poll(session_id), self._service.serving)
+            )
+        return snapshot
+
+    # -- request handling ----------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadHttpRequest as error:
+                    payload = ErrorResponse(
+                        code="bad_request", message=str(error)
+                    ).to_dict()
+                    await self._send(writer, 400, payload, None, close=True)
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # peer vanished mid-request
+                if request is None:
+                    return  # clean EOF between requests
+                status, payload, headers, endpoint = await self._dispatch(request)
+                close = not request.keep_alive
+                try:
+                    await self._send(writer, status, payload, headers, close=close)
+                except ConnectionError:
+                    # The client hung up — typically mid-long-poll.  Count
+                    # it and drop the connection cleanly, no stack trace.
+                    self._metrics["disconnects"].inc(endpoint=endpoint)
+                    return
+                if close:
+                    return
+        except asyncio.CancelledError:
+            # Gateway shutdown cancelled this connection mid-request (close()
+            # or Ctrl-C with polls in flight).  There is nothing left to
+            # answer and nobody above to re-raise to — asyncio.run()'s
+            # teardown would print the cancellation as a spurious traceback.
+            _LOG.debug("connection cancelled by gateway shutdown")
+        except Exception:  # pragma: no cover - defensive
+            _LOG.exception("unhandled asyncio gateway connection error")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: _Request
+    ) -> tuple[int, dict[str, Any], dict[str, str] | None, str]:
+        started = time.perf_counter()
+        endpoint = _endpoint_label(request.segments)
+        headers: dict[str, str] | None = None
+        try:
+            status, payload = await self._route(request)
+        except ServiceError as error:
+            status = error.http_status
+            payload = ErrorResponse.from_exception(error).to_dict()
+            headers = _retry_after_headers(error)
+        except Exception as error:  # pragma: no cover - defensive
+            _LOG.exception("unhandled asyncio gateway error")
+            status = 500
+            payload = ErrorResponse(
+                code="internal", message=f"{type(error).__name__}: {error}"
+            ).to_dict()
+        self._metrics["latency"].observe(
+            time.perf_counter() - started, endpoint=endpoint
+        )
+        self._metrics["requests"].inc(
+            endpoint=endpoint, method=request.method, status=str(status)
+        )
+        return status, payload, headers, endpoint
+
+    def _client_for(self, request: _Request) -> LocalClient:
+        return _resolve_client(
+            self._client,
+            self._token_table,
+            self.tenant_clients,
+            request.headers.get("authorization"),
+        )
+
+    async def _route(self, request: _Request) -> tuple[int, dict[str, Any]]:
+        segments = request.segments
+        method = request.method
+        if segments[:1] != ["v1"]:
+            raise UnknownRouteError(f"unknown path {request.target!r}")
+        rest = segments[1:]
+        if rest == ["healthz"] and method == "GET":
+            # Liveness stays open: probes and load balancers carry no token.
+            return 200, await self._call(self._client.health)
+        if rest == ["metrics"] and method == "GET":
+            # Metrics never *require* auth; a presented bearer token is
+            # validated and served the tenant-scoped view instead.
+            if self._token_table is None or not request.headers.get("authorization"):
+                return 200, await self._call(self._client.metrics)
+            return 200, await self._call(self._client_for(request).metrics)
+        client = self._client_for(request)
+        if rest == ["sessions"]:
+            if method == "GET":
+                sessions = await self._call(client.sessions)
+                return 200, ListResponse(sessions=tuple(sessions)).to_dict()
+            if method == "POST":
+                submit = SubmitRequest.from_dict(request.json_body())
+                response = await self._call(
+                    lambda: client.submit(submit.spec, session_id=submit.session_id)
+                )
+                return 201, response.to_dict()
+        if len(rest) == 2 and rest[0] == "sessions":
+            session_id = rest[1]
+            if method == "GET":
+                wait_s = _parse_wait_seconds(request.target)
+                if wait_s is None:
+                    snapshot = await self._call(client.poll, session_id)
+                    return 200, snapshot.to_dict()
+                snapshot = await self._poll_parked(client, session_id, wait_s)
+                return 200, snapshot.to_dict()
+            if method == "DELETE":
+                cancelled = await self._call(client.cancel, session_id)
+                return 200, cancelled.to_dict()
+        if len(rest) == 3 and rest[:1] == ["sessions"] and rest[2] == "result":
+            if method == "GET":
+                result = await self._call(client.result, rest[1])
+                return 200, result.to_dict()
+        raise UnknownRouteError(f"no route for {method} {request.target!r}")
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None,
+        *,
+        close: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            reason = HTTPStatus(status).phrase
+        except ValueError:  # pragma: no cover - non-standard status
+            reason = ""
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Server: repro-tuning-gateway-async/1",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if close:
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -80,6 +80,7 @@ from typing import Any
 
 from repro.service.api import (
     COMPLETED_STATUSES,
+    MAX_WAIT_SECONDS,
     PROTOCOL_VERSION,
     BadRequestError,
     CancelResponse,
@@ -515,12 +516,34 @@ class HttpClient(TuningClient):
                 raise ServiceError(
                     f"HTTP {error.code} from {self.base_url}{path}: {raw[:200]!r}"
                 ) from None
-            raise ErrorResponse.from_dict(data).to_exception() from None
+            raise self._decode_error(data, error.headers) from None
         except urllib.error.URLError as error:
             raise ServiceError(
                 f"cannot reach tuning gateway at {self.base_url}: {error.reason}"
             ) from None
         return json.loads(raw) if raw else {}
+
+    @staticmethod
+    def _decode_error(data: dict[str, Any], headers: Any) -> ServiceError:
+        """An error body plus response headers, as the exception to raise.
+
+        The JSON body's ``retry_after_s`` is authoritative; the
+        ``Retry-After`` header is the fallback for gateways (or proxies)
+        that only speak the HTTP-level convention.  Either way the hint
+        lands on the exception's ``retry_after_s`` so callers never have to
+        see raw response headers.
+        """
+        error = ErrorResponse.from_dict(data).to_exception()
+        if getattr(error, "retry_after_s", None) is None:
+            header = headers.get("Retry-After") if headers is not None else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+                if retry_after is not None and math.isfinite(retry_after):
+                    error.retry_after_s = max(0.0, retry_after)
+        return error
 
     @staticmethod
     def _session_path(session_id: str, suffix: str = "") -> str:
@@ -544,7 +567,12 @@ class HttpClient(TuningClient):
                     "wait_s must be a finite, non-negative number"
                 )
             suffix = f"?wait_s={float(wait_s):g}"
-            extra_timeout = float(wait_s)
+            # Every gateway clamps the server-side park at MAX_WAIT_SECONDS,
+            # so extending the socket timeout by the full requested wait
+            # would make a dead gateway look like a (very) patient one:
+            # wait_s=3600 must not mean "hang for an hour on a lost TCP
+            # peer".  Cap the extension at what the server will honour.
+            extra_timeout = min(float(wait_s), MAX_WAIT_SECONDS)
         return PollResponse.from_dict(
             self._request(
                 "GET",

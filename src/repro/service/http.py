@@ -17,7 +17,11 @@ Routes (all JSON, all stamped with the protocol version):
                                            long-polls — the response is held
                                            until the session is terminal or
                                            ``N`` seconds passed (capped at
-                                           60), so clients stop busy-polling
+                                           ``MAX_WAIT_SECONDS`` = 60 per
+                                           leg; clients size their socket
+                                           timeouts against the cap, not
+                                           the requested wait), so clients
+                                           stop busy-polling
 ``DELETE /v1/sessions/{id}``               ``CancelResponse`` (409 once the
                                            session completed)
 ``GET /v1/sessions/{id}/result``           ``ResultResponse`` (409 until
@@ -42,7 +46,10 @@ request is served by a tenant-scoped client — submissions are stamped with
 the authenticated tenant (whatever the spec claims) and another tenant's
 session ids are indistinguishable from unknown ones (404).  Requests with a
 missing or unknown token get a 401 ``unauthorized`` error body.  The token
-file is a JSON object mapping token → tenant name.
+file is a JSON object mapping token → tenant name, and rotates *live*: the
+gateway watches the file's signature and atomically swaps the mapping (and
+drops cached clients of revoked tenants) on change — see
+:class:`TokenTable`.
 
 Errors are :class:`~repro.service.api.ErrorResponse` bodies whose ``code``
 decodes back into the exception a local caller would have seen — the
@@ -71,6 +78,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.service.api import (
+    MAX_WAIT_SECONDS,
     BadRequestError,
     ErrorResponse,
     ListResponse,
@@ -81,7 +89,7 @@ from repro.service.api import (
 from repro.service.client import LocalClient
 from repro.service.service import TuningService
 
-__all__ = ["TuningGateway", "load_token_file"]
+__all__ = ["TuningGateway", "TokenTable", "load_token_file"]
 
 _LOG = logging.getLogger("repro.service.http")
 
@@ -91,7 +99,9 @@ _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: Cap on one long-poll leg: bounds how long a connection thread may park on
 #: the service condition variable (clients chunk longer waits themselves).
-_MAX_WAIT_SECONDS = 60.0
+#: This is the *protocol* constant — both gateways and both HTTP clients
+#: size their behaviour against the same number.
+_MAX_WAIT_SECONDS = MAX_WAIT_SECONDS
 
 
 def load_token_file(path: str | Path) -> dict[str, str]:
@@ -109,13 +119,97 @@ def load_token_file(path: str | Path) -> dict[str, str]:
     return data
 
 
+class TokenTable:
+    """Bearer-token → tenant mapping with live rotation from a token file.
+
+    Static mappings (``tokens=...``) never change.  File-backed tables
+    (``token_file=...``) re-stat the file on every :meth:`resolve` and
+    atomically swap in the freshly parsed mapping whenever the
+    ``(st_mtime_ns, st_size)`` signature changes — token rotation without a
+    gateway restart.  On rotation, cached tenant-scoped clients for tenants
+    that disappeared from the new map are dropped from ``tenant_clients``,
+    so a revoked tenant's next (necessarily re-authenticated) request cannot
+    ride a stale client.
+
+    A half-written or momentarily unreadable token file is *not* an outage:
+    the previous table keeps serving and the reload is retried on the next
+    resolve.  Both gateway implementations share this class.
+    """
+
+    def __init__(
+        self,
+        tokens: Mapping[str, str] | None = None,
+        token_file: str | Path | None = None,
+        *,
+        tenant_clients: dict[str, LocalClient] | None = None,
+    ) -> None:
+        if (tokens is None) == (token_file is None):
+            raise ValueError("pass exactly one of tokens or token_file")
+        self._lock = threading.Lock()
+        self._path = None if token_file is None else Path(token_file)
+        self._tenant_clients = tenant_clients if tenant_clients is not None else {}
+        if self._path is None:
+            self._tokens = dict(tokens or {})
+            self._stamp: tuple[int, int] | None = None
+        else:
+            self._tokens = load_token_file(self._path)
+            self._stamp = self._signature()
+
+    def _signature(self) -> tuple[int, int]:
+        stat = self._path.stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def resolve(self, token: str) -> str | None:
+        """The tenant behind ``token`` (after any pending rotation), or ``None``."""
+        with self._lock:
+            self._maybe_reload_locked()
+            return self._tokens.get(token)
+
+    def tenants(self) -> set[str]:
+        """The tenant names the current table maps to (one atomic snapshot)."""
+        with self._lock:
+            return set(self._tokens.values())
+
+    def _maybe_reload_locked(self) -> None:
+        if self._path is None:
+            return
+        try:
+            stamp = self._signature()
+        except OSError:
+            return  # file briefly missing mid-rotation: keep the last table
+        if stamp == self._stamp:
+            return
+        try:
+            fresh = load_token_file(self._path)
+        except (OSError, ValueError) as error:
+            # Don't advance the stamp: the next resolve retries the reload.
+            _LOG.warning(
+                "token file %s unreadable mid-rotation (%s); keeping the "
+                "previous table",
+                self._path,
+                error,
+            )
+            return
+        removed = set(self._tokens.values()) - set(fresh.values())
+        self._tokens = fresh
+        self._stamp = stamp
+        for tenant in removed:
+            self._tenant_clients.pop(tenant, None)
+        if removed:
+            _LOG.info(
+                "token table rotated: %d token(s), %d tenant(s) revoked",
+                len(fresh),
+                len(removed),
+            )
+
+
 class _GatewayServer(ThreadingHTTPServer):
     daemon_threads = True  # connection threads must not block interpreter exit
     allow_reuse_address = True
 
     # Set by TuningGateway.__init__ before the first request can arrive.
     gateway_client: LocalClient
-    gateway_tokens: dict[str, str] | None
+    gateway_token_table: TokenTable | None
     tenant_clients: dict[str, LocalClient]
     gateway_metrics: dict[str, Any] | None
 
@@ -143,6 +237,96 @@ def _endpoint_label(segments: list[str]) -> str:
     return "other"
 
 
+def _parse_wait_seconds(target: str) -> float | None:
+    """The ``wait_s`` query parameter of a request target, validated and capped.
+
+    Shared by both gateway implementations so the validation (reject NaN /
+    infinity / negatives with a 400) and the :data:`MAX_WAIT_SECONDS` cap
+    are wire-identical across transports.
+    """
+    query = urllib.parse.urlsplit(target).query
+    values = urllib.parse.parse_qs(query).get("wait_s")
+    if not values:
+        return None
+    try:
+        wait_s = float(values[-1])
+    except ValueError:
+        raise BadRequestError(
+            f"wait_s must be a number of seconds, got {values[-1]!r}"
+        ) from None
+    # NaN would slip past both comparisons below (all comparisons with
+    # NaN are False) and make wait_for spin forever; reject it with the
+    # other non-finite garbage.
+    if not math.isfinite(wait_s) or wait_s < 0:
+        raise BadRequestError("wait_s must be a finite, non-negative number")
+    return min(wait_s, MAX_WAIT_SECONDS)
+
+
+def _resolve_client(
+    base: LocalClient,
+    table: TokenTable | None,
+    cache: dict[str, LocalClient],
+    auth_header: str | None,
+) -> LocalClient:
+    """The (possibly tenant-scoped) client serving one request.
+
+    With auth disabled every request shares the gateway's base client; with
+    auth enabled the bearer token picks the tenant (through the rotating
+    :class:`TokenTable`) and the request is served by that tenant's scoped
+    client, cached per tenant in ``cache``.  Shared by both gateways.
+    """
+    if table is None:
+        return base
+    scheme, _, token = (auth_header or "").partition(" ")
+    if scheme.lower() != "bearer" or not token.strip():
+        raise UnauthorizedError(
+            "this gateway requires an 'Authorization: Bearer <token>' header"
+        )
+    tenant = table.resolve(token.strip())
+    if tenant is None:
+        raise UnauthorizedError("unknown bearer token")
+    client = cache.get(tenant)
+    if client is None:
+        # setdefault keeps concurrent first requests from both winning.
+        client = cache.setdefault(tenant, base.scoped(tenant))
+    return client
+
+
+def _retry_after_headers(error: ServiceError) -> dict[str, str] | None:
+    """The ``Retry-After`` header for an error carrying a back-off hint."""
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is None:
+        return None
+    # RFC 9110 Retry-After is whole seconds; round up so 0.5s is not "0".
+    return {"Retry-After": str(max(0, math.ceil(retry_after)))}
+
+
+def _gateway_instruments(registry: Any) -> dict[str, Any]:
+    """The request-telemetry instruments every gateway records into.
+
+    The registry's get-or-create semantics make this idempotent, so a
+    threaded and an asyncio gateway over the same service share one set of
+    series — ``/v1/metrics`` shows the front-end traffic as a whole.
+    """
+    return {
+        "latency": registry.histogram(
+            "gateway_request_seconds",
+            "Wall-clock request latency at the gateway",
+            labels=("endpoint",),
+        ),
+        "requests": registry.counter(
+            "gateway_requests_total",
+            "Requests served, by endpoint family, method and status code",
+            labels=("endpoint", "method", "status"),
+        ),
+        "disconnects": registry.counter(
+            "gateway_client_disconnects_total",
+            "Responses dropped because the client disconnected first",
+            labels=("endpoint",),
+        ),
+    }
+
+
 class _GatewayHandler(BaseHTTPRequestHandler):
     server_version = "repro-tuning-gateway/1"
     protocol_version = "HTTP/1.1"
@@ -153,12 +337,30 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _LOG.debug("%s - %s", self.address_string(), format % args)
 
+    def handle(self) -> None:
+        # A client may RST its socket between keep-alive requests (or while
+        # we read one); that is its prerogative, not a server error worth a
+        # socketserver stack trace.  Responses dropped mid-write are counted
+        # separately in _dispatch.
+        try:
+            super().handle()
+        except ConnectionError:
+            self.close_connection = True
+            _LOG.debug("client reset the connection between requests")
+
     # -- plumbing ------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -206,49 +408,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _wait_seconds(self) -> float | None:
         """The ``wait_s`` long-poll query parameter, validated and capped."""
-        query = urllib.parse.urlsplit(self.path).query
-        values = urllib.parse.parse_qs(query).get("wait_s")
-        if not values:
-            return None
-        try:
-            wait_s = float(values[-1])
-        except ValueError:
-            raise BadRequestError(
-                f"wait_s must be a number of seconds, got {values[-1]!r}"
-            ) from None
-        # NaN would slip past both comparisons below (all comparisons with
-        # NaN are False) and make wait_for spin forever; reject it with the
-        # other non-finite garbage.
-        if not math.isfinite(wait_s) or wait_s < 0:
-            raise BadRequestError("wait_s must be a finite, non-negative number")
-        return min(wait_s, _MAX_WAIT_SECONDS)
+        return _parse_wait_seconds(self.path)
 
     def _client(self) -> LocalClient:
-        """The (possibly tenant-scoped) client serving this request.
-
-        With auth disabled every request shares the gateway's base client;
-        with auth enabled the bearer token picks the tenant and the request
-        is served by that tenant's scoped client (cached per tenant).
-        """
-        tokens = self.server.gateway_tokens
-        base = self.server.gateway_client
-        if tokens is None:
-            return base
-        header = self.headers.get("Authorization", "")
-        scheme, _, token = header.partition(" ")
-        if scheme.lower() != "bearer" or not token.strip():
-            raise UnauthorizedError(
-                "this gateway requires an 'Authorization: Bearer <token>' header"
-            )
-        tenant = tokens.get(token.strip())
-        if tenant is None:
-            raise UnauthorizedError("unknown bearer token")
-        cache = self.server.tenant_clients
-        client = cache.get(tenant)
-        if client is None:
-            # setdefault keeps concurrent first requests from both winning.
-            client = cache.setdefault(tenant, base.scoped(tenant))
-        return client
+        """The (possibly tenant-scoped) client serving this request."""
+        return _resolve_client(
+            self.server.gateway_client,
+            self.server.gateway_token_table,
+            self.server.tenant_clients,
+            self.headers.get("Authorization"),
+        )
 
     def _metrics_client(self) -> LocalClient:
         """The client serving ``GET /v1/metrics``: unauthenticated by default.
@@ -257,7 +426,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         the base client's full snapshot; a presented bearer token is resolved
         normally, so authenticated tenants see only their own label set.
         """
-        if self.server.gateway_tokens is None or not self.headers.get("Authorization"):
+        if self.server.gateway_token_table is None or not self.headers.get(
+            "Authorization"
+        ):
             return self.server.gateway_client
         return self._client()
 
@@ -265,11 +436,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self._body_read = False
         started = time.perf_counter()
         segments = self._segments()
+        headers: dict[str, str] | None = None
         try:
             status, payload = self._route(method, segments)
         except ServiceError as error:
             status = error.http_status
             payload = ErrorResponse.from_exception(error).to_dict()
+            headers = _retry_after_headers(error)
         except Exception as error:  # pragma: no cover - defensive
             _LOG.exception("unhandled gateway error")
             status = 500
@@ -277,16 +450,25 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 code="internal", message=f"{type(error).__name__}: {error}"
             ).to_dict()
         self._discard_unread_body()
+        endpoint = _endpoint_label(segments)
         metrics = self.server.gateway_metrics
         if metrics is not None:
-            endpoint = _endpoint_label(segments)
             metrics["latency"].observe(
                 time.perf_counter() - started, endpoint=endpoint
             )
             metrics["requests"].inc(
                 endpoint=endpoint, method=method, status=str(status)
             )
-        self._send_json(status, payload)
+        try:
+            self._send_json(status, payload, headers)
+        except ConnectionError:
+            # The client hung up — typically mid-long-poll — so there is
+            # nobody to answer.  That is back-pressure, not a server error:
+            # count it, drop the connection cleanly, no stack trace.
+            if metrics is not None:
+                metrics["disconnects"].inc(endpoint=endpoint)
+            self.close_connection = True
+            _LOG.debug("client disconnected before the response was written")
 
     # -- routing -------------------------------------------------------------
     def _route(
@@ -357,7 +539,9 @@ class TuningGateway:
     tokens / token_file:
         Enable bearer-token auth: a mapping (or JSON file) of token →
         tenant.  See the module docstring for the resulting isolation
-        semantics.  Mutually exclusive.
+        semantics.  Mutually exclusive.  A ``token_file`` additionally
+        rotates live — editing the file takes effect on the next request,
+        no restart required.
 
     The gateway does not own the service lifecycle: start the daemon with
     ``service.serve()`` before (or after) :meth:`start`, and shut it down
@@ -375,30 +559,31 @@ class TuningGateway:
     ) -> None:
         if tokens is not None and token_file is not None:
             raise ValueError("pass either tokens or token_file, not both")
-        if token_file is not None:
-            tokens = load_token_file(token_file)
         client = service if isinstance(service, LocalClient) else LocalClient(service)
         self._server = _GatewayServer((host, port), _GatewayHandler)
         self._server.gateway_client = client
-        self._server.gateway_tokens = dict(tokens) if tokens is not None else None
         self._server.tenant_clients = {}
+        if tokens is None and token_file is None:
+            self._server.gateway_token_table = None
+        else:
+            # File-backed tables rotate live: the table re-stats the file on
+            # every resolve and swaps the mapping (revoking cached tenant
+            # clients) when it changes — no gateway restart needed.
+            self._server.gateway_token_table = TokenTable(
+                tokens=tokens,
+                token_file=token_file,
+                tenant_clients=self._server.tenant_clients,
+            )
         # Request telemetry lands in the backing service's registry, so one
         # /v1/metrics scrape covers the gateway and the scheduler alike.
-        registry = client.service.metrics
-        self._server.gateway_metrics = {
-            "latency": registry.histogram(
-                "gateway_request_seconds",
-                "Wall-clock request latency at the gateway",
-                labels=("endpoint",),
-            ),
-            "requests": registry.counter(
-                "gateway_requests_total",
-                "Requests served, by endpoint family, method and status code",
-                labels=("endpoint", "method", "status"),
-            ),
-        }
+        self._server.gateway_metrics = _gateway_instruments(client.service.metrics)
         self._thread: threading.Thread | None = None
         self._loop_started = False
+
+    @property
+    def tenant_clients(self) -> dict[str, LocalClient]:
+        """The per-tenant scoped-client cache (rotation evicts from it live)."""
+        return self._server.tenant_clients
 
     @property
     def host(self) -> str:

@@ -217,6 +217,10 @@ class TuningService:
         sessions finish or are cancelled.  ``None`` (default) disables
         quotas.  Sessions submitted without a tenant share the anonymous
         (``None``) tenant's budget.
+    quota_retry_after_s:
+        Back-off hint stamped on quota rejections
+        (``QuotaExceededError.retry_after_s``); gateways emit it as an HTTP
+        ``Retry-After`` header so throttled clients know when to try again.
     autosave_path / autosave_interval_s:
         When ``autosave_path`` is set, :meth:`serve` starts a background
         thread that calls :meth:`save_registry` every
@@ -252,6 +256,7 @@ class TuningService:
         bootstrap_parallel: bool = False,
         mp_context: Any | None = None,
         tenant_quota: int | None = None,
+        quota_retry_after_s: float = 1.0,
         autosave_path: str | Path | None = None,
         autosave_interval_s: float = 30.0,
         journal_path: str | Path | None = None,
@@ -266,6 +271,8 @@ class TuningService:
             )
         if tenant_quota is not None and tenant_quota < 1:
             raise ValueError("tenant_quota must be at least 1 (or None)")
+        if not math.isfinite(quota_retry_after_s) or quota_retry_after_s <= 0:
+            raise ValueError("quota_retry_after_s must be a positive, finite number")
         if autosave_interval_s <= 0:
             raise ValueError("autosave_interval_s must be positive")
         self.n_workers = n_workers
@@ -275,6 +282,7 @@ class TuningService:
         self.bootstrap_parallel = bootstrap_parallel
         self.mp_context = mp_context
         self.tenant_quota = tenant_quota
+        self.quota_retry_after_s = quota_retry_after_s
         self.autosave_path = Path(autosave_path) if autosave_path is not None else None
         self.autosave_interval_s = autosave_interval_s
 
@@ -416,7 +424,8 @@ class TuningService:
             raise QuotaExceededError(
                 f"tenant {tenant!r} already has {active} active session(s) "
                 f"(quota {self.tenant_quota}); wait for one to finish or "
-                "cancel one"
+                "cancel one",
+                retry_after_s=self.quota_retry_after_s,
             )
 
     def _fresh_session_id_locked(self) -> str:
@@ -647,6 +656,46 @@ class TuningService:
                 if remaining is not None and remaining <= 0:
                     return record.session.metrics()
                 self._wakeup.wait(remaining)
+
+    def watch_state(
+        self,
+        callback: Any,
+        stop: threading.Event,
+        *,
+        tick: float = 1.0,
+    ) -> None:
+        """Invoke ``callback`` after every service state change until ``stop`` is set.
+
+        The bridge primitive behind the asyncio gateway's long-polls: a
+        dedicated watcher thread calls this once, and every notification on
+        the service condition (submit, tell, cancel, completion, shutdown)
+        plus a periodic ``tick`` heartbeat invokes ``callback``.  Because
+        the loop re-acquires the condition's lock *between* waits and never
+        releases it around the callback, no notification can slip through
+        unobserved — the lost-wakeup class of bug is structurally excluded.
+
+        The callback runs **while the service lock is held**: it must be
+        quick, must not block, and must never call back into the service.
+        Bounce real work to another thread or event loop instead
+        (``loop.call_soon_threadsafe`` is the intended shape).  Use
+        :meth:`notify_watchers` to pop the watcher out of its current wait
+        promptly after setting ``stop``.
+        """
+        if not math.isfinite(tick) or tick <= 0:
+            raise ValueError(f"tick must be a positive, finite number, got {tick!r}")
+        with self._wakeup:
+            while not stop.is_set():
+                self._wakeup.wait(tick)
+                callback()
+
+    def notify_watchers(self) -> None:
+        """Wake everything parked on the service condition (watchers, long-polls).
+
+        State changes notify automatically; this is for *external* reasons
+        to re-check — e.g. a gateway shutting down its watcher thread.
+        """
+        with self._wakeup:
+            self._wakeup.notify_all()
 
     # -- service-level checkpoint --------------------------------------------
     def save_registry(self, path: str | Path, *, skip_unspecced: bool = False) -> Path:

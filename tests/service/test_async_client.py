@@ -1,0 +1,321 @@
+"""AsyncTuningClient behaviour that the shared contract suite cannot cover:
+retry/back-off policy, 429 Retry-After honouring, bounded-concurrency
+``wait_all`` and the long-poll socket-timeout cap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.service.api import (
+    MAX_WAIT_SECONDS,
+    JobSpec,
+    OptimizerSpec,
+    QuotaExceededError,
+    ServiceError,
+    UnknownSessionError,
+    register_job,
+    unregister_job,
+)
+from repro.service.async_client import AsyncTuningClient, BridgedAsyncClient
+from repro.service.asyncio_gateway import AsyncTuningGateway
+from repro.service.service import TuningService
+from repro.workloads.generators import make_synthetic_job
+
+JOB = "async-client-job"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_job():
+    register_job(JOB, lambda: make_synthetic_job(seed=31, name=JOB))
+    yield
+    unregister_job(JOB)
+
+
+def _spec(seed: int = 0, **overrides) -> JobSpec:
+    options = dict(
+        job=JOB,
+        optimizer=OptimizerSpec("rnd"),
+        budget_multiplier=1.0,
+        seed=seed,
+    )
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+@pytest.fixture
+def service():
+    svc = TuningService(n_workers=2, policy="round-robin")
+    svc.serve()
+    try:
+        yield svc
+    finally:
+        svc.shutdown(drain=False)
+
+
+@pytest.fixture
+def gateway(service):
+    gw = AsyncTuningGateway(service, port=0).start()
+    try:
+        yield gw
+    finally:
+        gw.close()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _closed_port() -> int:
+    """A port that was just bound and released — connecting to it refuses."""
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestRetryPolicy:
+    def test_connection_refused_retries_with_exponential_backoff(self):
+        retries = []
+        client = AsyncTuningClient(
+            f"http://127.0.0.1:{_closed_port()}",
+            max_retries=3,
+            backoff_s=0.01,
+            max_backoff_s=10.0,
+            on_retry=lambda attempt, delay, error: retries.append((attempt, delay)),
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="after 4 attempt"):
+            _run(client.health())
+        elapsed = time.monotonic() - started
+        assert [a for a, _ in retries] == [0, 1, 2]
+        # 0.01 * (1 + 2 + 4) doubling schedule, actually slept.
+        assert [d for _, d in retries] == [0.01, 0.02, 0.04]
+        assert 0.07 <= elapsed < 5.0
+
+    def test_backoff_delay_is_capped(self):
+        retries = []
+        client = AsyncTuningClient(
+            f"http://127.0.0.1:{_closed_port()}",
+            max_retries=2,
+            backoff_s=0.01,
+            max_backoff_s=0.015,
+            on_retry=lambda attempt, delay, error: retries.append(delay),
+        )
+        with pytest.raises(ServiceError):
+            _run(client.health())
+        assert retries == [0.01, 0.015]  # second doubling clamped
+
+    def test_max_retries_zero_fails_immediately(self):
+        client = AsyncTuningClient(
+            f"http://127.0.0.1:{_closed_port()}", max_retries=0, backoff_s=5.0
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError, match="after 1 attempt"):
+            _run(client.health())
+        assert time.monotonic() - started < 2.0  # no backoff sleep happened
+
+    def test_http_errors_are_not_retried(self, gateway):
+        attempts = []
+        client = AsyncTuningClient(
+            gateway.url,
+            max_retries=3,
+            backoff_s=0.01,
+            on_retry=lambda *args: attempts.append(args),
+        )
+        with pytest.raises(UnknownSessionError):
+            _run(client.poll("no-such-session"))
+        assert attempts == []  # a 404 is an answer, not a transport failure
+
+    def test_post_is_never_retried_after_send(self, gateway):
+        """A submit whose connection dies mid-response must not double-submit."""
+        client = AsyncTuningClient(gateway.url, max_retries=3, backoff_s=0.01)
+
+        real_once = client._once
+        calls = []
+
+        async def dying_once(method, path, body, timeout):
+            calls.append(method)
+            status, headers, raw = await real_once(method, path, body, timeout)
+            from repro.service.async_client import _TransportError
+
+            raise _TransportError("connection reset by peer", sent=True)
+
+        client._once = dying_once
+        with pytest.raises(ServiceError, match="after 1 attempt"):
+            _run(client.submit(_spec(seed=1)))
+        assert calls == ["POST"]  # exactly one wire attempt
+
+    def test_get_is_retried_after_send(self, gateway):
+        client = AsyncTuningClient(gateway.url, max_retries=2, backoff_s=0.01)
+
+        real_once = client._once
+        calls = []
+
+        async def flaky_once(method, path, body, timeout):
+            calls.append(method)
+            if len(calls) == 1:
+                from repro.service.async_client import _TransportError
+
+                raise _TransportError("connection reset by peer", sent=True)
+            return await real_once(method, path, body, timeout)
+
+        client._once = flaky_once
+        assert _run(client.health())["status"] == "ok"
+        assert calls == ["GET", "GET"]
+
+
+class TestQuotaHonouring:
+    def test_429_raises_with_retry_after_attached(self, gateway, service):
+        sid = _run(
+            AsyncTuningClient(gateway.url).submit(_spec(seed=2, budget=5000))
+        ).session_id
+        try:
+            # Local quota knob: rebuild the gateway's view is unnecessary —
+            # the service enforces quotas, so flip it there.
+            service.tenant_quota = 1
+            client = AsyncTuningClient(gateway.url)
+            with pytest.raises(QuotaExceededError) as excinfo:
+                _run(client.submit(_spec(seed=3)))
+            assert excinfo.value.retry_after_s == pytest.approx(
+                service.quota_retry_after_s
+            )
+        finally:
+            _run(AsyncTuningClient(gateway.url).cancel(sid))
+
+    def test_quota_retries_wait_out_the_hint_and_succeed(self):
+        service = TuningService(
+            n_workers=2, tenant_quota=1, quota_retry_after_s=0.2
+        )
+        service.serve()
+        gw = AsyncTuningGateway(service, port=0).start()
+        try:
+            client = AsyncTuningClient(gw.url, quota_retries=5)
+            waits = []
+            client.on_retry = lambda attempt, delay, error: waits.append(delay)
+
+            async def scenario():
+                first = await client.submit(_spec(seed=4))
+                # The quota frees as soon as the first session terminates;
+                # the retrying submit should park on the 0.2s hint until
+                # then instead of raising.
+                second = await client.submit(_spec(seed=5))
+                return first, second
+
+            first, second = _run(scenario())
+            assert first.session_id != second.session_id
+            assert waits and all(w == pytest.approx(0.2) for w in waits)
+        finally:
+            gw.close()
+            service.shutdown(drain=False)
+
+
+class TestWaitAll:
+    def test_wait_all_returns_completed_results(self, gateway):
+        client = AsyncTuningClient(gateway.url)
+
+        async def scenario():
+            ids = [
+                (await client.submit(_spec(seed=10 + i))).session_id
+                for i in range(5)
+            ]
+            return ids, await client.wait_all(ids, concurrency=2, timeout=120)
+
+        ids, results = _run(scenario())
+        assert sorted(results) == sorted(ids)
+        assert all(r.status in ("done", "exhausted") for r in results.values())
+
+    def test_wait_all_respects_the_concurrency_bound(self, gateway):
+        client = AsyncTuningClient(gateway.url)
+        in_flight = 0
+        peak = 0
+        real_poll = client.poll
+
+        async def counting_poll(session_id, *, wait_s=None):
+            nonlocal in_flight, peak
+            in_flight += 1
+            peak = max(peak, in_flight)
+            try:
+                return await real_poll(session_id, wait_s=wait_s)
+            finally:
+                in_flight -= 1
+
+        client.poll = counting_poll
+
+        async def scenario():
+            ids = [
+                (await client.submit(_spec(seed=20 + i))).session_id
+                for i in range(6)
+            ]
+            return await client.wait_all(ids, concurrency=2, timeout=120)
+
+        results = _run(scenario())
+        assert len(results) == 6
+        assert 1 <= peak <= 2
+
+    def test_wait_all_rejects_bad_concurrency(self, gateway):
+        client = AsyncTuningClient(gateway.url)
+        with pytest.raises(ValueError):
+            _run(client.wait_all([], concurrency=0))
+
+
+class TestTimeoutCap:
+    def test_long_poll_socket_budget_is_capped_at_protocol_max(self):
+        """wait_s=3600 must not buy a dead peer an hour of client patience."""
+        client = AsyncTuningClient("http://127.0.0.1:9", timeout=5.0)
+        seen = {}
+
+        async def fake_request(method, path, payload=None, *, extra_timeout=0.0):
+            seen["extra_timeout"] = extra_timeout
+            return {
+                "session_id": "x",
+                "status": "done",
+                "metrics": {},
+                "protocol_version": 1,
+            }
+
+        client._request = fake_request
+        _run(client.poll("x", wait_s=3600))
+        assert seen["extra_timeout"] == MAX_WAIT_SECONDS
+
+    def test_sync_client_shares_the_cap(self):
+        from repro.service.client import HttpClient
+
+        client = HttpClient("http://127.0.0.1:9", timeout=5.0)
+        seen = {}
+
+        def fake_request(method, path, payload=None, *, extra_timeout=0.0):
+            seen["extra_timeout"] = extra_timeout
+            return {
+                "session_id": "x",
+                "status": "done",
+                "metrics": {},
+                "protocol_version": 1,
+            }
+
+        client._request = fake_request
+        client.poll("x", wait_s=3600)
+        assert seen["extra_timeout"] == MAX_WAIT_SECONDS
+
+
+class TestBridgedClient:
+    def test_close_is_idempotent_and_rejects_further_calls(self, gateway):
+        client = BridgedAsyncClient(gateway.url)
+        assert client.health()["status"] == "ok"
+        client.close()
+        client.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            client.health()
+
+    def test_context_manager(self, gateway):
+        with BridgedAsyncClient(gateway.url) as client:
+            assert client.health()["status"] == "ok"
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            AsyncTuningClient("https://example.com")
+        with pytest.raises(ValueError):
+            AsyncTuningClient("not-a-url")

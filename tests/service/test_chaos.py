@@ -16,6 +16,10 @@ traces are bit-identical to an undisturbed run:
 * **Gateway restarts.**  The HTTP front-end is stateless: dropping it and
   booting a new one over the same service keeps every session id live, and
   ``submit_with_unique_id`` retries a sweep's ids instead of failing.
+* **Client disconnects mid-long-poll.**  A caller that RSTs its socket
+  while parked on ``wait_s`` must cost the gateway nothing but a counter
+  bump (``gateway_client_disconnects_total``) — the front-end keeps
+  serving and the session keeps running.
 
 The exploding job class is module-level so the ``spawn`` process pool can
 pickle it: the worker re-imports this module by name.
@@ -24,6 +28,8 @@ pickle it: the worker re-imports this module by name.
 from __future__ import annotations
 
 import json
+import socket
+import struct
 import time
 
 import pytest
@@ -35,6 +41,7 @@ from repro.service.api import (
     register_job,
     unregister_job,
 )
+from repro.service.asyncio_gateway import AsyncTuningGateway
 from repro.service.client import HttpClient
 from repro.service.http import TuningGateway
 from repro.service.service import TuningService
@@ -44,6 +51,7 @@ from repro.workloads.base import TabulatedJob
 from repro.workloads.generators import make_synthetic_job
 
 CHAOS_SLOW_JOB = "chaos-slow"
+CHAOS_GLACIAL_JOB = "chaos-glacial"
 CHAOS_EXPLODING_JOB = "chaos-exploding"
 
 
@@ -52,6 +60,15 @@ class _SlowTabulatedJob(TabulatedJob):
 
     def run(self, config):
         time.sleep(0.005)
+        return super().run(config)
+
+
+class _GlacialTabulatedJob(TabulatedJob):
+    """Slow enough (~250 ms per run) that a session outlives a long-poll
+    park — the disconnect tests need the poll still waiting when they RST."""
+
+    def run(self, config):
+        time.sleep(0.25)
         return super().run(config)
 
 
@@ -76,6 +93,12 @@ def _make_slow_job() -> TabulatedJob:
     return _clone_as(_SlowTabulatedJob, make_synthetic_job(seed=21, name=CHAOS_SLOW_JOB))
 
 
+def _make_glacial_job() -> TabulatedJob:
+    return _clone_as(
+        _GlacialTabulatedJob, make_synthetic_job(seed=23, name=CHAOS_GLACIAL_JOB)
+    )
+
+
 def _make_exploding_job() -> TabulatedJob:
     return _clone_as(
         _ExplodingJob, make_synthetic_job(seed=22, name=CHAOS_EXPLODING_JOB)
@@ -85,9 +108,11 @@ def _make_exploding_job() -> TabulatedJob:
 @pytest.fixture(scope="module", autouse=True)
 def _registered_jobs():
     register_job(CHAOS_SLOW_JOB, _make_slow_job)
+    register_job(CHAOS_GLACIAL_JOB, _make_glacial_job)
     register_job(CHAOS_EXPLODING_JOB, _make_exploding_job)
     yield
     unregister_job(CHAOS_SLOW_JOB)
+    unregister_job(CHAOS_GLACIAL_JOB)
     unregister_job(CHAOS_EXPLODING_JOB)
 
 
@@ -256,12 +281,15 @@ class TestWorkerExceptionStorms:
         ]
 
 
+@pytest.mark.parametrize(
+    "gateway_cls", [TuningGateway, AsyncTuningGateway], ids=["threaded", "asyncio"]
+)
 class TestGatewayRestart:
-    def test_sessions_survive_a_gateway_restart(self):
+    def test_sessions_survive_a_gateway_restart(self, gateway_cls):
         service = TuningService(n_workers=2, policy="round-robin")
         service.serve()
         try:
-            first = TuningGateway(service, port=0).start()
+            first = gateway_cls(service, port=0).start()
             client = HttpClient(first.url)
             ids = [
                 submit_with_unique_id(client, _spec(seed), f"sweep/trial-{seed}")
@@ -271,7 +299,7 @@ class TestGatewayRestart:
             first.close()
 
             # A fresh gateway over the same service: every id is still live.
-            second = TuningGateway(service, port=0).start()
+            second = gateway_cls(service, port=0).start()
             try:
                 assert second.port != first.port or second.url != first.url
                 retry_client = HttpClient(second.url)
@@ -290,4 +318,69 @@ class TestGatewayRestart:
             finally:
                 second.close()
         finally:
+            service.shutdown(drain=False)
+
+
+class TestClientDisconnectMidPark:
+    """A parked long-poll whose caller vanishes is back-pressure, not an
+    error: the gateway counts the dead socket and keeps serving."""
+
+    @pytest.mark.parametrize(
+        "gateway_cls",
+        [TuningGateway, AsyncTuningGateway],
+        ids=["threaded", "asyncio"],
+    )
+    def test_rst_mid_park_is_counted_and_serving_continues(self, gateway_cls):
+        service = TuningService(n_workers=2, policy="round-robin")
+        service.serve()
+        gateway = gateway_cls(service, port=0).start()
+        client = HttpClient(gateway.url)
+        try:
+            # tmax pins the step budget up front, so submission returns
+            # without profiling every configuration inline first.
+            sid = client.submit(
+                JobSpec(
+                    job=CHAOS_GLACIAL_JOB,
+                    optimizer=OptimizerSpec("rnd"),
+                    tmax=1.0,
+                    budget=10_000,
+                    seed=11,
+                )
+            ).session_id
+
+            def disconnects() -> float:
+                series = (
+                    client.metrics()["counters"]
+                    .get("gateway_client_disconnects_total", {})
+                    .get("series", [])
+                )
+                return sum(point["value"] for point in series)
+
+            before = disconnects()
+            sock = socket.create_connection(
+                (gateway.host, gateway.port), timeout=10
+            )
+            sock.sendall(
+                f"GET /v1/sessions/{sid}?wait_s=1.5 HTTP/1.1\r\n"
+                f"Host: {gateway.host}\r\n\r\n".encode()
+            )
+            time.sleep(0.3)  # let the poll reach the parked state
+            # The glacial job guarantees the session outlives the park, so
+            # the poll is still waiting when we yank the socket.
+            assert client.poll(sid).status not in ("done", "exhausted")
+            # SO_LINGER={on, 0s}: close() sends RST instead of FIN --
+            # exactly what a crashed caller looks like from the gateway.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+
+            # The dead socket is only discovered when the park ends (wake
+            # or expiry) and the gateway tries to answer; allow for both.
+            assert _wait_until(lambda: disconnects() > before, timeout=30.0)
+            # The front-end is still healthy and the session unharmed.
+            assert client.health()["status"] == "ok"
+            assert client.poll(sid).session_id == sid
+        finally:
+            gateway.close()
             service.shutdown(drain=False)

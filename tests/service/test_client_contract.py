@@ -36,9 +36,14 @@ from repro.service.api import (
     register_job,
     unregister_job,
 )
+from repro.service.async_client import BridgedAsyncClient
+from repro.service.asyncio_gateway import AsyncTuningGateway
 from repro.service.client import HttpClient, LocalClient
 from repro.service.http import TuningGateway
 from repro.service.service import TuningService
+
+#: Gateway implementations the HTTP-flavoured fixture params run against.
+_GATEWAYS = {"http": TuningGateway, "asyncio": AsyncTuningGateway}
 from repro.workloads.base import TabulatedJob
 from repro.workloads.generators import make_synthetic_job
 
@@ -79,19 +84,33 @@ def _registered_jobs():
     unregister_job(SLOW_JOB)
 
 
-@pytest.fixture(params=["local", "http"])
+@pytest.fixture(
+    params=["local", "http", "asyncio", "async-http", "async-asyncio"]
+)
 def client(request):
+    """Every client × gateway pairing that must honour the same contract.
+
+    ``local`` is in-process; the rest cross the wire:
+    {sync ``HttpClient``, async ``BridgedAsyncClient``} × {threaded
+    ``TuningGateway``, ``AsyncTuningGateway``}.  One behaviour, five
+    transports.
+    """
     service = TuningService(n_workers=2, policy="round-robin")
     service.serve()
     gateway = None
     if request.param == "local":
         tuning_client = LocalClient(service)
     else:
-        gateway = TuningGateway(service, port=0).start()
-        tuning_client = HttpClient(gateway.url)
+        flavor = request.param.removeprefix("async-")
+        gateway = _GATEWAYS.get(flavor, TuningGateway)(service, port=0).start()
+        if request.param.startswith("async-"):
+            tuning_client = BridgedAsyncClient(gateway.url)
+        else:
+            tuning_client = HttpClient(gateway.url)
     try:
         yield tuning_client
     finally:
+        tuning_client.close()
         if gateway is not None:
             gateway.close()
         service.shutdown(drain=False)
@@ -316,27 +335,33 @@ class _Tenants:
         self.anonymous = anonymous
 
 
-@pytest.fixture(params=["local", "http"])
+@pytest.fixture(params=["local", "http", "asyncio", "async-asyncio"])
 def tenants(request):
     service = TuningService(
         n_workers=2, policy="round-robin", tenant_quota=3
     )
     service.serve()
     gateway = None
-    closers = []
     if request.param == "local":
         base = LocalClient(service)
         pair = _Tenants(base.scoped("alice"), base.scoped("bob"))
     else:
-        gateway = TuningGateway(service, port=0, tokens=_TOKENS).start()
+        flavor = request.param.removeprefix("async-")
+        gateway = _GATEWAYS[flavor](service, port=0, tokens=_TOKENS).start()
+        make = (
+            BridgedAsyncClient if request.param.startswith("async-") else HttpClient
+        )
         pair = _Tenants(
-            HttpClient(gateway.url, token="alice-secret"),
-            HttpClient(gateway.url, token="bob-secret"),
-            anonymous=HttpClient(gateway.url),
+            make(gateway.url, token="alice-secret"),
+            make(gateway.url, token="bob-secret"),
+            anonymous=make(gateway.url),
         )
     try:
         yield pair
     finally:
+        for tenant_client in (pair.alice, pair.bob, pair.anonymous):
+            if tenant_client is not None:
+                tenant_client.close()
         if gateway is not None:
             gateway.close()
         service.shutdown(drain=False)
@@ -386,8 +411,13 @@ class TestTenantIsolation:
             for i in range(3)
         ]
         try:
-            with pytest.raises(QuotaExceededError):
+            with pytest.raises(QuotaExceededError) as excinfo:
                 tenants.alice.submit(slow_spec(seed=49))
+            # The 429 must carry the service's back-off hint on every
+            # transport — wire clients decode it from the JSON body (or
+            # the Retry-After header), local clients see it directly.
+            # 1.0 is the service's default quota_retry_after_s.
+            assert excinfo.value.retry_after_s == pytest.approx(1.0)
             # bob's budget is untouched by alice's spent quota.
             bob_sid = tenants.bob.submit(slow_spec(seed=50)).session_id
             tenants.bob.cancel(bob_sid)

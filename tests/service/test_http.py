@@ -115,6 +115,35 @@ class TestHappyPaths:
 
 
 class TestErrorCodeMapping:
+    def test_429_carries_a_retry_after_header(self):
+        service = TuningService(n_workers=2, tenant_quota=1, quota_retry_after_s=2.5)
+        service.serve()
+        try:
+            with TuningGateway(service, port=0) as gw:
+                status, _ = _raw(
+                    gw, "POST", "/v1/sessions", _submit_payload(seed=1, budget=5000)
+                )
+                assert status == 201
+                request = urllib.request.Request(
+                    gw.url + "/v1/sessions",
+                    data=json.dumps(_submit_payload(seed=2)).encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+                error = excinfo.value
+                # The machine-readable hint rides both channels: the JSON
+                # body for protocol clients, the standard header for
+                # anything HTTP-native (curl, proxies, load balancers).
+                assert error.code == 429
+                assert error.headers["Retry-After"] == "3"  # ceil(2.5)
+                payload = json.loads(error.read())
+                assert payload["code"] == "quota_exceeded"
+                assert payload["retry_after_s"] == 2.5
+        finally:
+            service.shutdown(drain=False)
+
     def test_404_unknown_session(self, gateway):
         for path in ("/v1/sessions/nope", "/v1/sessions/nope/result"):
             status, body = _raw(gateway, "GET", path)
